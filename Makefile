@@ -1,0 +1,27 @@
+# Convenience targets for the AutoRFM reproduction.
+
+.PHONY: install test bench examples audit clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	python examples/quickstart.py
+	python examples/rowhammer_attack_analysis.py
+	python examples/custom_tracker.py
+	python examples/design_space_sweep.py
+	python examples/full_cpu_path.py
+	python examples/generate_report.py
+
+audit:
+	python -m repro audit
+
+clean:
+	rm -rf benchmarks/results report_out .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,50 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every bench computes one paper table/figure, registers a rendered
+paper-vs-measured report via :func:`report` (dumped in pytest's terminal
+summary and written under ``benchmarks/results/``), and asserts the *shape*
+of the result — who wins, by roughly what factor — not absolute numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Tuple
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+_REPORTS: List[Tuple[str, str]] = []
+
+
+def report(name: str, text: str) -> None:
+    """Register a bench report: printed in the terminal summary and saved."""
+    _REPORTS.append((name, text))
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as f:
+        f.write(text + "\n")
+
+
+def consume_reports() -> List[Tuple[str, str]]:
+    out = list(_REPORTS)
+    _REPORTS.clear()
+    return out
+
+
+def pct(value: float) -> str:
+    return f"{100.0 * value:.1f}%"
+
+
+#: Paper-reported averages used in the shape assertions and reports.
+PAPER: Dict[str, float] = {
+    "rfm4": 0.33,
+    "rfm8": 0.129,
+    "rfm16": 0.044,
+    "rfm32": 0.002,
+    "autorfm4": 0.031,
+    "autorfm8": 0.023,
+    "autorfm4_zen": 0.165,
+    "alert_zen": 0.037,
+    "alert_rubix": 0.0022,
+    "rubix_alone": 0.015,
+    "prac_slowdown": 0.04,
+}

@@ -1,0 +1,62 @@
+"""Ablation A2: sensitivity to the number of subarrays per bank.
+
+AutoRFM's conflict probability under randomized mapping is ~1/subarrays, so
+fewer subarrays mean more ALERTs. The paper assumes 256 (Table IV); DRAM
+parts with coarser subarray structure pay more.
+"""
+
+import dataclasses
+
+from _common import pct, report
+
+from repro.analysis.tables import render_table
+from repro.cpu.system import simulate
+from repro.mc.setup import MitigationSetup
+from repro.sim.config import SystemConfig
+from repro.workloads.catalog import WORKLOADS
+from repro.workloads.rate import make_rate_traces
+
+SUBARRAY_COUNTS = (32, 128, 256, 512)
+SIM_WORKLOADS = ("bwaves", "roms", "add", "mcf")
+REQUESTS = 2000
+
+
+def compute():
+    out = {}
+    for count in SUBARRAY_COUNTS:
+        config = dataclasses.replace(SystemConfig(), subarrays_per_bank=count)
+        setup = MitigationSetup("autorfm", threshold=4, policy="fractal")
+        slowdowns, alerts = [], []
+        for name in SIM_WORKLOADS:
+            traces = make_rate_traces(WORKLOADS[name], config, REQUESTS)
+            base = simulate(traces, MitigationSetup("none"), config, "zen", 1)
+            run = simulate(traces, setup, config, "rubix", 1)
+            slowdowns.append(run.slowdown_vs(base))
+            alerts.append(run.stats.alerts_per_act)
+        out[count] = (
+            sum(slowdowns) / len(slowdowns),
+            sum(alerts) / len(alerts),
+        )
+    return out
+
+
+def test_ablation_subarrays(benchmark):
+    out = benchmark.pedantic(compute, rounds=1, iterations=1)
+    report(
+        "ablation_subarrays",
+        render_table(
+            ["subarrays/bank", "avg slowdown", "ALERT/ACT"],
+            [[count, pct(s), pct(a)] for count, (s, a) in out.items()],
+            title="Ablation A2: subarray count (AutoRFM-4 on Rubix)",
+        ),
+    )
+    # ALERT rate and slowdown fall monotonically with the subarray count
+    # (the raw conflict probability is ~1/subarrays; retried ACTs and the
+    # SAUM duty cycle damp the measured slope).
+    alerts = [out[c][1] for c in SUBARRAY_COUNTS]
+    assert all(a >= b for a, b in zip(alerts, alerts[1:]))
+    assert out[32][1] / max(out[512][1], 1e-6) > 2.0
+    # With 256 subarrays the conflict rate is already below 1 %.
+    assert out[256][1] < 0.01
+    # Coarse subarray structure (32) is markedly more expensive.
+    assert out[32][0] > 1.5 * out[256][0]

@@ -1,0 +1,103 @@
+"""Security sweep across the tracker zoo (Sections I, II-D).
+
+Replays two attack classes against every implemented tracker and reports
+the worst unmitigated hammer pressure. The paper's premise in one table:
+vendor-style deterministic TRR is broken by sampling-synchronized patterns,
+while the secure low-cost trackers (MINT, PrIDE, PARFM) and the
+deterministic heavyweights (Mithril, Graphene) bound the pressure.
+"""
+
+import numpy as np
+from _common import report
+
+from repro.analysis.tables import render_table
+from repro.core.mitigation import FractalMitigation
+from repro.security.montecarlo import run_attack
+from repro.trackers import (
+    GrapheneTracker,
+    MintTracker,
+    MithrilTracker,
+    ParfmTracker,
+    PrideTracker,
+    TrrTracker,
+)
+
+ROWS = 1 << 17
+ACTS = 40_000
+TARGET = 50_000
+WINDOW = 4
+
+
+def make_trackers():
+    def rng(seed):
+        return np.random.default_rng(seed)
+
+    return {
+        "MINT-4": MintTracker(window=4, rng=rng(1)),
+        "PrIDE (p=1/4)": PrideTracker(0.25, rng(2)),
+        "PARFM-4": ParfmTracker(window=4, rng=rng(3)),
+        "Mithril-1K": MithrilTracker(entries=1024, rng=rng(4)),
+        "Graphene": GrapheneTracker(entries=256, mitigation_count=16, rng=rng(5)),
+        "TRR (broken)": TrrTracker(rng(6), entries=4, sample_period=4),
+    }
+
+
+def double_sided_pattern():
+    return [TARGET - 1 if i % 2 else TARGET + 1 for i in range(ACTS)]
+
+
+def sampling_sync_pattern():
+    pattern = []
+    i = 0
+    while len(pattern) < ACTS:
+        pattern.extend(
+            [TARGET - 1, TARGET + 1, TARGET - 1, TARGET + 10_000 + 2 * i]
+        )
+        i += 1
+    return pattern[:ACTS]
+
+
+def compute():
+    results = {}
+    for attack_name, pattern in (
+        ("double-sided", double_sided_pattern()),
+        ("sampling-sync", sampling_sync_pattern()),
+    ):
+        for tracker_name, tracker in make_trackers().items():
+            policy = FractalMitigation(ROWS, np.random.default_rng(99))
+            outcome = run_attack(pattern, tracker, policy, window=WINDOW)
+            results[(tracker_name, attack_name)] = outcome.pressure.get(
+                TARGET, 0.0
+            )
+    return results
+
+
+def test_tracker_security_sweep(benchmark):
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    trackers = sorted({t for t, _ in results})
+    rows = [
+        [t, f"{results[(t, 'double-sided')]:.0f}",
+         f"{results[(t, 'sampling-sync')]:.0f}"]
+        for t in trackers
+    ]
+    report(
+        "broken_trackers",
+        render_table(
+            ["tracker", "double-sided pressure", "sampling-sync pressure"],
+            rows,
+            title=(
+                f"Tracker security: worst victim pressure after {ACTS} "
+                "attack ACTs (lower is better)"
+            ),
+        ),
+    )
+
+    secure = ("MINT-4", "PrIDE (p=1/4)", "PARFM-4", "Mithril-1K", "Graphene")
+    for name in secure:
+        for attack in ("double-sided", "sampling-sync"):
+            assert results[(name, attack)] < 500, (name, attack)
+    # The vendor-style deterministic sampler is broken by the synchronized
+    # pattern (pressure grows with the attack budget) ...
+    assert results[("TRR (broken)", "sampling-sync")] > 5_000
+    # ... even though it looks fine against the naive pattern.
+    assert results[("TRR (broken)", "double-sided")] < 500

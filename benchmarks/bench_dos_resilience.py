@@ -1,0 +1,117 @@
+"""Denial-of-service resilience (Sections IV-A / V-B and contribution 4).
+
+One core runs an adversary that pins a single subarray under perpetual
+mitigation (cycling rows of bank 0, subarray 0, through the mapping's
+inverse — the strongest attacker); seven cores run a normal workload. The
+paper's claims under test:
+
+1. with Fractal Mitigation and the simple per-bank busy table, a declined
+   ACT is *guaranteed* to succeed on its retry (max one ALERT per request);
+2. the victims' slowdown stays bounded — the attacker can deny at most one
+   bank for ~50 % of the time, not the channel;
+3. recursive mitigation's chained rounds break the single-retry guarantee
+   once the bank keeps servicing other requests (per-request-retry MC).
+"""
+
+from _common import pct, report
+
+from repro.analysis.tables import render_table
+from repro.cpu.system import build_mapping, simulate
+from repro.mc.setup import MitigationSetup
+from repro.sim.config import SystemConfig
+from repro.workloads.adversarial import subarray_dos_trace
+from repro.workloads.catalog import WORKLOADS
+from repro.workloads.rate import make_rate_traces
+
+REQUESTS = 2500
+VICTIM = "roms"
+
+VARIANTS = {
+    "FM, per-bank busy table": MitigationSetup(
+        "autorfm", threshold=4, policy="fractal"
+    ),
+    "RM, per-bank busy table": MitigationSetup(
+        "autorfm", threshold=4, policy="recursive"
+    ),
+    "FM, per-request retry": MitigationSetup(
+        "autorfm", threshold=4, policy="fractal", per_request_retry=True
+    ),
+    "RM, per-request retry": MitigationSetup(
+        "autorfm", threshold=4, policy="recursive", per_request_retry=True
+    ),
+}
+
+
+def victim_speedup(with_attack, without_attack):
+    """Mean IPC ratio over the victim cores (1..7)."""
+    ratios = [
+        a.ipc / b.ipc
+        for a, b in zip(with_attack.cores[1:], without_attack.cores[1:])
+    ]
+    return sum(ratios) / len(ratios)
+
+
+def compute():
+    config = SystemConfig()
+    mapping = build_mapping("rubix", config, seed=1)
+    victims = make_rate_traces(WORKLOADS[VICTIM], config, REQUESTS)[1:]
+    attacker = subarray_dos_trace(mapping, config, num_requests=4 * REQUESTS)
+
+    # Reference: the attacker's raw bandwidth/bank congestion with NO
+    # mitigation machinery to exploit. The DoS question is how much *extra*
+    # victim damage each mitigation design hands the attacker.
+    congestion_only = simulate(
+        [attacker] + victims, MitigationSetup("none"), config, "rubix", seed=1
+    )
+
+    out = {}
+    for tag, setup in VARIANTS.items():
+        attacked = simulate([attacker] + victims, setup, config, "rubix", seed=1)
+        out[tag] = {
+            "dos_amplification": 1.0
+            - victim_speedup(attacked.stats, congestion_only.stats),
+            "max_alerts": attacked.stats.max_request_alerts,
+            "alerts": attacked.stats.total_alerts,
+        }
+    return out
+
+
+def test_dos_resilience(benchmark):
+    out = benchmark.pedantic(compute, rounds=1, iterations=1)
+    report(
+        "dos_resilience",
+        render_table(
+            ["configuration", "DoS amplification", "max ALERTs/request",
+             "total ALERTs"],
+            [
+                [tag, pct(row["dos_amplification"]), row["max_alerts"],
+                 row["alerts"]]
+                for tag, row in out.items()
+            ],
+            title=(
+                "DoS probe: subarray-pinning attacker vs 7 victim cores\n"
+                "(amplification = extra victim slowdown beyond the "
+                "attacker's raw congestion)"
+            ),
+        ),
+    )
+
+    fm_simple = out["FM, per-bank busy table"]
+    fm_complex = out["FM, per-request retry"]
+    rm_complex = out["RM, per-request retry"]
+    # Claim 1: the Fig. 7 design + FM give the single-retry guarantee.
+    assert fm_simple["max_alerts"] <= 1
+    # Claim 2: the attack is confined to (head-of-line blocking on) the one
+    # attacked bank out of 64 — amplification is bounded, not catastrophic.
+    # Reproduction finding: it is NOT negligible for the per-bank busy
+    # table (~15-20 %), because every attacker ALERT blocks the whole bank
+    # for t_M and victim requests queue behind; the per-request-retry MC
+    # eliminates the amplification entirely (and even deprioritizes the
+    # attacker). The paper's benign-workload evaluation does not surface
+    # this trade-off of the "simple design" (Section IV-C).
+    assert fm_simple["dos_amplification"] < 0.30
+    assert fm_complex["dos_amplification"] < 0.02
+    # Claim 3: chained recursive mitigation with a non-blocking MC breaks
+    # the deterministic-latency property (repeated failures appear).
+    assert rm_complex["max_alerts"] >= fm_simple["max_alerts"]
+    assert rm_complex["max_alerts"] > 1

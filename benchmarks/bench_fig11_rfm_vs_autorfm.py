@@ -1,0 +1,55 @@
+"""Fig. 11: RFM vs AutoRFM per-workload slowdown at thresholds 4 and 8.
+
+Paper averages: RFM-4 33 % / RFM-8 12.9 % vs AutoRFM-4 3.1 % / AutoRFM-8
+2.3 % (AutoRFM uses randomized mapping + Fractal Mitigation).
+"""
+
+from _common import PAPER, pct, report
+
+from repro.analysis.experiments import average, slowdown, workload_rows
+from repro.analysis.tables import render_table
+from repro.mc.setup import MitigationSetup
+from repro.workloads.catalog import WORKLOADS
+
+
+def compute():
+    table = {}
+    for th in (4, 8):
+        rfm = MitigationSetup("rfm", threshold=th)
+        auto = MitigationSetup("autorfm", threshold=th, policy="fractal")
+        table[f"rfm{th}"] = dict(
+            workload_rows(lambda wl, s=rfm: slowdown(wl, s, "zen"))
+        )
+        table[f"auto{th}"] = dict(
+            workload_rows(lambda wl, s=auto: slowdown(wl, s, "rubix"))
+        )
+    return table
+
+
+def test_fig11_rfm_vs_autorfm(benchmark):
+    table = benchmark.pedantic(compute, rounds=1, iterations=1)
+    keys = ("rfm4", "auto4", "rfm8", "auto8")
+    rows = [[wl] + [pct(table[k][wl]) for k in keys] for wl in WORKLOADS]
+    averages = {k: average(list(table[k].items())) for k in keys}
+    rows.append(["AVERAGE"] + [pct(averages[k]) for k in keys])
+    rows.append(
+        ["paper avg", pct(PAPER["rfm4"]), pct(PAPER["autorfm4"]),
+         pct(PAPER["rfm8"]), pct(PAPER["autorfm8"])]
+    )
+    report(
+        "fig11_rfm_vs_autorfm",
+        render_table(
+            ["workload", "RFM-4", "AutoRFM-4", "RFM-8", "AutoRFM-8"],
+            rows,
+            title="Fig. 11: RFM vs AutoRFM (Rubix + Fractal Mitigation)",
+        ),
+    )
+
+    # The headline result: AutoRFM is several times cheaper than RFM.
+    assert averages["rfm4"] / max(averages["auto4"], 1e-9) > 3.0
+    assert averages["rfm8"] > averages["auto8"]
+    assert averages["auto4"] < 0.08  # paper: 3.1 %
+    # The gap narrows as thresholds rise.
+    gap4 = averages["rfm4"] - averages["auto4"]
+    gap8 = averages["rfm8"] - averages["auto8"]
+    assert gap4 > gap8

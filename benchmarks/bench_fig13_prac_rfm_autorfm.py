@@ -1,0 +1,82 @@
+"""Fig. 13: average slowdown of PRAC+ABO, RFM, and AutoRFM vs threshold.
+
+Paper shape: PRAC costs ~4 % at every threshold (longer tRC); RFM is free
+above ~700 but explodes below 300; AutoRFM stays at 2-3 % down to TRH-D 74.
+Each mechanism's x-coordinate is the TRH-D its parameter tolerates
+(Appendix A for MINT-based RFM/AutoRFM; the ABO target for PRAC).
+"""
+
+from _common import pct, report
+
+from repro.analysis.charts import render_linechart
+from repro.analysis.experiments import average, slowdown, workload_rows
+from repro.analysis.tables import render_table
+from repro.mc.setup import MitigationSetup
+from repro.security.mint_model import mint_tolerated_trhd
+
+RFM_WINDOWS = (4, 8, 16, 32)
+AUTORFM_WINDOWS = (4, 6, 8)
+PRAC_TARGETS = (74, 180, 700)
+
+
+def avg_slowdown(setup, mapping, baseline="zen"):
+    return average(
+        workload_rows(
+            lambda wl: slowdown(wl, setup, mapping, baseline_mapping=baseline)
+        )
+    )
+
+
+def compute():
+    series = {"rfm": [], "autorfm": [], "prac": []}
+    for th in RFM_WINDOWS:
+        trhd = mint_tolerated_trhd(th, recursive=True)
+        series["rfm"].append(
+            (trhd, avg_slowdown(MitigationSetup("rfm", threshold=th), "zen"))
+        )
+    for th in AUTORFM_WINDOWS:
+        trhd = mint_tolerated_trhd(th, recursive=False)
+        setup = MitigationSetup("autorfm", threshold=th, policy="fractal")
+        series["autorfm"].append((trhd, avg_slowdown(setup, "rubix")))
+    for trhd in PRAC_TARGETS:
+        setup = MitigationSetup("prac", prac_trh_d=trhd)
+        series["prac"].append((trhd, avg_slowdown(setup, "zen")))
+    return series
+
+
+def test_fig13_mechanism_comparison(benchmark):
+    series = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = []
+    for name, points in series.items():
+        for trhd, slow in sorted(points):
+            rows.append([name, trhd, pct(slow)])
+    text = render_table(
+        ["mechanism", "tolerated TRH-D", "avg slowdown"],
+        rows,
+        title="Fig. 13: PRAC vs RFM vs AutoRFM across thresholds",
+    )
+    text += "\n\n" + render_linechart(
+        [(trhd, 100 * slow) for trhd, slow in series["rfm"]],
+        title="RFM slowdown (%) vs tolerated TRH-D",
+    )
+    report("fig13_prac_rfm_autorfm", text)
+
+    prac = dict(series["prac"])
+    rfm = sorted(series["rfm"])  # ascending threshold
+    autorfm = sorted(series["autorfm"])
+
+    # PRAC: a flat tax at every threshold (paper ~4 %).
+    assert all(0.01 < s < 0.12 for s in prac.values())
+    spread = max(prac.values()) - min(prac.values())
+    assert spread < 0.05
+
+    # RFM: cheap at high thresholds, explosive at sub-100.
+    assert rfm[-1][1] < 0.02
+    assert rfm[0][1] > 0.20
+
+    # AutoRFM: scales to sub-100 with slowdown below PRAC's flat tax.
+    lowest_trhd, lowest_slow = autorfm[0]
+    assert lowest_trhd < 100
+    assert lowest_slow < 0.08
+    # At the lowest threshold AutoRFM is far cheaper than RFM.
+    assert rfm[0][1] / max(lowest_slow, 1e-9) > 3.0

@@ -1,0 +1,40 @@
+"""Fig. 14 (Appendix A): TRH-D tolerated by MINT vs window size, for
+recursive and fractal mitigation."""
+
+from _common import report
+
+from repro.analysis.tables import render_table
+from repro.security.mint_model import mint_tolerated_trhd
+
+WINDOWS = (2, 3, 4, 5, 6, 8, 12, 16, 24, 32)
+
+
+def compute():
+    return [
+        (
+            w,
+            mint_tolerated_trhd(w, recursive=True),
+            mint_tolerated_trhd(w, recursive=False),
+        )
+        for w in WINDOWS
+    ]
+
+
+def test_fig14_threshold_vs_window(benchmark):
+    curve = benchmark.pedantic(compute, rounds=1, iterations=1)
+    report(
+        "fig14_threshold_vs_window",
+        render_table(
+            ["window W", "TRH-D recursive", "TRH-D fractal"],
+            curve,
+            title="Fig. 14: MINT tolerated threshold vs window size",
+        ),
+    )
+    rm = [r for _, r, _ in curve]
+    fm = [f for _, _, f in curve]
+    # Monotone in the window, FM strictly below RM everywhere.
+    assert rm == sorted(rm) and fm == sorted(fm)
+    assert all(f < r for f, r in zip(fm, rm))
+    # Roughly linear scaling: TRH-D per window slot stays in a tight band.
+    slopes = [f / w for (w, _, f) in curve[2:]]
+    assert max(slopes) / min(slopes) < 1.35

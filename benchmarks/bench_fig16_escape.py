@@ -1,0 +1,82 @@
+"""Fig. 16 (Appendix B): escape probability vs damage for Fractal
+Mitigation and MINT-4, plus the mixed-attack argument and a Monte-Carlo
+spot check of FM's distance distribution.
+"""
+
+import numpy as np
+from _common import report
+
+from repro.analysis.tables import render_table
+from repro.core.mitigation import FractalMitigation
+from repro.security.fractal_model import (
+    fm_escape_probability,
+    fm_max_damage,
+    fm_safe_trhd,
+    mint_escape_probability,
+    mixed_attack_escape,
+)
+
+DAMAGES = (0, 20, 40, 60, 80, 104, 120, 150)
+
+
+def compute():
+    rows = [
+        (d, fm_escape_probability(d), mint_escape_probability(d, 4))
+        for d in DAMAGES
+    ]
+    mixed = mixed_attack_escape(40, 80, window=4)
+    pure = mint_escape_probability(120, 4)
+    return rows, mixed, pure
+
+
+def test_fig16_escape_probability(benchmark):
+    rows, mixed, pure = benchmark.pedantic(compute, rounds=1, iterations=1)
+    text = render_table(
+        ["damage", "P_escape FM", "P_escape MINT-4"],
+        [[d, f"{fme:.2e}", f"{me:.2e}"] for d, fme, me in rows],
+        title="Fig. 16: escape probability vs damage",
+    )
+    text += (
+        f"\nmax FM damage at 1e-18 escape: {fm_max_damage():.1f} "
+        f"(paper: 104) -> safe TRH-D {fm_safe_trhd()} (paper: 53)"
+        f"\nmixed attack (40 FM + 80 MINT): escape {mixed:.1e}; "
+        f"pure MINT 120: {pure:.1e}"
+    )
+    report("fig16_escape", text)
+
+    # Shape: both curves decay; FM decays slower per unit damage than
+    # MINT-4 (exp(-d/2.5) vs 0.75^d), so FM's bound is the lower threshold.
+    fm_vals = [fme for _, fme, _ in rows]
+    assert fm_vals == sorted(fm_vals, reverse=True)
+    assert fm_escape_probability(104) < 1e-17
+    assert fm_safe_trhd() == 53
+    # Appendix B's conclusion: mixing attacks only hurts the attacker.
+    assert mixed < pure
+
+
+def test_fig16_distance_distribution_montecarlo(benchmark):
+    """FM's implemented distance distribution matches 2^(1-d) (Fig. 10)."""
+
+    def sample():
+        policy = FractalMitigation(1 << 17, np.random.default_rng(3))
+        counts = {}
+        n = 60_000
+        for _ in range(n):
+            d = policy.draw_distance()
+            counts[d] = counts.get(d, 0) + 1
+        return {d: c / n for d, c in counts.items()}
+
+    freq = benchmark.pedantic(sample, rounds=1, iterations=1)
+    report(
+        "fig16_distance_mc",
+        render_table(
+            ["distance d", "measured P", "model 2^(1-d)"],
+            [[d, f"{freq.get(d, 0):.4f}",
+              f"{FractalMitigation.refresh_probability(d):.4f}"]
+             for d in range(2, 9)],
+            title="Fractal Mitigation distance distribution (Monte Carlo)",
+        ),
+    )
+    for d in range(2, 7):
+        expected = FractalMitigation.refresh_probability(d)
+        assert abs(freq.get(d, 0.0) - expected) / expected < 0.2

@@ -1,0 +1,42 @@
+"""Fig. 1(d): slowdown of RFM as the Rowhammer threshold decreases.
+
+The x-axis maps each RFMTH to the TRH-D that MINT + recursive mitigation
+tolerates at that window (Appendix A); the y-axis is the average measured
+slowdown (shares Fig. 3's simulations via the run cache).
+"""
+
+from _common import report
+
+from repro.analysis.experiments import average, slowdown, workload_rows
+from repro.analysis.tables import render_table
+from repro.mc.setup import MitigationSetup
+from repro.security.mint_model import mint_tolerated_trhd
+
+THRESHOLDS = (32, 16, 8, 4)  # decreasing tolerated TRH
+
+
+def compute():
+    points = []
+    for th in THRESHOLDS:
+        trhd = mint_tolerated_trhd(th, recursive=True)
+        setup = MitigationSetup("rfm", threshold=th)
+        avg = average(workload_rows(lambda wl, s=setup: slowdown(wl, s)))
+        points.append((trhd, th, avg))
+    return points
+
+
+def test_fig1d_rfm_trend(benchmark):
+    points = benchmark.pedantic(compute, rounds=1, iterations=1)
+    report(
+        "fig1d_rfm_trend",
+        render_table(
+            ["tolerated TRH-D", "RFMTH", "avg slowdown"],
+            [[trhd, th, f"{s:.1%}"] for trhd, th, s in points],
+            title="Fig. 1d: RFM slowdown as thresholds reduce",
+        ),
+    )
+    slowdowns = [s for _, _, s in points]
+    # Shape: slowdown explodes as the tolerated threshold shrinks.
+    assert all(a < b for a, b in zip(slowdowns, slowdowns[1:]))
+    assert slowdowns[0] < 0.02  # ~free at TRH-D ~650
+    assert slowdowns[-1] > 0.20  # unacceptable at sub-100

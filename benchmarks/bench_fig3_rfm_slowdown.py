@@ -1,0 +1,54 @@
+"""Fig. 3: per-workload slowdown of RFM-4/8/16/32 with the MINT tracker.
+
+Paper averages: 33 %, 12.9 %, 4.4 %, 0.2 %. We assert the shape: a steep,
+monotone decay with RFM-4 unacceptably expensive (> 20 %) and RFM-32 nearly
+free (< 2 %).
+"""
+
+from _common import PAPER, pct, report
+
+from repro.analysis.charts import render_barchart
+from repro.analysis.experiments import average, slowdown, workload_rows
+from repro.analysis.tables import render_table
+from repro.mc.setup import MitigationSetup
+from repro.workloads.catalog import WORKLOADS
+
+THRESHOLDS = (4, 8, 16, 32)
+
+
+def compute():
+    table = {}
+    for th in THRESHOLDS:
+        setup = MitigationSetup("rfm", threshold=th)
+        table[th] = dict(workload_rows(lambda wl, s=setup: slowdown(wl, s)))
+    return table
+
+
+def test_fig3_rfm_slowdown(benchmark):
+    table = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [
+        [wl] + [pct(table[th][wl]) for th in THRESHOLDS] for wl in WORKLOADS
+    ]
+    averages = {th: average(list(table[th].items())) for th in THRESHOLDS}
+    rows.append(["AVERAGE"] + [pct(averages[th]) for th in THRESHOLDS])
+    rows.append(
+        ["paper avg"]
+        + [pct(PAPER[f"rfm{th}"]) for th in THRESHOLDS]
+    )
+    text = render_table(
+        ["workload"] + [f"RFM-{th}" for th in THRESHOLDS],
+        rows,
+        title="Fig. 3: slowdown of blocking RFM",
+    )
+    text += "\n\n" + render_barchart(
+        [(f"RFM-{th}", 100 * averages[th]) for th in THRESHOLDS],
+        unit="%",
+        title="average slowdown",
+    )
+    report("fig3_rfm_slowdown", text)
+
+    # Shape assertions.
+    assert averages[4] > averages[8] > averages[16] > averages[32]
+    assert averages[4] > 0.20  # unacceptable at ultra-low thresholds
+    assert averages[32] < 0.02  # nearly free at RFMTH 32
+    assert averages[4] / max(averages[16], 1e-9) > 3.0

@@ -1,0 +1,81 @@
+"""The mechanism landscape at the paper's target: TRH-D ~74.
+
+A capstone synthesis of Sections VI-VII: for every mitigation family the
+repo implements, what does protecting the sub-100 regime cost? Measured
+slowdowns for the simulated mechanisms; analytical device costs for the
+DRAM-redesign families (PRAC's +10 % tRC is simulated; REGA's required
+refresh rate comes from its scaling model).
+"""
+
+from _common import pct, report
+
+from repro.analysis.experiments import average, slowdown
+from repro.analysis.tables import render_table
+from repro.mc.setup import MitigationSetup
+from repro.security.rega import rega_k_for_trhd, rega_trc_factor
+
+SIM_WORKLOADS = ("bwaves", "roms", "mcf", "add", "omnetpp", "PageRank")
+TARGET_TRHD = 74
+
+
+def avg_slowdown(setup, mapping):
+    return average(
+        [(wl, slowdown(wl, setup, mapping)) for wl in SIM_WORKLOADS]
+    )
+
+
+def compute():
+    rows = {}
+    rows["AutoRFM-4 (Rubix+FM)"] = avg_slowdown(
+        MitigationSetup("autorfm", threshold=4, policy="fractal"), "rubix"
+    )
+    rows["blocking RFM-4"] = avg_slowdown(
+        MitigationSetup("rfm", threshold=4), "zen"
+    )
+    rows["PRAC+ABO"] = avg_slowdown(
+        MitigationSetup("prac", prac_trh_d=TARGET_TRHD), "zen"
+    )
+    rows["SMD (PARA 1/4)"] = avg_slowdown(
+        MitigationSetup("smd", threshold=4), "zen"
+    )
+    rows["BlockHammer"] = avg_slowdown(
+        MitigationSetup("blockhammer", blockhammer_trh=TARGET_TRHD), "zen"
+    )
+    rows["AutoRFM-4 + AQUA migration"] = avg_slowdown(
+        MitigationSetup("autorfm", threshold=4, policy="aqua"), "rubix"
+    )
+    k = rega_k_for_trhd(TARGET_TRHD)
+    rega_cost = rega_trc_factor(k) - 1.0
+    return rows, k, rega_cost
+
+
+def test_mechanism_landscape(benchmark):
+    rows, rega_k, rega_cost = benchmark.pedantic(compute, rounds=1, iterations=1)
+    table = [[name, pct(value)] for name, value in rows.items()]
+    table.append(
+        [f"REGA-V{rega_k} (analytical)", f"tRC +{pct(rega_cost)}"]
+    )
+    report(
+        "mechanism_landscape",
+        render_table(
+            ["mechanism", f"cost at TRH-D ~{TARGET_TRHD}"],
+            table,
+            title="The mitigation landscape at the paper's target threshold",
+        ),
+    )
+
+    autorfm = rows["AutoRFM-4 (Rubix+FM)"]
+    # AutoRFM is the cheapest *low-cost* mechanism at the target threshold:
+    # every alternative that needs no DRAM-array redesign pays double
+    # digits.
+    for name in ("blocking RFM-4", "SMD (PARA 1/4)", "BlockHammer",
+                 "AutoRFM-4 + AQUA migration"):
+        assert rows[name] > autorfm, name
+    assert autorfm < 0.10
+    assert rows["blocking RFM-4"] > 0.20
+    assert rows["BlockHammer"] > 0.20
+    # PRAC's slowdown is comparable (within a couple of points — the paper
+    # reports 4 % vs 3.1 %); the paper's case against it is the per-row
+    # counter area and the ABO interface, not throughput.
+    assert abs(rows["PRAC+ABO"] - autorfm) < 0.03
+    assert rega_cost > 1.0  # REGA needs > +100 % tRC for sub-100

@@ -1,0 +1,82 @@
+"""Multi-programmed mixes: AutoRFM under heterogeneous co-scheduling.
+
+The paper evaluates homogeneous rate mode; real servers co-schedule mixed
+tenants. Four mixes spanning intensity classes check that the AutoRFM-vs-
+RFM conclusion carries over, and that a memory-light tenant is not
+penalized by a streaming neighbour's mitigations.
+"""
+
+from _common import pct, report
+
+from repro.analysis.tables import render_table
+from repro.cpu.system import simulate
+from repro.mc.setup import MitigationSetup
+from repro.sim.config import SystemConfig
+from repro.workloads.catalog import WORKLOADS
+from repro.workloads.rate import make_mix_traces
+
+MIXES = {
+    "stream-heavy": ["bwaves", "lbm", "add", "triad", "copy", "scale",
+                     "fotonik3d", "roms"],
+    "graph-heavy": ["ConnComp", "PageRank", "BFS", "TriCount", "BC",
+                    "SSSPath", "mcf", "omnetpp"],
+    "mixed-tenants": ["bwaves", "mcf", "add", "omnetpp", "xz", "PageRank",
+                      "wrf", "blender"],
+    "light+one-streamer": ["bwaves", "wrf", "blender", "cam4", "xz", "wrf",
+                           "blender", "cam4"],
+}
+REQUESTS = 2000
+
+
+def compute():
+    config = SystemConfig()
+    out = {}
+    for tag, names in MIXES.items():
+        traces = make_mix_traces(
+            [WORKLOADS[n] for n in names], config, REQUESTS
+        )
+        base = simulate(traces, MitigationSetup("none"), config, "zen", 1)
+        rfm = simulate(
+            traces, MitigationSetup("rfm", threshold=4), config, "zen", 1
+        )
+        auto = simulate(
+            traces,
+            MitigationSetup("autorfm", threshold=4, policy="fractal"),
+            config,
+            "rubix",
+            1,
+        )
+        # Per-core slowdown of the light tenants (cores 1+ in the last mix).
+        light_slowdown = 1.0 - (
+            sum(
+                a.ipc / b.ipc
+                for a, b in zip(auto.stats.cores[1:], base.stats.cores[1:])
+            )
+            / (config.num_cores - 1)
+        )
+        out[tag] = {
+            "rfm": rfm.slowdown_vs(base),
+            "auto": auto.slowdown_vs(base),
+            "light": light_slowdown,
+        }
+    return out
+
+
+def test_mixes(benchmark):
+    out = benchmark.pedantic(compute, rounds=1, iterations=1)
+    report(
+        "mixes",
+        render_table(
+            ["mix", "RFM-4", "AutoRFM-4", "non-core-0 AutoRFM slowdown"],
+            [
+                [tag, pct(row["rfm"]), pct(row["auto"]), pct(row["light"])]
+                for tag, row in out.items()
+            ],
+            title="Heterogeneous mixes (8 cores, one workload each)",
+        ),
+    )
+    for tag, row in out.items():
+        assert row["auto"] < row["rfm"], tag
+        assert row["auto"] < 0.12, tag
+    # The light tenants next to a streamer are barely touched.
+    assert out["light+one-streamer"]["light"] < 0.08

@@ -1,0 +1,52 @@
+"""Cross-validation: first-order analytical model vs the simulator.
+
+For each workload the model predicts the ALERT rate (SAUM duty diluted over
+256 subarrays) and the RFM bank overhead from the *measured* ACT-per-tREFI;
+the bench checks the simulator lands in the same regime. Disagreement here
+would mean either the scheduler or the model is wrong — it is the repo's
+internal consistency audit.
+"""
+
+from _common import report
+
+from repro.analysis.experiments import run_workload, system_config
+from repro.analysis.model import autorfm_alert_rate
+from repro.analysis.tables import render_table
+from repro.mc.setup import MitigationSetup
+
+SIM_WORKLOADS = ("bwaves", "lbm", "roms", "mcf", "PageRank", "add")
+
+
+def compute():
+    config = system_config()
+    trefi = config.timing.trefi
+    rows = []
+    for name in SIM_WORKLOADS:
+        auto = run_workload(
+            name, MitigationSetup("autorfm", threshold=4), "rubix"
+        )
+        rate = auto.stats.act_per_trefi(trefi)
+        predicted = autorfm_alert_rate(rate, 4, config.subarrays_per_bank)
+        measured = auto.stats.alerts_per_act
+        rows.append((name, rate, predicted, measured))
+    return rows
+
+
+def test_model_vs_simulator(benchmark):
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    report(
+        "model_validation",
+        render_table(
+            ["workload", "ACT/tREFI", "model ALERT/ACT", "sim ALERT/ACT"],
+            [
+                [name, f"{rate:.1f}", f"{pred:.4%}", f"{meas:.4%}"]
+                for name, rate, pred, meas in rows
+            ],
+            title="First-order model vs simulator (AutoRFM-4 on Rubix)",
+        ),
+    )
+    for name, rate, predicted, measured in rows:
+        # Same regime within ~4x: the model ignores burstiness and retried
+        # ACTs, so exact agreement is not expected — order of magnitude is.
+        assert measured < 4 * predicted + 0.002, name
+        assert measured > predicted / 4 - 0.002, name

@@ -1,0 +1,76 @@
+"""Section VII-B: AutoRFM vs Self-Managed DRAM (SMD).
+
+SMD pioneered the decline-and-retry framework (ACT_NACK) but locks coarse
+maintenance regions, samples with PARA, runs on a conventional mapping, and
+has no transitive-attack defense. The paper reports SMD with PARA p=1/5 at
+11.3 % slowdown vs AutoRFM's 3.1 % — this bench reproduces that contrast
+and attributes it: subarray-granular locks recover much of the gap, while
+randomized mapping only pays off once the locks are fine-grained (with
+1/8-of-a-bank regions the conflict probability is ~1/8 under any mapping).
+"""
+
+from _common import pct, report
+
+from repro.analysis.experiments import average, slowdown
+from repro.analysis.tables import render_table
+from repro.mc.setup import MitigationSetup
+
+SIM_WORKLOADS = (
+    "bwaves", "roms", "mcf", "add", "fotonik3d", "omnetpp", "scale", "BC",
+)
+
+VARIANTS = {
+    # paper's SMD operating point: PARA p=1/5, region locks, Zen mapping.
+    "SMD (PARA 1/5, 8 regions, Zen)": (
+        MitigationSetup("smd", threshold=5, smd_regions_per_bank=8),
+        "zen",
+    ),
+    # intermediate: SMD machinery at subarray granularity.
+    "SMD + subarray locks (Zen)": (
+        MitigationSetup("smd", threshold=5, smd_regions_per_bank=256),
+        "zen",
+    ),
+    # intermediate: SMD + randomized mapping.
+    "SMD + Rubix (8 regions)": (
+        MitigationSetup("smd", threshold=5, smd_regions_per_bank=8),
+        "rubix",
+    ),
+    "AutoRFM-4 (Rubix + FM)": (
+        MitigationSetup("autorfm", threshold=4, policy="fractal"),
+        "rubix",
+    ),
+}
+
+
+def compute():
+    return {
+        tag: average(
+            [(wl, slowdown(wl, setup, mapping)) for wl in SIM_WORKLOADS]
+        )
+        for tag, (setup, mapping) in VARIANTS.items()
+    }
+
+
+def test_smd_comparison(benchmark):
+    out = benchmark.pedantic(compute, rounds=1, iterations=1)
+    text = render_table(
+        ["configuration", "avg slowdown (8 workloads)"],
+        [[tag, pct(s)] for tag, s in out.items()],
+        title="Section VII-B: AutoRFM vs Self-Managed DRAM",
+    )
+    text += "\npaper: SMD (PARA p=1/5) 11.3%; AutoRFM 3.1%"
+    report("smd_comparison", text)
+
+    smd = out["SMD (PARA 1/5, 8 regions, Zen)"]
+    autorfm = out["AutoRFM-4 (Rubix + FM)"]
+    # The paper's contrast: SMD costs several times AutoRFM.
+    assert smd > 2.0 * autorfm
+    assert smd > 0.06  # double-digit territory (paper: 11.3 %)
+    assert autorfm < 0.08
+    # Granularity matters: subarray locks alone recover a large chunk.
+    assert out["SMD + subarray locks (Zen)"] < 0.8 * smd
+    # Randomization alone does NOT: with 1/8-of-a-bank regions the conflict
+    # probability is ~1/8 for *any* mapping, and Rubix's extra activations
+    # even add mitigations. Fine-grained locks and randomized mapping are
+    # only effective together — the paper's two key enablers.
+    assert out["SMD + Rubix (8 regions)"] > smd - 0.02

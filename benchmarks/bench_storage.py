@@ -1,0 +1,42 @@
+"""Section VI-C: storage overheads of AutoRFM."""
+
+from _common import report
+
+from repro.analysis.storage import storage_overheads
+from repro.analysis.tables import render_table
+from repro.sim.config import SystemConfig
+
+
+def test_storage_overheads(benchmark):
+    overheads = benchmark.pedantic(
+        lambda: storage_overheads(SystemConfig()), rounds=1, iterations=1
+    )
+    rows = [
+        ["MC busy table (total)", f"{overheads.mc_bytes_total} B", "128 B"],
+        [
+            "DRAM SAUM register (per bank)",
+            f"{overheads.dram_saum_bits_per_bank} bits",
+            "9 bits (valid + 8-bit id)",
+        ],
+        [
+            "DRAM tracker (per bank)",
+            f"{overheads.dram_tracker_bits_per_bank} bits",
+            "4 B (MINT)",
+        ],
+        [
+            "DRAM total (per bank)",
+            f"{overheads.dram_bytes_per_bank:.3f} B",
+            "~5 B",
+        ],
+    ]
+    report(
+        "storage_overheads",
+        render_table(
+            ["state", "ours", "paper"],
+            rows,
+            title="Section VI-C: storage overheads",
+        ),
+    )
+    assert overheads.mc_bytes_total == 128
+    assert overheads.dram_saum_bits_per_bank == 9
+    assert 4.0 <= overheads.dram_bytes_per_bank <= 6.0

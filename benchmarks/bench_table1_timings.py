@@ -1,0 +1,57 @@
+"""Table I: DDR5 timing parameters used throughout the evaluation."""
+
+from _common import report
+
+from repro.analysis.tables import render_table
+from repro.sim.config import DramTiming
+
+PAPER_TABLE1 = {
+    "tRCD": 12.0,
+    "tRP": 12.0,
+    "tRAS": 36.0,
+    "tRC": 48.0,
+    "tREFW": 32_000_000.0,
+    "tREFI": 3900.0,
+    "tRFC": 410.0,
+    "tRFM": 205.0,
+}
+
+
+def test_table1_timings(benchmark):
+    timing = benchmark.pedantic(DramTiming, rounds=1, iterations=1)
+    ours = {
+        "tRCD": timing.trcd_ns,
+        "tRP": timing.trp_ns,
+        "tRAS": timing.tras_ns,
+        "tRC": timing.trc_ns,
+        "tREFW": timing.trefw_ns,
+        "tREFI": timing.trefi_ns,
+        "tRFC": timing.trfc_ns,
+        "tRFM": timing.trfm_ns,
+    }
+    rows = [
+        [name, paper, ours[name], timing_cycles(timing, name)]
+        for name, paper in PAPER_TABLE1.items()
+    ]
+    report(
+        "table1_timings",
+        render_table(
+            ["parameter", "paper (ns)", "ours (ns)", "cycles @4GHz"],
+            rows,
+            title="Table I: DRAM timings (DDR5)",
+        ),
+    )
+    assert ours == PAPER_TABLE1
+
+
+def timing_cycles(timing, name):
+    return {
+        "tRCD": timing.trcd,
+        "tRP": timing.trp,
+        "tRAS": timing.tras,
+        "tRC": timing.trc,
+        "tREFW": timing.trefw,
+        "tREFI": timing.trefi,
+        "tRFC": timing.trfc,
+        "tRFM": timing.trfm,
+    }[name]

@@ -1,0 +1,58 @@
+"""Table V: workload characteristics (ACT-PKI and ACT-per-tREFI per bank).
+
+Measured on the unmitigated Zen baseline. The synthetic generators are
+calibrated per workload class, so we assert rank-order fidelity and a loose
+per-workload agreement, not exact values.
+"""
+
+from _common import report
+
+from repro.analysis.experiments import run_workload, system_config
+from repro.analysis.tables import render_table
+from repro.mc.setup import MitigationSetup
+from repro.workloads.catalog import WORKLOADS
+
+
+def compute():
+    trefi = system_config().timing.trefi
+    out = {}
+    for name in WORKLOADS:
+        stats = run_workload(name, MitigationSetup("none"), "zen").stats
+        out[name] = (stats.act_pki, stats.act_per_trefi(trefi))
+    return out
+
+
+def test_table5_workload_characteristics(benchmark):
+    measured = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = []
+    for name, workload in WORKLOADS.items():
+        act_pki, act_trefi = measured[name]
+        rows.append(
+            [
+                workload.suite,
+                name,
+                workload.paper_act_pki,
+                f"{act_pki:.1f}",
+                workload.paper_act_per_trefi,
+                f"{act_trefi:.1f}",
+            ]
+        )
+    report(
+        "table5_workloads",
+        render_table(
+            ["suite", "workload", "ACT-PKI paper", "ACT-PKI ours",
+             "ACT/tREFI paper", "ACT/tREFI ours"],
+            rows,
+            title="Table V: workload characteristics (Zen baseline)",
+        ),
+    )
+
+    # Shape: intensity rank order is preserved across the extremes.
+    assert measured["ConnComp"][0] > measured["bwaves"][0] > measured["wrf"][0]
+    # Every workload's ACT-PKI within 2x of the paper's.
+    for name, workload in WORKLOADS.items():
+        ratio = measured[name][0] / workload.paper_act_pki
+        assert 0.5 < ratio < 2.0, (name, ratio)
+    # High-intensity workloads land in the paper's ACT/tREFI band (~20-35).
+    for name in ("bwaves", "lbm", "ConnComp", "PageRank"):
+        assert 10 < measured[name][1] < 45, name

@@ -1,0 +1,33 @@
+"""Fig. 1(a) / Table II: the Rowhammer threshold trend over DRAM generations."""
+
+from _common import report
+
+from repro.analysis.tables import render_table
+from repro.security.thresholds import TRH_HISTORY, halving_time_years, threshold_trend
+
+
+def test_table2_threshold_history(benchmark):
+    trend = benchmark.pedantic(threshold_trend, rounds=1, iterations=1)
+    rows = [
+        [
+            e.generation,
+            e.year,
+            e.trh_single or "-",
+            e.trh_double_low or "-",
+            e.trh_double_high or "-",
+        ]
+        for e in TRH_HISTORY
+    ]
+    text = render_table(
+        ["generation", "year", "TRH-S", "TRH-D low", "TRH-D high"],
+        rows,
+        title="Table II / Fig. 1a: Rowhammer threshold over time",
+    )
+    text += f"\nthreshold halving time: {halving_time_years():.1f} years"
+    report("table2_thresholds", text)
+
+    # Shape: strictly decreasing trend, 139K (2014) down to 4.8K (2020).
+    values = [v for _, v in trend]
+    assert values[0] == 139_000
+    assert values[-1] == 4_800
+    assert all(a > b for a, b in zip(values, values[1:]))

@@ -1,0 +1,49 @@
+"""Tracker design space: storage vs tolerated threshold (Appendix D).
+
+The quantitative version of the paper's tracker positioning: MINT is the
+smallest tracker and (with FM) tolerates the lowest threshold among the
+probabilistic ones; deterministic trackers reach the FM floor (TRH-D 53)
+but pay orders of magnitude more SRAM.
+"""
+
+from _common import report
+
+from repro.analysis.tables import render_table
+from repro.analysis.tradeoffs import cheapest_tracker_for, tracker_tradeoffs
+
+
+def test_tracker_design_space(benchmark):
+    points = benchmark.pedantic(
+        lambda: tracker_tradeoffs(window=4), rounds=1, iterations=1
+    )
+    rows = [
+        [
+            p.name,
+            f"{p.storage_bytes_per_bank:,.1f} B",
+            p.tolerated_trhd,
+            "deterministic" if p.deterministic else "probabilistic",
+        ]
+        for p in sorted(points, key=lambda p: p.storage_bits_per_bank)
+    ]
+    text = render_table(
+        ["tracker", "SRAM / bank", "TRH-D @ AutoRFMTH-4", "kind"],
+        rows,
+        title="Tracker storage vs tolerated threshold (Appendix D)",
+    )
+    text += (
+        f"\ncheapest tracker for TRH-D 100: {cheapest_tracker_for(100).name};"
+        f" for TRH-D 60: {cheapest_tracker_for(60).name}"
+    )
+    report("tracker_tradeoffs", text)
+
+    by_name = {p.name: p for p in points}
+    # MINT: smallest storage, sub-100 threshold — the paper's pick.
+    assert by_name["MINT"].storage_bytes_per_bank <= 8
+    assert by_name["MINT"].tolerated_trhd < 100
+    # Every deterministic tracker costs > 1000x MINT's SRAM.
+    for p in points:
+        if p.deterministic:
+            assert (
+                p.storage_bits_per_bank
+                > 100 * by_name["MINT"].storage_bits_per_bank
+            )

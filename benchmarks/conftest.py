@@ -1,0 +1,14 @@
+"""Benchmark-suite conftest: dump every bench report in the terminal summary
+(terminal-summary output is never captured, so reports are always visible)."""
+
+from _common import consume_reports
+
+
+def pytest_terminal_summary(terminalreporter):
+    reports = consume_reports()
+    if not reports:
+        return
+    terminalreporter.write_sep("=", "paper-vs-measured reports")
+    for name, text in reports:
+        terminalreporter.write_sep("-", name)
+        terminalreporter.write_line(text)

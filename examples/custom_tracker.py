@@ -1,0 +1,97 @@
+"""Extending the library: plug a custom tracker into AutoRFM.
+
+AutoRFM is tracker-agnostic (Appendix D): anything implementing the
+``Tracker`` interface can nominate aggressors. This example implements a
+*last-activation* tracker — always mitigate the final row of the window, the
+simplest possible policy — wires it into a bank-level AutoRFM engine by
+hand, and contrasts its security with MINT's using the Monte-Carlo harness.
+
+(A last-activation tracker is trivially broken: an attacker hammers the
+target W-1 times per window and spends the last slot on a sacrificial row.
+The harness shows exactly that.)
+
+Run:  python examples/custom_tracker.py
+"""
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.mitigation import FractalMitigation
+from repro.security.montecarlo import run_attack
+from repro.trackers.base import MitigationRequest, Tracker
+from repro.trackers.mint import MintTracker
+from repro.workloads.attacks import interleave, round_robin_attack
+
+ROWS = 128 * 1024
+WINDOW = 4
+
+
+class LastActivationTracker(Tracker):
+    """Always nominate the most recent activation (deterministic, broken)."""
+
+    def __init__(self, rng):
+        super().__init__(rng)
+        self._last: Optional[int] = None
+
+    def on_activation(self, row: int) -> None:
+        self._last = row
+
+    def select_for_mitigation(self) -> Optional[MitigationRequest]:
+        if self._last is None:
+            return None
+        request = MitigationRequest(self._last, level=1)
+        self._last = None
+        return request
+
+    @property
+    def storage_bits(self) -> int:
+        return 18  # one row address
+
+
+def evade_last_slot_attack(target: int, acts: int):
+    """Hammer `target` in slots 1..3 of every window; sacrifice slot 4."""
+    sacrificial = target + 40_000
+    return interleave(
+        [[target - 1, target + 1, target - 1], [sacrificial]], acts
+    )
+
+
+def pressure_under(tracker_factory, pattern) -> float:
+    tracker = tracker_factory()
+    policy = FractalMitigation(ROWS, np.random.default_rng(1))
+    result = run_attack(pattern, tracker, policy, window=WINDOW)
+    return result.max_pressure
+
+
+def main() -> None:
+    target = 70_000
+    acts = 80_000
+    evading = evade_last_slot_attack(target, acts)
+    naive = round_robin_attack([target - 1, target + 1], acts)
+
+    def last_tracker():
+        return LastActivationTracker(np.random.default_rng(0))
+
+    def mint_tracker():
+        return MintTracker(window=WINDOW, rng=np.random.default_rng(0))
+
+    print(f"attack budget: {acts} activations, window {WINDOW}\n")
+    print("pattern: naive double-sided hammer")
+    print(f"  last-activation tracker: max pressure {pressure_under(last_tracker, naive):8.0f}")
+    print(f"  MINT:                    max pressure {pressure_under(mint_tracker, naive):8.0f}")
+    print("\npattern: slot-evading attack (hammer slots 1-3, sacrifice slot 4)")
+    last_p = pressure_under(last_tracker, evading)
+    mint_p = pressure_under(mint_tracker, evading)
+    print(f"  last-activation tracker: max pressure {last_p:8.0f}   <-- broken")
+    print(f"  MINT:                    max pressure {mint_p:8.0f}")
+    print(
+        "\nDeterministic slot choice is evadable; MINT's pre-randomized slot"
+        "\nmakes every activation equally likely to be caught — which is why"
+        "\nthe paper builds AutoRFM on probabilistic low-cost trackers."
+    )
+    assert last_p > 10 * mint_p
+
+
+if __name__ == "__main__":
+    main()

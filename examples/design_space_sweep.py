@@ -1,0 +1,70 @@
+"""Design-space sweep: slowdown vs tolerated threshold across mechanisms.
+
+For a DRAM vendor choosing a mitigation, the question is: "for the
+Rowhammer threshold my chips need, what does each mechanism cost?" This
+example sweeps RFM and AutoRFM windows plus PRAC on two contrasting
+workloads (streaming `add`, pointer-chasing `mcf`) and prints the
+cost-vs-protection frontier.
+
+Run:  python examples/design_space_sweep.py
+"""
+
+from repro import MitigationSetup, SystemConfig, WORKLOADS, make_rate_traces, simulate
+from repro.analysis.tables import render_table
+from repro.security import mint_tolerated_trhd
+
+WORKLOAD_NAMES = ("add", "mcf")
+REQUESTS = 3000
+
+
+def sweep_workload(name: str):
+    config = SystemConfig()
+    traces = make_rate_traces(WORKLOADS[name], config, requests=REQUESTS)
+    baseline = simulate(traces, MitigationSetup("none"), config, "zen")
+
+    rows = []
+    for th in (4, 8, 16):
+        trhd = mint_tolerated_trhd(th, recursive=True)
+        run = simulate(traces, MitigationSetup("rfm", threshold=th), config, "zen")
+        rows.append([f"RFM-{th}", trhd, f"{run.slowdown_vs(baseline):.1%}", "-"])
+    for th in (4, 8, 16):
+        trhd = mint_tolerated_trhd(th, recursive=False)
+        run = simulate(
+            traces,
+            MitigationSetup("autorfm", threshold=th, policy="fractal"),
+            config,
+            "rubix",
+        )
+        rows.append(
+            [
+                f"AutoRFM-{th}",
+                trhd,
+                f"{run.slowdown_vs(baseline):.1%}",
+                f"{run.stats.alerts_per_act:.2%}",
+            ]
+        )
+    prac = simulate(traces, MitigationSetup("prac", prac_trh_d=74), config, "zen")
+    rows.append(["PRAC+ABO", 74, f"{prac.slowdown_vs(baseline):.1%}", "-"])
+    return rows
+
+
+def main() -> None:
+    for name in WORKLOAD_NAMES:
+        rows = sweep_workload(name)
+        print(
+            render_table(
+                ["mechanism", "tolerated TRH-D", "slowdown", "ALERT/ACT"],
+                rows,
+                title=f"--- design space for {name} ---",
+            )
+        )
+        print()
+    print(
+        "Reading the frontier: RFM is cheap only while its window is long\n"
+        "(high thresholds); PRAC pays a flat tRC tax everywhere; AutoRFM\n"
+        "holds a few percent all the way down to TRH-D 73."
+    )
+
+
+if __name__ == "__main__":
+    main()

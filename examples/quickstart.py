@@ -1,0 +1,61 @@
+"""Quickstart: measure AutoRFM's cost on one workload.
+
+Runs the bwaves workload (the paper's most memory-intensive SPEC benchmark)
+on the 8-core Table IV system three ways — unmitigated baseline, blocking
+RFM-4, and AutoRFM-4 with Rubix + Fractal Mitigation — and prints the
+slowdowns plus the ALERT rate. This is the paper's headline comparison in
+about thirty lines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    MitigationSetup,
+    SystemConfig,
+    WORKLOADS,
+    make_rate_traces,
+    simulate,
+)
+
+
+def main() -> None:
+    config = SystemConfig()  # Table IV: 8 cores, 64 banks, 256 subarrays
+    traces = make_rate_traces(WORKLOADS["bwaves"], config, requests=4000)
+
+    baseline = simulate(traces, MitigationSetup("none"), config, mapping="zen")
+    print(
+        f"baseline: {baseline.stats.act_pki:.1f} ACT-PKI, "
+        f"{baseline.stats.row_hit_rate:.0%} row hits"
+    )
+
+    rfm = simulate(
+        traces, MitigationSetup("rfm", threshold=4), config, mapping="zen"
+    )
+    print(
+        f"RFM-4 (blocking):    {rfm.slowdown_vs(baseline):6.1%} slowdown, "
+        f"{rfm.stats.total_rfm_commands} RFM commands"
+    )
+
+    autorfm = simulate(
+        traces,
+        MitigationSetup("autorfm", threshold=4, policy="fractal"),
+        config,
+        mapping="rubix",
+    )
+    print(
+        f"AutoRFM-4 (this paper): {autorfm.slowdown_vs(baseline):6.1%} slowdown, "
+        f"{autorfm.stats.total_mitigations} transparent mitigations, "
+        f"ALERT per ACT {autorfm.stats.alerts_per_act:.2%}"
+    )
+
+    from repro.security import mint_tolerated_trhd
+
+    print(
+        f"\ntolerated Rowhammer threshold (TRH-D): "
+        f"{mint_tolerated_trhd(4, recursive=False)} "
+        f"(MINT window 4 + Fractal Mitigation, 10K-year MTTF)"
+    )
+
+
+if __name__ == "__main__":
+    main()

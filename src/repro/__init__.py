@@ -1,0 +1,48 @@
+"""AutoRFM reproduction (HPCA 2025).
+
+A memory-system simulator and analysis toolkit reproducing *AutoRFM: Scaling
+Low-Cost In-DRAM Trackers to Ultra-Low Rowhammer Thresholds*.
+
+Quickstart::
+
+    from repro import (
+        MitigationSetup, SystemConfig, WORKLOADS, make_rate_traces, simulate,
+    )
+
+    config = SystemConfig()
+    traces = make_rate_traces(WORKLOADS["bwaves"], config, requests=5000)
+    baseline = simulate(traces, MitigationSetup("none"), config, mapping="zen")
+    autorfm = simulate(
+        traces,
+        MitigationSetup("autorfm", threshold=4, policy="fractal"),
+        config,
+        mapping="rubix",
+    )
+    print(f"slowdown: {autorfm.slowdown_vs(baseline):.1%}")
+"""
+
+from repro.cpu.system import SimulationResult, build_mapping, simulate
+from repro.mc.setup import MitigationSetup
+from repro.sim.config import DramTiming, SystemConfig
+from repro.sim.rng import RngStreams
+from repro.sim.stats import SimStats
+from repro.workloads import WORKLOADS, Workload, Trace
+from repro.workloads.rate import make_rate_traces
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DramTiming",
+    "MitigationSetup",
+    "RngStreams",
+    "SimStats",
+    "SimulationResult",
+    "SystemConfig",
+    "Trace",
+    "WORKLOADS",
+    "Workload",
+    "build_mapping",
+    "make_rate_traces",
+    "simulate",
+    "__version__",
+]

@@ -1,0 +1,66 @@
+"""Terminal charts: dependency-free bar and line renderers.
+
+The benchmark reports are plain text; these helpers make distributions and
+sweeps legible without matplotlib. Bars scale to a fixed width; line charts
+render an x-sorted series on a character grid.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+
+def render_barchart(
+    rows: Iterable[Tuple[str, float]],
+    width: int = 40,
+    unit: str = "",
+    title: str = "",
+) -> str:
+    """Horizontal bar chart; bars scale to the max value."""
+    materialized: List[Tuple[str, float]] = [(str(k), float(v)) for k, v in rows]
+    if not materialized:
+        raise ValueError("no rows to chart")
+    if width < 1:
+        raise ValueError("width must be positive")
+    peak = max(abs(v) for _, v in materialized)
+    label_width = max(len(k) for k, _ in materialized)
+    lines = [title] if title else []
+    for key, value in materialized:
+        filled = 0 if peak == 0 else round(abs(value) / peak * width)
+        bar = "#" * filled
+        suffix = f" {value:.4g}{unit}"
+        lines.append(f"{key.rjust(label_width)} |{bar}{suffix}")
+    return "\n".join(lines)
+
+
+def render_linechart(
+    points: Iterable[Tuple[float, float]],
+    width: int = 60,
+    height: int = 12,
+    title: str = "",
+) -> str:
+    """Scatter/line chart of (x, y) points on a character grid."""
+    pts = sorted((float(x), float(y)) for x, y in points)
+    if len(pts) < 2:
+        raise ValueError("need at least two points")
+    if width < 2 or height < 2:
+        raise ValueError("grid too small")
+    xs = [x for x, _ in pts]
+    ys = [y for _, y in pts]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = x_high - x_low or 1.0
+    y_span = y_high - y_low or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in pts:
+        col = round((x - x_low) / x_span * (width - 1))
+        row = round((y - y_low) / y_span * (height - 1))
+        grid[height - 1 - row][col] = "*"
+
+    lines = [title] if title else []
+    lines.append(f"y: {y_low:.4g} .. {y_high:.4g}")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f"x: {x_low:.4g} .. {x_high:.4g}")
+    return "\n".join(lines)

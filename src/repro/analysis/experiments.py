@@ -1,0 +1,106 @@
+"""Shared experiment harness for the benchmark suite.
+
+Runs are memoized per process on (workload, setup, mapping, requests, seed),
+so benchmark files that share baselines (every slowdown needs the Zen
+baseline of its workload) do not recompute them.
+
+The slice length defaults to ``REPRO_REQUESTS`` requests per core (env var,
+default 2500). Slowdowns are stationary, so short slices reproduce the
+paper's relative numbers; raise the env var for tighter estimates.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Iterable, List, Tuple
+
+from repro.cpu.system import SimulationResult, simulate
+from repro.mc.setup import MitigationSetup
+from repro.sim.config import SystemConfig
+from repro.workloads.catalog import WORKLOADS
+from repro.workloads.rate import make_rate_traces
+
+DEFAULT_REQUESTS = int(os.environ.get("REPRO_REQUESTS", "2500"))
+DEFAULT_SEED = 1
+
+_CONFIG = SystemConfig()
+_run_cache: Dict[Tuple, SimulationResult] = {}
+_trace_cache: Dict[Tuple, list] = {}
+
+
+def system_config() -> SystemConfig:
+    """The Table IV configuration shared by all experiments."""
+    return _CONFIG
+
+
+def _traces(workload: str, requests: int, seed: int):
+    key = (workload, requests, seed)
+    if key not in _trace_cache:
+        _trace_cache[key] = make_rate_traces(
+            WORKLOADS[workload], _CONFIG, requests=requests, seed=seed
+        )
+    return _trace_cache[key]
+
+
+def run_workload(
+    workload: str,
+    setup: MitigationSetup,
+    mapping: str = "zen",
+    requests: int = None,
+    seed: int = DEFAULT_SEED,
+) -> SimulationResult:
+    """Simulate (memoized) one workload under one configuration."""
+    requests = DEFAULT_REQUESTS if requests is None else requests
+    key = (workload, setup, mapping, requests, seed)
+    if key not in _run_cache:
+        _run_cache[key] = simulate(
+            _traces(workload, requests, seed),
+            setup,
+            _CONFIG,
+            mapping=mapping,
+            seed=seed,
+        )
+    return _run_cache[key]
+
+
+def slowdown(
+    workload: str,
+    setup: MitigationSetup,
+    mapping: str = "zen",
+    baseline_mapping: str = "zen",
+    requests: int = None,
+    seed: int = DEFAULT_SEED,
+) -> float:
+    """Fractional slowdown vs. the unmitigated baseline.
+
+    The baseline runs the same traces with no mitigation under
+    ``baseline_mapping`` (Zen, matching the paper's normalization; Fig. 17
+    passes "rubix" to normalize against the Rubix baseline instead).
+    """
+    base = run_workload(
+        workload, MitigationSetup("none"), baseline_mapping, requests, seed
+    )
+    run = run_workload(workload, setup, mapping, requests, seed)
+    return run.slowdown_vs(base)
+
+
+def workload_rows(
+    metric: Callable[[str], float], workloads: Iterable[str] = None
+) -> List[Tuple[str, float]]:
+    """Evaluate ``metric`` per workload, returning (name, value) rows."""
+    names = list(workloads) if workloads is not None else list(WORKLOADS)
+    return [(name, metric(name)) for name in names]
+
+
+def average(rows: Iterable[Tuple[str, float]]) -> float:
+    """Unweighted mean of (name, value) rows."""
+    values = [value for _, value in rows]
+    if not values:
+        raise ValueError("no rows to average")
+    return sum(values) / len(values)
+
+
+def clear_caches() -> None:
+    """Drop memoized runs/traces (tests use this to control memory)."""
+    _run_cache.clear()
+    _trace_cache.clear()

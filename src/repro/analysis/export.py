@@ -1,0 +1,102 @@
+"""Result exporters: JSON and CSV serialization of simulation results.
+
+Downstream users typically want machine-readable experiment output next to
+the human-readable tables; these helpers flatten a
+:class:`~repro.cpu.system.SimulationResult` (or several) into stable,
+documented records.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import io
+import json
+from typing import Dict, Iterable, List, Optional
+
+from repro.cpu.system import SimulationResult
+from repro.sim.config import SystemConfig
+
+
+def result_record(
+    result: SimulationResult,
+    workload: str = "",
+    config: Optional[SystemConfig] = None,
+    baseline: Optional[SimulationResult] = None,
+) -> Dict[str, object]:
+    """Flatten one simulation result into a JSON/CSV-friendly dict."""
+    stats = result.stats
+    record: Dict[str, object] = {
+        "workload": workload,
+        "mechanism": result.setup.mechanism,
+        "threshold": result.setup.threshold,
+        "tracker": result.setup.tracker,
+        "policy": result.setup.policy,
+        "mapping": result.mapping,
+        "seed": result.seed,
+        "cycles": stats.cycles,
+        "instructions": stats.total_instructions,
+        "activations": stats.total_activations,
+        "row_hits": stats.total_row_hits,
+        "act_pki": round(stats.act_pki, 4),
+        "row_hit_rate": round(stats.row_hit_rate, 4),
+        "alerts": stats.total_alerts,
+        "alerts_per_act": round(stats.alerts_per_act, 6),
+        "max_request_alerts": stats.max_request_alerts,
+        "mitigations": stats.total_mitigations,
+        "victim_refreshes": stats.total_victim_refreshes,
+        "row_swaps": stats.total_row_swaps,
+        "rfm_commands": stats.total_rfm_commands,
+        "refreshes": stats.total_refreshes,
+    }
+    if config is not None:
+        record["act_per_trefi"] = round(
+            stats.act_per_trefi(config.timing.trefi), 4
+        )
+    if baseline is not None:
+        record["slowdown"] = round(result.slowdown_vs(baseline), 6)
+    return record
+
+
+def to_json(records: Iterable[Dict[str, object]], indent: int = 2) -> str:
+    """Serialize records to a JSON array."""
+    return json.dumps(list(records), indent=indent, sort_keys=True)
+
+
+def to_csv(records: Iterable[Dict[str, object]]) -> str:
+    """Serialize records to CSV (union of keys, stable column order)."""
+    materialized: List[Dict[str, object]] = list(records)
+    if not materialized:
+        return ""
+    columns: List[str] = []
+    for record in materialized:
+        for key in record:
+            if key not in columns:
+                columns.append(key)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns, restval="")
+    writer.writeheader()
+    writer.writerows(materialized)
+    return buffer.getvalue()
+
+
+def write_records(
+    records: Iterable[Dict[str, object]], path: str
+) -> None:
+    """Write records to ``path``; the extension picks the format."""
+    materialized = list(records)
+    if path.endswith(".json"):
+        payload = to_json(materialized)
+    elif path.endswith(".csv"):
+        payload = to_csv(materialized)
+    else:
+        raise ValueError(f"unsupported export extension: {path!r}")
+    with open(path, "w") as handle:
+        handle.write(payload)
+
+
+def config_record(config: SystemConfig) -> Dict[str, object]:
+    """Flatten a system configuration (for experiment provenance)."""
+    record = dataclasses.asdict(config)
+    record["timing"] = dataclasses.asdict(config.timing)
+    return record

@@ -1,0 +1,82 @@
+"""First-order analytical models of the mechanisms' costs.
+
+These closed-form estimates exist to sanity-check the simulator (the
+``bench_model_validation`` bench asserts sim and model agree to first
+order) and to let users reason about operating points without running
+simulations:
+
+* :func:`rfm_bank_overhead` — fraction of bank time consumed by blocking
+  RFM at a given activation rate;
+* :func:`autorfm_saum_duty` — fraction of time a bank has a subarray under
+  mitigation;
+* :func:`autorfm_alert_rate` — expected ALERTs per ACT under a randomized
+  mapping (the SAUM duty diluted over the subarrays);
+* :func:`autorfm_expected_delay` — mean extra cycles per ACT from ALERT
+  retries.
+"""
+
+from __future__ import annotations
+
+from repro.sim.config import DramTiming, SystemConfig
+
+
+def rfm_bank_overhead(
+    acts_per_trefi: float, rfm_th: int, timing: DramTiming = DramTiming()
+) -> float:
+    """Fraction of bank time spent blocked by RFM commands.
+
+    REF absorbs one RFMTH's worth of RAA per tREFI (Section II-E), so only
+    the excess activations generate RFMs.
+    """
+    if rfm_th < 1:
+        raise ValueError("rfm_th must be at least 1")
+    if acts_per_trefi < 0:
+        raise ValueError("acts_per_trefi must be non-negative")
+    excess = max(0.0, acts_per_trefi - rfm_th)
+    rfms_per_trefi = excess / rfm_th
+    return rfms_per_trefi * timing.trfm_ns / timing.trefi_ns
+
+
+def autorfm_saum_duty(
+    acts_per_trefi: float,
+    autorfm_th: int,
+    timing: DramTiming = DramTiming(),
+    tm_ns: float = 0.0,
+) -> float:
+    """Fraction of time a bank has its SAUM busy (capped at 1)."""
+    if autorfm_th < 1:
+        raise ValueError("autorfm_th must be at least 1")
+    tm = tm_ns or 4 * timing.trc_ns
+    mitigations_per_trefi = acts_per_trefi / autorfm_th
+    return min(1.0, mitigations_per_trefi * tm / timing.trefi_ns)
+
+
+def autorfm_alert_rate(
+    acts_per_trefi: float,
+    autorfm_th: int,
+    subarrays: int,
+    timing: DramTiming = DramTiming(),
+) -> float:
+    """Expected ALERTs per ACT under a randomized mapping: the probability
+    that an ACT lands in the (1/subarrays) subarray that is busy."""
+    if subarrays < 1:
+        raise ValueError("subarrays must be at least 1")
+    duty = autorfm_saum_duty(acts_per_trefi, autorfm_th, timing)
+    return duty / subarrays
+
+
+def autorfm_expected_delay(
+    acts_per_trefi: float,
+    autorfm_th: int,
+    config: SystemConfig,
+) -> float:
+    """Mean extra CPU cycles per ACT from ALERT retries (first order).
+
+    A conflicted ACT waits t_M before retrying; on average it arrives
+    halfway through the mitigation, but the busy table holds it the full
+    t_M, so the expected penalty per ACT is rate * t_M.
+    """
+    rate = autorfm_alert_rate(
+        acts_per_trefi, autorfm_th, config.subarrays_per_bank, config.timing
+    )
+    return rate * 4 * config.timing.trc

@@ -1,0 +1,87 @@
+"""Multi-seed statistics: confidence intervals for simulation metrics.
+
+Simulation results are stochastic (trace generation, MINT slot choices,
+cipher keys all derive from the seed). For publication-grade numbers a
+metric should be reported as mean +- a confidence half-width over seeds;
+:func:`seed_study` runs the replicas and :func:`summarize` does the math
+(Student-t, no scipy dependency — the t-quantiles for small n are
+tabulated).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+#: Two-sided 95 % Student-t quantiles by degrees of freedom (1..30).
+_T_95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447,
+    7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228, 11: 2.201, 12: 2.179,
+    13: 2.160, 14: 2.145, 15: 2.131, 16: 2.120, 17: 2.110, 18: 2.101,
+    19: 2.093, 20: 2.086, 25: 2.060, 30: 2.042,
+}
+
+
+def t_quantile_95(dof: int) -> float:
+    """Two-sided 95 % t quantile (1.96 asymptotically)."""
+    if dof < 1:
+        raise ValueError("degrees of freedom must be >= 1")
+    if dof in _T_95:
+        return _T_95[dof]
+    keys = sorted(_T_95)
+    for key in keys:
+        if dof < key:
+            return _T_95[key]
+    return 1.96
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Mean, spread, and a 95 % confidence half-width over replicas."""
+
+    mean: float
+    stdev: float
+    ci95: float
+    n: int
+    values: tuple
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.ci95
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.ci95
+
+    def overlaps(self, other: "MetricSummary") -> bool:
+        """True when the two 95 % intervals overlap (difference not
+        resolvable at this replication level)."""
+        return self.low <= other.high and other.low <= self.high
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4f} +- {self.ci95:.4f} (n={self.n})"
+
+
+def summarize(values: Sequence[float]) -> MetricSummary:
+    """Summarize replica measurements (n >= 2 for a finite interval)."""
+    if not values:
+        raise ValueError("no values to summarize")
+    n = len(values)
+    mean = sum(values) / n
+    if n == 1:
+        return MetricSummary(mean, 0.0, float("inf"), 1, tuple(values))
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    stdev = math.sqrt(variance)
+    ci95 = t_quantile_95(n - 1) * stdev / math.sqrt(n)
+    return MetricSummary(mean, stdev, ci95, n, tuple(values))
+
+
+def seed_study(
+    metric: Callable[[int], float], seeds: Sequence[int]
+) -> MetricSummary:
+    """Evaluate ``metric(seed)`` over ``seeds`` and summarize."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    values: List[float] = [metric(seed) for seed in seeds]
+    return summarize(values)

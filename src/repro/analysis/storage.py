@@ -1,0 +1,43 @@
+"""Storage overhead accounting (Section VI-C).
+
+AutoRFM's state: at the memory controller, a busy bit plus a 15-bit
+timestamp per bank (2 bytes x 64 banks = 128 bytes of SRAM); inside each
+DRAM bank, the SAUM register (valid bit + subarray id) plus the tracker
+(4 bytes for MINT), about 5 bytes per bank, plus a PRNG.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.mc.busy_table import BankBusyTable
+from repro.sim.config import SystemConfig
+
+
+@dataclass(frozen=True)
+class StorageOverheads:
+    """Bits/bytes of state AutoRFM adds."""
+
+    mc_bytes_total: int
+    dram_saum_bits_per_bank: int
+    dram_tracker_bits_per_bank: int
+
+    @property
+    def dram_bytes_per_bank(self) -> float:
+        bits = self.dram_saum_bits_per_bank + self.dram_tracker_bits_per_bank
+        return bits / 8.0
+
+
+def storage_overheads(
+    config: SystemConfig, tracker_bits: int = 32
+) -> StorageOverheads:
+    """Compute Section VI-C's numbers for an arbitrary configuration."""
+    config.validate()
+    mc_bytes = BankBusyTable(config.num_banks).storage_bytes
+    saum_bits = 1 + math.ceil(math.log2(config.subarrays_per_bank))
+    return StorageOverheads(
+        mc_bytes_total=mc_bytes,
+        dram_saum_bits_per_bank=saum_bits,
+        dram_tracker_bits_per_bank=tracker_bits,
+    )

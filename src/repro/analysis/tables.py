@@ -1,0 +1,49 @@
+"""Plain-text renderers for benchmark output (tables and series)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned ASCII table; floats get 4 significant digits."""
+    formatted: List[List[str]] = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in formatted:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in formatted)
+    return "\n".join(out)
+
+
+def render_series(
+    name: str, points: Iterable[Tuple[object, object]], unit: str = ""
+) -> str:
+    """Render an (x, y) series as one labelled line per point."""
+    suffix = f" {unit}" if unit else ""
+    lines = [f"{name}:"]
+    lines.extend(f"  {_fmt(x)} -> {_fmt(y)}{suffix}" for x, y in points)
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != 0 and abs(value) < 0.01:
+            return f"{value:.2e}"
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,107 @@
+"""Tracker design space: storage vs tolerated threshold (Appendix D).
+
+Summarizes the tracker zoo on the two axes a DRAM vendor cares about: SRAM
+per bank and the TRH-D the tracker tolerates when AutoRFM provides a
+mitigation every ``window`` activations. Probabilistic thresholds come from
+the Appendix-A model; deterministic trackers bottom out at Fractal
+Mitigation's transitive-safety bound (Appendix B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.security.fractal_model import fm_safe_trhd
+from repro.security.mint_model import mint_tolerated_trhd
+from repro.trackers import (
+    GrapheneTracker,
+    MintTracker,
+    MithrilTracker,
+    ParfmTracker,
+    PrideTracker,
+)
+from repro.trackers.hydra import HydraTracker
+
+#: PrIDE tolerates ~25 % higher thresholds than MINT (Section II-D).
+PRIDE_PREMIUM = 1.25
+#: PARFM's window buffer behaves like MINT with slightly worse tardiness.
+PARFM_PREMIUM = 1.10
+
+
+@dataclass(frozen=True)
+class TrackerPoint:
+    """One tracker's position in the design space."""
+
+    name: str
+    storage_bits_per_bank: int
+    tolerated_trhd: int
+    deterministic: bool
+
+    @property
+    def storage_bytes_per_bank(self) -> float:
+        return self.storage_bits_per_bank / 8.0
+
+
+def tracker_tradeoffs(window: int = 4) -> List[TrackerPoint]:
+    """The design-space points for a mitigation window of ``window``."""
+    rng = np.random.default_rng(0)
+    mint_trhd = mint_tolerated_trhd(window, recursive=False)
+    floor = fm_safe_trhd()
+
+    mithril = MithrilTracker(entries=32 * 1024, rng=rng)
+    graphene = GrapheneTracker(entries=2048, mitigation_count=floor, rng=rng)
+    hydra = HydraTracker(rng=rng)
+
+    return [
+        TrackerPoint(
+            "MINT",
+            MintTracker(window=window, rng=rng).storage_bits,
+            mint_trhd,
+            deterministic=False,
+        ),
+        TrackerPoint(
+            "PrIDE",
+            PrideTracker(1.0 / window, rng).storage_bits,
+            int(mint_trhd * PRIDE_PREMIUM),
+            deterministic=False,
+        ),
+        TrackerPoint(
+            "PARFM",
+            ParfmTracker(window=window, rng=rng).storage_bits,
+            int(mint_trhd * PARFM_PREMIUM),
+            deterministic=False,
+        ),
+        TrackerPoint(
+            "Mithril-32K",
+            mithril.storage_bits,
+            floor,
+            deterministic=True,
+        ),
+        TrackerPoint(
+            "Graphene-2K",
+            graphene.storage_bits,
+            floor,
+            deterministic=True,
+        ),
+        TrackerPoint(
+            "Hydra",
+            hydra.storage_bits,
+            floor,
+            deterministic=True,
+        ),
+    ]
+
+
+def cheapest_tracker_for(trhd_target: int, window: int = 4) -> TrackerPoint:
+    """The lowest-storage tracker tolerating ``trhd_target`` or below."""
+    viable = [
+        p for p in tracker_tradeoffs(window) if p.tolerated_trhd <= trhd_target
+    ]
+    if not viable:
+        raise ValueError(
+            f"no tracker tolerates TRH-D {trhd_target} at window {window}"
+        )
+    return min(viable, key=lambda p: p.storage_bits_per_bank)

@@ -1,0 +1,359 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run``       — simulate one workload under a mitigation setup and print
+  the headline metrics (slowdown vs the unmitigated Zen baseline, ALERT
+  rate, mitigation counts, power).
+* ``sweep``     — slowdown table across workloads x mechanisms.
+* ``security``  — analytical tolerated thresholds (Appendix A/B) and an
+  optional Monte-Carlo attack replay.
+* ``workloads`` — the Table V catalog.
+* ``storage``   — Section VI-C storage overheads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis.storage import storage_overheads
+from repro.analysis.tables import render_table
+from repro.cpu.system import simulate
+from repro.mc.setup import MECHANISMS, POLICIES, TRACKERS, MitigationSetup
+from repro.power.model import DramPowerModel
+from repro.security.fractal_model import fm_safe_trhd
+from repro.security.mint_model import mint_tolerated_trhd
+from repro.sim.config import SystemConfig
+from repro.workloads.catalog import WORKLOADS
+from repro.workloads.rate import make_rate_traces
+
+
+def _setup_from_args(args: argparse.Namespace) -> MitigationSetup:
+    if args.mechanism == "none":
+        return MitigationSetup("none")
+    return MitigationSetup(
+        mechanism=args.mechanism,
+        threshold=args.threshold,
+        tracker=args.tracker,
+        policy=args.policy,
+    )
+
+
+def _simulate_pair(workload: str, setup: MitigationSetup, args):
+    config = SystemConfig()
+    traces = make_rate_traces(
+        WORKLOADS[workload], config, requests=args.requests, seed=args.seed
+    )
+    baseline = simulate(
+        traces, MitigationSetup("none"), config, "zen", seed=args.seed
+    )
+    mapping = args.mapping
+    run = simulate(traces, setup, config, mapping, seed=args.seed)
+    return config, baseline, run
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Simulate one workload and print the headline metrics."""
+    if args.workload not in WORKLOADS:
+        print(f"unknown workload {args.workload!r}", file=sys.stderr)
+        return 2
+    setup = _setup_from_args(args)
+    config, baseline, run = _simulate_pair(args.workload, setup, args)
+    power = DramPowerModel(config).breakdown(run.stats)
+    rows = [
+        ["configuration", setup.describe() + f" on {args.mapping}"],
+        ["slowdown vs Zen baseline", f"{run.slowdown_vs(baseline):.2%}"],
+        ["ACT-PKI", f"{run.stats.act_pki:.1f}"],
+        ["row-buffer hit rate", f"{run.stats.row_hit_rate:.1%}"],
+        ["ALERTs per ACT", f"{run.stats.alerts_per_act:.3%}"],
+        ["mitigations", run.stats.total_mitigations],
+        ["RFM commands", run.stats.total_rfm_commands],
+        ["DRAM power", f"{power.total_mw:.0f} mW"
+         f" (mitigation {power.mitig_mw:.0f} mW)"],
+    ]
+    print(render_table(["metric", "value"], rows,
+                       title=f"workload: {args.workload}"))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Print the RFM-vs-AutoRFM slowdown table across workloads."""
+    names = args.workloads or list(WORKLOADS)
+    unknown = [n for n in names if n not in WORKLOADS]
+    if unknown:
+        print(f"unknown workloads: {unknown}", file=sys.stderr)
+        return 2
+    setups = [
+        ("RFM", MitigationSetup("rfm", threshold=args.threshold), "zen"),
+        (
+            "AutoRFM",
+            MitigationSetup("autorfm", threshold=args.threshold,
+                            policy=args.policy),
+            "rubix",
+        ),
+    ]
+    config = SystemConfig()
+    rows = []
+    for name in names:
+        traces = make_rate_traces(
+            WORKLOADS[name], config, requests=args.requests, seed=args.seed
+        )
+        baseline = simulate(
+            traces, MitigationSetup("none"), config, "zen", seed=args.seed
+        )
+        row = [name]
+        for _, setup, mapping in setups:
+            run = simulate(traces, setup, config, mapping, seed=args.seed)
+            row.append(f"{run.slowdown_vs(baseline):.1%}")
+        rows.append(row)
+    headers = ["workload"] + [
+        f"{tag}-{args.threshold}" for tag, _, _ in setups
+    ]
+    print(render_table(headers, rows, title="slowdown sweep"))
+    return 0
+
+
+def cmd_security(args: argparse.Namespace) -> int:
+    """Print the analytical threshold models (optionally Monte Carlo)."""
+    rows = [
+        [
+            w,
+            mint_tolerated_trhd(w, recursive=True),
+            mint_tolerated_trhd(w, recursive=False),
+        ]
+        for w in args.windows
+    ]
+    print(
+        render_table(
+            ["window", "TRH-D recursive", "TRH-D fractal"],
+            rows,
+            title="tolerated Rowhammer thresholds (Appendix A)",
+        )
+    )
+    print(f"\nFractal Mitigation transitive-safety bound: TRH-D >= "
+          f"{fm_safe_trhd()} (Appendix B)")
+    if args.attack_acts:
+        from repro.core.mitigation import FractalMitigation
+        from repro.security.montecarlo import run_attack
+        from repro.trackers.mint import MintTracker
+        from repro.workloads.attacks import round_robin_attack
+
+        window = args.windows[0]
+        tracker = MintTracker(window=window, rng=np.random.default_rng(args.seed))
+        policy = FractalMitigation(128 * 1024, np.random.default_rng(args.seed + 1))
+        pattern = round_robin_attack(
+            [10_000 + 10 * i for i in range(window)], args.attack_acts
+        )
+        result = run_attack(pattern, tracker, policy, window=window)
+        print(
+            f"\nMonte-Carlo (ABCD)^K attack, {args.attack_acts} ACTs: "
+            f"max unmitigated pressure {result.max_pressure:.0f}, "
+            f"{result.mitigations} mitigations"
+        )
+    return 0
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    """Run a deliberate hammer through the full simulator and audit it."""
+    from repro.cpu.system import build_mapping
+    from repro.security.audit import audit_hammer_pressure
+    from repro.security.mint_model import mint_tolerated_trhd
+    from repro.sim.cmdlog import CommandLog
+    from repro.workloads.adversarial import hammer_trace
+
+    config = SystemConfig()
+    mapping = build_mapping(args.mapping, config, seed=args.seed)
+    attacker = hammer_trace(
+        mapping,
+        [args.row, args.row + 2],
+        num_requests=args.acts,
+        gap=700,
+    )
+    victims = make_rate_traces(WORKLOADS["xz"], config, 1000, seed=args.seed)
+    setup = _setup_from_args(args)
+    log = CommandLog()
+    simulate(
+        [attacker] + victims[1:], setup, config, args.mapping,
+        seed=args.seed, command_log=log,
+    )
+    audit = audit_hammer_pressure(log, config)
+    timing_violations = log.verify(config)
+    rows = [
+        ["configuration", setup.describe()],
+        ["attack", f"double-sided on rows {args.row}/{args.row + 2}, "
+                   f"{args.acts} requests"],
+        ["worst row pressure", f"{audit.max_pressure:.0f}"],
+        ["victim refreshes", audit.victim_refreshes],
+        ["timing violations", len(timing_violations)],
+        ["MINT-4+FM operating point", mint_tolerated_trhd(4)],
+    ]
+    print(render_table(["metric", "value"], rows, title="hammer audit"))
+    return 0 if not timing_violations else 1
+
+
+def cmd_tradeoffs(args: argparse.Namespace) -> int:
+    """Print the tracker storage-vs-threshold design space."""
+    from repro.analysis.tradeoffs import tracker_tradeoffs
+
+    points = tracker_tradeoffs(window=args.window)
+    rows = [
+        [p.name, f"{p.storage_bytes_per_bank:,.1f} B", p.tolerated_trhd,
+         "deterministic" if p.deterministic else "probabilistic"]
+        for p in sorted(points, key=lambda p: p.storage_bits_per_bank)
+    ]
+    print(
+        render_table(
+            ["tracker", "SRAM/bank", f"TRH-D @ window {args.window}", "kind"],
+            rows,
+            title="tracker design space",
+        )
+    )
+    return 0
+
+
+def cmd_workloads(_args: argparse.Namespace) -> int:
+    """Print the Table V workload catalog."""
+    rows = [
+        [w.suite, w.name, w.paper_act_pki, w.paper_act_per_trefi, w.pattern]
+        for w in WORKLOADS.values()
+    ]
+    print(
+        render_table(
+            ["suite", "workload", "ACT-PKI (paper)", "ACT/tREFI (paper)",
+             "pattern"],
+            rows,
+            title="Table V workload catalog",
+        )
+    )
+    return 0
+
+
+def cmd_reproduce(args: argparse.Namespace) -> int:
+    """Run the bench(es) regenerating a paper experiment by id."""
+    import os
+    import subprocess
+
+    bench_dir = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+        "benchmarks",
+    )
+    if not os.path.isdir(bench_dir):
+        print(
+            "benchmarks/ not found next to the package; run from a source "
+            "checkout",
+            file=sys.stderr,
+        )
+        return 2
+    available = sorted(
+        f[len("bench_"):-len(".py")]
+        for f in os.listdir(bench_dir)
+        if f.startswith("bench_") and f.endswith(".py")
+    )
+    if args.experiment == "list" or args.experiment is None:
+        print("available experiments:")
+        for name in available:
+            print(f"  {name}")
+        return 0
+    matches = [n for n in available if args.experiment in n]
+    if not matches:
+        print(f"no experiment matches {args.experiment!r}", file=sys.stderr)
+        return 2
+    files = [os.path.join(bench_dir, f"bench_{n}.py") for n in matches]
+    command = [sys.executable, "-m", "pytest", *files, "--benchmark-only"]
+    print("running:", " ".join(command))
+    return subprocess.call(command)
+
+
+def cmd_storage(_args: argparse.Namespace) -> int:
+    """Print the Section VI-C storage overheads."""
+    overheads = storage_overheads(SystemConfig())
+    rows = [
+        ["MC busy table", f"{overheads.mc_bytes_total} B"],
+        ["DRAM SAUM register / bank", f"{overheads.dram_saum_bits_per_bank} bits"],
+        ["DRAM tracker / bank", f"{overheads.dram_tracker_bits_per_bank} bits"],
+        ["DRAM total / bank", f"{overheads.dram_bytes_per_bank:.3f} B"],
+    ]
+    print(render_table(["state", "size"], rows,
+                       title="AutoRFM storage overheads (Section VI-C)"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="AutoRFM reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate one workload")
+    run.add_argument("--workload", default="bwaves")
+    run.add_argument("--mechanism", choices=MECHANISMS, default="autorfm")
+    run.add_argument("--threshold", type=int, default=4)
+    run.add_argument("--tracker", choices=TRACKERS, default="mint")
+    run.add_argument("--policy", choices=POLICIES, default="fractal")
+    run.add_argument("--mapping", choices=("zen", "rubix"), default="rubix")
+    run.add_argument("--requests", type=int, default=2500)
+    run.add_argument("--seed", type=int, default=1)
+    run.set_defaults(func=cmd_run)
+
+    sweep = sub.add_parser("sweep", help="RFM vs AutoRFM across workloads")
+    sweep.add_argument("--workloads", nargs="*", default=None)
+    sweep.add_argument("--threshold", type=int, default=4)
+    sweep.add_argument("--policy", choices=POLICIES, default="fractal")
+    sweep.add_argument("--requests", type=int, default=2500)
+    sweep.add_argument("--seed", type=int, default=1)
+    sweep.set_defaults(func=cmd_sweep)
+
+    security = sub.add_parser("security", help="analytical threshold models")
+    security.add_argument("--windows", type=int, nargs="*",
+                          default=[4, 8, 16, 32])
+    security.add_argument("--attack-acts", type=int, default=0)
+    security.add_argument("--seed", type=int, default=1)
+    security.set_defaults(func=cmd_security)
+
+    audit = sub.add_parser(
+        "audit", help="hammer the simulator and audit row pressure"
+    )
+    audit.add_argument("--mechanism", choices=MECHANISMS, default="autorfm")
+    audit.add_argument("--threshold", type=int, default=4)
+    audit.add_argument("--tracker", choices=TRACKERS, default="mint")
+    audit.add_argument("--policy", choices=POLICIES, default="fractal")
+    audit.add_argument("--mapping", choices=("zen", "rubix"), default="rubix")
+    audit.add_argument("--row", type=int, default=70_000)
+    audit.add_argument("--acts", type=int, default=4000)
+    audit.add_argument("--seed", type=int, default=1)
+    audit.set_defaults(func=cmd_audit)
+
+    tradeoffs = sub.add_parser(
+        "tradeoffs", help="tracker storage-vs-threshold design space"
+    )
+    tradeoffs.add_argument("--window", type=int, default=4)
+    tradeoffs.set_defaults(func=cmd_tradeoffs)
+
+    workloads = sub.add_parser("workloads", help="list the Table V catalog")
+    workloads.set_defaults(func=cmd_workloads)
+
+    storage = sub.add_parser("storage", help="Section VI-C storage overheads")
+    storage.set_defaults(func=cmd_storage)
+
+    reproduce = sub.add_parser(
+        "reproduce", help="run the bench for a paper experiment (or 'list')"
+    )
+    reproduce.add_argument("experiment", nargs="?", default="list")
+    reproduce.set_defaults(func=cmd_reproduce)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

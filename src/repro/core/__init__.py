@@ -1,0 +1,21 @@
+"""AutoRFM: the paper's primary contribution.
+
+* :mod:`repro.core.mitigation` — victim-refresh policies: blast-radius-2
+  baseline, Recursive Mitigation levels, and Fractal Mitigation (Section V).
+* :mod:`repro.core.autorfm` — the per-bank transparent-RFM engine: activation
+  windows, Subarray-Under-Mitigation selection, ALERT conflicts (Section IV).
+"""
+
+from repro.core.autorfm import AutoRfmEngine
+from repro.core.mitigation import (
+    BlastRadiusMitigation,
+    FractalMitigation,
+    MitigationPolicy,
+)
+
+__all__ = [
+    "AutoRfmEngine",
+    "BlastRadiusMitigation",
+    "FractalMitigation",
+    "MitigationPolicy",
+]

@@ -1,0 +1,151 @@
+"""AutoRFM engine: transparent, non-blocking RFM (Section IV).
+
+One :class:`AutoRfmEngine` lives inside each DRAM bank. It counts demand
+activations; every ``autorfm_th`` activations (the *AutoRFM Threshold*), the
+bank's tracker nominates an aggressor and — at the precharge that closes the
+window — the aggressor's subarray becomes the *Subarray Under Mitigation*
+(SAUM) for ``4 * tRC`` while the victim refreshes are performed.
+
+While a SAUM is busy, activations to *other* subarrays proceed normally. An
+ACT that maps to the SAUM is declined: :meth:`conflicts` returns True, the
+memory controller records an ALERT and retries after ``t_M`` (see
+:class:`repro.mc.busy_table.BankBusyTable`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.mitigation import MitigationPolicy
+from repro.core.rowswap import MigrationMitigation
+from repro.sim.config import SystemConfig
+from repro.sim.stats import BankStats
+from repro.trackers.base import Tracker
+
+
+class AutoRfmEngine:
+    """Per-bank transparent mitigation engine."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        tracker: Tracker,
+        policy: MitigationPolicy,
+        autorfm_th: int,
+        stats: Optional[BankStats] = None,
+        regions_per_bank: Optional[int] = None,
+    ):
+        """``regions_per_bank`` sets the lock granularity.
+
+        AutoRFM locks a single subarray (the default, ``None`` ->
+        ``config.subarrays_per_bank`` regions); the SMD comparison of
+        Section VII-B locks coarser maintenance regions (e.g. 8 per bank),
+        which proportionally raises the conflict probability.
+        """
+        if autorfm_th < 1:
+            raise ValueError("autorfm_th must be at least 1")
+        regions = (
+            config.subarrays_per_bank if regions_per_bank is None
+            else regions_per_bank
+        )
+        if not 1 <= regions <= config.rows_per_bank:
+            raise ValueError("regions_per_bank out of range")
+        if config.rows_per_bank % regions:
+            raise ValueError("regions must divide rows_per_bank evenly")
+        self.config = config
+        self.tracker = tracker
+        self.policy = policy
+        self.autorfm_th = autorfm_th
+        self.regions_per_bank = regions
+        self._rows_per_region = config.rows_per_bank // regions
+        self.stats = stats if stats is not None else BankStats()
+
+        self._acts_in_window = 0
+        self._mitigation_pending = False
+        self.saum: Optional[int] = None
+        self.saum_busy_until = 0
+        self._last_saum: Optional[int] = None
+        #: Optional observer fired when a mitigation starts (command log).
+        self.mitigation_listener: Optional[Callable[[int], None]] = None
+        #: Optional observer fired per victim refresh: (now, victim_row).
+        self.victim_listener: Optional[Callable[[int, int], None]] = None
+
+    # ------------------------------------------------------------------
+    # Hooks called by the bank / memory controller
+    # ------------------------------------------------------------------
+    def on_activation(self, row: int, now: int) -> None:
+        """Observe a successful demand ACT of ``row`` at cycle ``now``."""
+        self.tracker.on_activation(row)
+        self._acts_in_window += 1
+        if self._acts_in_window >= self.autorfm_th:
+            self._mitigation_pending = True
+
+    def on_precharge(self, now: int) -> None:
+        """Observe the precharge closing an ACT; may start a mitigation.
+
+        Mitigation starts only on a precharge (Section IV-A): that is the
+        moment the memory controller infers no row is open in the bank.
+        """
+        if not self._mitigation_pending:
+            return
+        self._mitigation_pending = False
+        self._acts_in_window = 0
+        self._start_mitigation(now)
+
+    def region_of_row(self, row: int) -> int:
+        """Lock-granularity region holding ``row`` (a subarray by default)."""
+        if not 0 <= row < self.config.rows_per_bank:
+            raise ValueError(f"row {row} out of range")
+        return row // self._rows_per_region
+
+    def conflicts(self, row: int, now: int) -> bool:
+        """Would an ACT to ``row`` at ``now`` hit the busy SAUM?"""
+        if self.saum is None or now >= self.saum_busy_until:
+            return False
+        return self.region_of_row(row) == self.saum
+
+    # ------------------------------------------------------------------
+    @property
+    def mitigation_busy_cycles(self) -> int:
+        """SAUM busy time per mitigation (t_M, about 200 ns)."""
+        return self.policy.busy_cycles(self.config.timing.trc)
+
+    def _start_mitigation(self, now: int) -> None:
+        request = self.tracker.select_for_mitigation()
+        if request is None:
+            return
+
+        if isinstance(self.policy, MigrationMitigation):
+            # Row migration: relocate the aggressor instead of refreshing
+            # its victims. The source subarray is locked for the (long)
+            # move; the destination lock is folded into the same window.
+            old_physical, _ = self.policy.relocate(request)
+            self.saum = self.region_of_row(old_physical)
+            self.saum_busy_until = now + self.mitigation_busy_cycles
+            self.stats.mitigations += 1
+            self.stats.row_swaps += 1
+            self._last_saum = self.saum
+            if self.mitigation_listener is not None:
+                self.mitigation_listener(now)
+            return
+
+        victims = self.policy.victims(request)
+        if not victims:
+            return
+
+        subarray = self.region_of_row(request.row)
+        self.saum = subarray
+        self.saum_busy_until = now + self.mitigation_busy_cycles
+
+        self.stats.mitigations += 1
+        self.stats.victim_refreshes += len(victims)
+        if request.level > 1:
+            self.stats.recursive_rounds += 1
+        self._last_saum = subarray
+        if self.mitigation_listener is not None:
+            self.mitigation_listener(now)
+
+        for victim in victims:
+            self.tracker.on_victim_refresh(victim, request.level)
+            if self.victim_listener is not None:
+                self.victim_listener(now, victim)

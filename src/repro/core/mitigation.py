@@ -1,0 +1,110 @@
+"""Victim-refresh (mitigation) policies.
+
+A mitigation refreshes rows around a nominated aggressor. All policies in
+this module issue exactly four victim refreshes per mitigation, so the
+subarray is busy for ``4 * tRC`` (about 200 ns) — the deterministic busy time
+AutoRFM relies on.
+
+* :class:`BlastRadiusMitigation` — the conventional policy: refresh the two
+  rows on either side of the aggressor. Recursive-mitigation levels shift
+  the refreshed band outward (level L refreshes distances 2L-1 and 2L,
+  Fig. 9b), which is how MINT's transitive slot defends Half-Double.
+* :class:`FractalMitigation` — the paper's proposal (Section V-C): always
+  refresh the distance-1 neighbours and refresh one extra pair at distance
+  d >= 2 chosen with probability 2^(1-d), implemented as 2 + the number of
+  leading zeros of a 16-bit random number (Fig. 10b).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List
+
+import numpy as np
+
+from repro.trackers.base import MitigationRequest
+
+#: Victim refreshes issued per mitigation (two per side).
+REFRESHES_PER_MITIGATION = 4
+
+
+class MitigationPolicy(abc.ABC):
+    """Chooses which rows to victim-refresh for a nominated aggressor."""
+
+    #: True when the policy relies on the tracker's transitive slot
+    #: (recursive mitigation); False for Fractal Mitigation.
+    requires_recursive_tracking: bool = False
+
+    def __init__(self, rows_per_bank: int):
+        if rows_per_bank < 1:
+            raise ValueError("rows_per_bank must be positive")
+        self.rows_per_bank = rows_per_bank
+
+    @abc.abstractmethod
+    def victims(self, request: MitigationRequest) -> List[int]:
+        """Rows to refresh for ``request`` (clamped to the bank)."""
+
+    def busy_cycles(self, trc_cycles: int) -> int:
+        """How long the subarray stays busy performing the refreshes."""
+        return REFRESHES_PER_MITIGATION * trc_cycles
+
+    def _clamp(self, rows: List[int]) -> List[int]:
+        return [r for r in rows if 0 <= r < self.rows_per_bank]
+
+
+class BlastRadiusMitigation(MitigationPolicy):
+    """Refresh distances {2L-1, 2L} on both sides at recursion level L."""
+
+    requires_recursive_tracking = True
+
+    def victims(self, request: MitigationRequest) -> List[int]:
+        if request.level < 1:
+            raise ValueError("mitigation level must be >= 1")
+        near = 2 * request.level - 1
+        far = 2 * request.level
+        row = request.row
+        return self._clamp([row - far, row - near, row + near, row + far])
+
+
+class FractalMitigation(MitigationPolicy):
+    """d=1 always; one extra pair at d = 2 + leading-zeros(16-bit random)."""
+
+    requires_recursive_tracking = False
+
+    RAND_BITS = 16
+
+    def __init__(self, rows_per_bank: int, rng: np.random.Generator):
+        super().__init__(rows_per_bank)
+        self.rng = rng
+
+    def draw_distance(self) -> int:
+        """Distance of the probabilistic refresh pair (2 + leading zeros)."""
+        rand = int(self.rng.integers(0, 1 << self.RAND_BITS))
+        return 2 + self._leading_zeros(rand)
+
+    @classmethod
+    def _leading_zeros(cls, rand: int) -> int:
+        if rand == 0:
+            return cls.RAND_BITS
+        return cls.RAND_BITS - rand.bit_length()
+
+    def victims(self, request: MitigationRequest) -> List[int]:
+        # Fractal Mitigation never escalates levels: every mitigation is a
+        # fresh level-1 action with a probabilistic long-range pair.
+        row = request.row
+        distance = self.draw_distance()
+        return self._clamp([row - distance, row - 1, row + 1, row + distance])
+
+    @classmethod
+    def refresh_probability(cls, distance: int) -> float:
+        """P(a neighbour at ``distance`` is refreshed in one mitigation)."""
+        if distance < 1:
+            raise ValueError("distance must be >= 1")
+        if distance == 1:
+            return 1.0
+        if distance > cls.RAND_BITS + 2:
+            return 0.0
+        if distance == cls.RAND_BITS + 2:
+            # rand == 0 (all 16 bits zero) absorbs the distribution's tail.
+            return 2.0 ** -cls.RAND_BITS
+        return 2.0 ** (1 - distance)

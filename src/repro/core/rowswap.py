@@ -1,0 +1,205 @@
+"""Row-migration mitigation (RRS-style, Section VII-D).
+
+Randomized Row-Swap [41] and its successors (AQUA, SRS, SHADOW) mitigate an
+aggressor by *relocating* it — swapping the row with a random partner via an
+indirection table — instead of refreshing its victims. The hammer pressure
+an aggressor built against its neighbours is voided because its physical
+neighbourhood changes.
+
+Two pieces:
+
+* :class:`RowSwapRemapper` — the per-bank logical-to-physical indirection
+  (a permutation, maintained sparsely, with the swap operation);
+* :class:`RowSwapMitigation` — the mitigation policy: no victim refreshes,
+  but a long busy time (a swap streams two full rows through the row
+  buffer, ~16x tRC here vs 4x tRC for victim refresh), which is the
+  trade-off AutoRFM's transparent framework exposes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.mitigation import MitigationPolicy
+from repro.trackers.base import MitigationRequest
+
+#: Row cycles a swap keeps the subarray pair busy (read+write both rows).
+SWAP_ROW_CYCLES = 16
+
+
+class RowSwapRemapper:
+    """Sparse logical-to-physical row permutation with random swaps."""
+
+    def __init__(self, rows_per_bank: int, rng: np.random.Generator):
+        if rows_per_bank < 2:
+            raise ValueError("need at least two rows to swap")
+        self.rows_per_bank = rows_per_bank
+        self.rng = rng
+        self._forward: Dict[int, int] = {}
+        self._reverse: Dict[int, int] = {}
+        self.swaps = 0
+
+    def physical_row(self, logical: int) -> int:
+        """Current physical row holding logical row ``logical``."""
+        self._check(logical)
+        return self._forward.get(logical, logical)
+
+    def logical_row(self, physical: int) -> int:
+        """Logical row currently stored at physical row ``physical``."""
+        self._check(physical)
+        return self._reverse.get(physical, physical)
+
+    def swap(self, logical: int) -> Tuple[int, int]:
+        """Swap ``logical`` with a uniformly random partner row.
+
+        Returns (old physical, new physical) for the swapped row.
+        """
+        self._check(logical)
+        partner = int(self.rng.integers(0, self.rows_per_bank))
+        if partner == logical:
+            partner = (partner + 1) % self.rows_per_bank
+        old_phys = self.physical_row(logical)
+        partner_phys = self.physical_row(partner)
+
+        self._set(logical, partner_phys)
+        self._set(partner, old_phys)
+        self.swaps += 1
+        return old_phys, partner_phys
+
+    def _set(self, logical: int, physical: int) -> None:
+        if logical == physical:
+            self._forward.pop(logical, None)
+            self._reverse.pop(physical, None)
+        else:
+            self._forward[logical] = physical
+            self._reverse[physical] = logical
+
+    def _check(self, row: int) -> None:
+        if not 0 <= row < self.rows_per_bank:
+            raise ValueError(f"row {row} out of range")
+
+    @property
+    def storage_bits(self) -> int:
+        """Indirection state: two row ids per displaced row."""
+        bits_per_row = max(1, (self.rows_per_bank - 1).bit_length())
+        return 2 * len(self._forward) * bits_per_row
+
+    def displaced_rows(self) -> int:
+        """Number of rows currently living away from home."""
+        return len(self._forward)
+
+
+class MigrationMitigation(MitigationPolicy):
+    """Base for policies that relocate the aggressor instead of refreshing.
+
+    :meth:`victims` returns no refresh targets; the AutoRFM engine calls
+    :meth:`relocate` instead and locks the source subarray for
+    :meth:`busy_cycles`.
+    """
+
+    requires_recursive_tracking = False
+
+    def victims(self, request: MitigationRequest) -> List[int]:
+        return []
+
+    def relocate(self, request: MitigationRequest) -> Tuple[int, int]:
+        """Move the aggressor; return (old physical, new physical)."""
+        raise NotImplementedError
+
+    def physical_row(self, logical: int) -> int:
+        """Current physical location of a logical row (identity until moved)."""
+        raise NotImplementedError
+
+
+class RowSwapMitigation(MigrationMitigation):
+    """Mitigate by swapping the aggressor with a random row (RRS).
+
+    The busy time covers streaming both rows through the row buffer.
+    """
+
+    def __init__(self, rows_per_bank: int, rng: np.random.Generator):
+        super().__init__(rows_per_bank)
+        self.remapper = RowSwapRemapper(rows_per_bank, rng)
+
+    def relocate(self, request: MitigationRequest) -> Tuple[int, int]:
+        """Swap the aggressor with a random partner row."""
+        return self.remapper.swap(request.row)
+
+    # Backwards-compatible name used throughout the tests/examples.
+    perform_swap = relocate
+
+    def physical_row(self, logical: int) -> int:
+        """Delegate to the swap remapper."""
+        return self.remapper.physical_row(logical)
+
+    def busy_cycles(self, trc_cycles: int) -> int:
+        return SWAP_ROW_CYCLES * trc_cycles
+
+
+#: Row cycles a one-way quarantine move keeps the subarray busy.
+QUARANTINE_MOVE_ROW_CYCLES = 8
+
+
+class QuarantineMitigation(MigrationMitigation):
+    """AQUA-style quarantine [45]: move the aggressor into a reserved area.
+
+    A fraction of the bank's rows is set aside as the quarantine; an
+    aggressor moves to the next quarantine slot (FIFO — when the area wraps,
+    the evicted row returns home). Victims never move, and a one-way copy
+    is cheaper than a full swap (8 vs 16 row cycles).
+    """
+
+    def __init__(
+        self,
+        rows_per_bank: int,
+        rng: np.random.Generator,
+        quarantine_fraction: float = 1 / 64,
+    ):
+        super().__init__(rows_per_bank)
+        slots = max(1, int(rows_per_bank * quarantine_fraction))
+        if slots >= rows_per_bank:
+            raise ValueError("quarantine cannot cover the whole bank")
+        self.quarantine_base = rows_per_bank - slots
+        self.slots = slots
+        self.rng = rng
+        self._cursor = 0
+        # logical aggressor -> quarantine slot, and slot -> logical.
+        self._forward: dict = {}
+        self._slot_owner: dict = {}
+        self.moves = 0
+        self.evictions = 0
+
+    def physical_row(self, logical: int) -> int:
+        """Quarantine slot of ``logical`` if quarantined, else itself."""
+        if logical in self._forward:
+            return self.quarantine_base + self._forward[logical]
+        return logical
+
+    def relocate(self, request: MitigationRequest) -> Tuple[int, int]:
+        logical = request.row
+        if logical >= self.quarantine_base:
+            # Already a quarantine-area physical row: nothing to move.
+            return logical, logical
+        old_physical = self.physical_row(logical)
+        slot = self._cursor
+        self._cursor = (self._cursor + 1) % self.slots
+        evicted = self._slot_owner.pop(slot, None)
+        if evicted is not None and evicted != logical:
+            del self._forward[evicted]  # evicted row returns home
+            self.evictions += 1
+        old_slot = self._forward.get(logical)
+        if old_slot is not None and old_slot != slot:
+            self._slot_owner.pop(old_slot, None)  # vacate the previous slot
+        self._forward[logical] = slot
+        self._slot_owner[slot] = logical
+        self.moves += 1
+        return old_physical, self.quarantine_base + slot
+
+    def busy_cycles(self, trc_cycles: int) -> int:
+        return QUARANTINE_MOVE_ROW_CYCLES * trc_cycles
+
+    def quarantined_rows(self) -> int:
+        """Number of rows currently held in the quarantine area."""
+        return len(self._forward)

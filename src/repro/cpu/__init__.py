@@ -1,0 +1,7 @@
+"""CPU side: trace-driven out-of-order cores, shared LLC, system wrapper."""
+
+from repro.cpu.cache import SetAssociativeCache
+from repro.cpu.core import Core
+from repro.cpu.system import SimulationResult, simulate
+
+__all__ = ["Core", "SetAssociativeCache", "SimulationResult", "simulate"]

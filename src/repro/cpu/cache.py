@@ -1,0 +1,111 @@
+"""Set-associative last-level cache (Table IV: 8 MB, 16-way, 64 B lines).
+
+The benchmark fast path feeds post-LLC traces straight to the memory
+controller (see DESIGN.md), but the cache is a real, tested component: the
+``llc_filter`` helper turns an LLC-level access stream into the post-LLC
+miss-plus-writeback stream the controller consumes, and the examples use it.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.workloads.trace import Trace
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+
+class SetAssociativeCache:
+    """LRU set-associative cache keyed by line address."""
+
+    def __init__(self, size_bytes: int, ways: int, line_bytes: int = 64):
+        if size_bytes <= 0 or ways <= 0 or line_bytes <= 0:
+            raise ValueError("cache geometry must be positive")
+        lines = size_bytes // line_bytes
+        if lines % ways:
+            raise ValueError("cache size must divide evenly into ways")
+        self.num_sets = lines // ways
+        if self.num_sets == 0:
+            raise ValueError("cache too small for the given associativity")
+        self.ways = ways
+        self.line_bytes = line_bytes
+        # One OrderedDict per set: line -> dirty flag, in LRU order.
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.num_sets)]
+        self.stats = CacheStats()
+
+    def _set_of(self, line_addr: int) -> OrderedDict:
+        return self._sets[line_addr % self.num_sets]
+
+    def access(self, line_addr: int, is_write: bool) -> Tuple[bool, Optional[int]]:
+        """Access a line; return (hit, evicted-dirty-line-or-None)."""
+        cache_set = self._set_of(line_addr)
+        if line_addr in cache_set:
+            cache_set.move_to_end(line_addr)
+            if is_write:
+                cache_set[line_addr] = True
+            self.stats.hits += 1
+            return True, None
+
+        self.stats.misses += 1
+        victim = None
+        if len(cache_set) >= self.ways:
+            evicted, dirty = cache_set.popitem(last=False)
+            if dirty:
+                victim = evicted
+                self.stats.writebacks += 1
+        cache_set[line_addr] = is_write
+        return False, victim
+
+    def contains(self, line_addr: int) -> bool:
+        """True when the line is currently cached (no LRU update)."""
+        return line_addr in self._set_of(line_addr)
+
+
+def llc_filter(trace: Trace, cache: SetAssociativeCache) -> Trace:
+    """Replay ``trace`` through ``cache`` and return the post-LLC stream.
+
+    Misses become reads/writes to memory; dirty evictions become writes. The
+    instruction gaps of hit runs accumulate onto the next miss.
+    """
+    gaps: List[int] = []
+    addrs: List[int] = []
+    writes: List[bool] = []
+    carried = 0
+    for gap, addr, is_write in zip(trace.gaps, trace.addrs, trace.writes):
+        carried += gap
+        hit, writeback = cache.access(addr, is_write)
+        if hit:
+            carried += 1  # the hit instruction itself
+            continue
+        gaps.append(carried)
+        addrs.append(addr)
+        writes.append(is_write)
+        carried = 0
+        if writeback is not None:
+            gaps.append(0)
+            addrs.append(writeback)
+            writes.append(True)
+    return Trace(
+        gaps=gaps,
+        addrs=addrs,
+        writes=writes,
+        tail_instructions=trace.tail_instructions + carried,
+        name=trace.name,
+    )

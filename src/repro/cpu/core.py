@@ -1,0 +1,179 @@
+"""Trace-driven out-of-order core model.
+
+Each core replays a :class:`~repro.workloads.trace.Trace` of post-LLC memory
+requests, separated by ``gap`` non-memory instructions. The model captures
+the three effects that matter for memory-system studies:
+
+* **frontend width** — instruction k dispatches no earlier than cycle
+  k / width (4-wide at 4 GHz);
+* **ROB run-ahead** — a request may issue only while the oldest incomplete
+  read is within ``rob_size`` instructions (memory-level parallelism);
+* **MSHR limit** — at most ``mshrs_per_core`` outstanding reads.
+
+Reads block retirement until their data returns; writes are fire-and-forget
+(write-buffer semantics). Retirement is in order: the core's finish time is
+when its last instruction retires, and IPC = instructions / finish.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional
+
+from repro.mc.request import Request
+from repro.sim.config import SystemConfig
+from repro.sim.engine import Engine
+from repro.sim.stats import CoreStats
+from repro.workloads.trace import Trace
+
+
+class Core:
+    """One trace-driven core attached to the memory controller."""
+
+    def __init__(
+        self,
+        core_id: int,
+        trace: Trace,
+        config: SystemConfig,
+        engine: Engine,
+        submit: Callable[[Request], None],
+        stats: CoreStats,
+        on_finish: Optional[Callable[[int], None]] = None,
+    ):
+        self.core_id = core_id
+        self.trace = trace
+        self.config = config
+        self.engine = engine
+        self.submit = submit
+        self.stats = stats
+        self.on_finish = on_finish
+
+        width = config.core_width
+        n = len(trace)
+        self._n = n
+        # seq[i]: instructions up to and including request i.
+        seq: List[int] = [0] * n
+        running = 0
+        for i, gap in enumerate(trace.gaps):
+            running += gap + 1  # the memory instruction itself counts
+            seq[i] = running
+        self._seq = seq
+        self._dispatch_bound = [s // width for s in seq]
+        self._retire_cycles = [
+            -(-(gap + 1) // width) for gap in trace.gaps  # ceil division
+        ]
+        self._tail_cycles = -(-trace.tail_instructions // width)
+        self.total_instructions = (running if n else 0) + trace.tail_instructions
+
+        self._next = 0
+        self._mshr_used = 0
+        self._dispatch_time: List[int] = [0] * n
+        # Outstanding *reads* in issue order: [seq, index, completed?].
+        self._outstanding: Deque[List[int]] = deque()
+        self._completion: List[Optional[int]] = [None] * n
+        self._retire_ptr = 0
+        self._retire_time = 0
+        self._issue_event_at: Optional[int] = None
+        self.finished = n == 0 and trace.tail_instructions == 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Schedule the core's first dispatch at cycle 0."""
+        if self._n == 0:
+            self._finish(self._tail_cycles)
+            return
+        self.engine.schedule(0, self._try_issue)
+
+    # ------------------------------------------------------------------
+    def _try_issue(self, now: int) -> None:
+        trace = self.trace
+        while self._next < self._n:
+            i = self._next
+            bound = self._dispatch_bound[i]
+            if bound > now:
+                self._schedule_issue(bound)
+                return
+            if (
+                self._outstanding
+                and self._seq[i] - self._outstanding[0][0] >= self.config.rob_size
+            ):
+                return  # ROB full; resume when the oldest read completes
+            is_write = trace.writes[i]
+            if not is_write and self._mshr_used >= self.config.mshrs_per_core:
+                return  # MSHRs full; resume on a completion
+            self._dispatch(i, now, is_write)
+        self._maybe_finish()
+
+    def _dispatch(self, i: int, now: int, is_write: bool) -> None:
+        self._next = i + 1
+        self.stats.memory_requests += 1
+        self._dispatch_time[i] = now
+        callback = None
+        if is_write:
+            # Writes retire without waiting on memory.
+            self._completion[i] = now
+        else:
+            self._mshr_used += 1
+            self._outstanding.append([self._seq[i], i, 0])
+            callback = lambda t, idx=i: self._on_read_complete(idx, t)
+        self.submit(
+            Request(
+                core_id=self.core_id,
+                line_addr=self.trace.addrs[i],
+                is_write=is_write,
+                arrival=now,
+                on_complete=callback,
+            )
+        )
+        self._advance_retirement()
+
+    def _on_read_complete(self, i: int, now: int) -> None:
+        self._mshr_used -= 1
+        self._completion[i] = now
+        self.stats.reads_completed += 1
+        self.stats.read_latency_sum += now - self._dispatch_time[i]
+        for entry in self._outstanding:
+            if entry[1] == i:
+                entry[2] = 1
+                break
+        while self._outstanding and self._outstanding[0][2]:
+            self._outstanding.popleft()
+        self._advance_retirement()
+        self._try_issue(now)
+
+    def _advance_retirement(self) -> None:
+        """Retire requests in program order as their completions land."""
+        while self._retire_ptr < self._next:
+            j = self._retire_ptr
+            completion = self._completion[j]
+            if completion is None:
+                return
+            self._retire_time = max(
+                self._retire_time + self._retire_cycles[j], completion
+            )
+            self._retire_ptr += 1
+        self._maybe_finish()
+
+    def _maybe_finish(self) -> None:
+        if self.finished:
+            return
+        if self._next == self._n and self._retire_ptr == self._n:
+            self._finish(self._retire_time + self._tail_cycles)
+
+    def _finish(self, finish_cycle: int) -> None:
+        self.finished = True
+        self.stats.instructions = self.total_instructions
+        self.stats.finish_cycle = max(finish_cycle, 1)
+        if self.on_finish is not None:
+            self.on_finish(self.stats.finish_cycle)
+
+    def _schedule_issue(self, time: int) -> None:
+        if self._issue_event_at is not None and self._issue_event_at <= time:
+            return
+        self._issue_event_at = time
+        self.engine.schedule(time, self._issue_fired)
+
+    def _issue_fired(self, now: int) -> None:
+        if self._issue_event_at is not None and self._issue_event_at <= now:
+            self._issue_event_at = None
+        self._try_issue(now)

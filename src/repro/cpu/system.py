@@ -1,0 +1,111 @@
+"""Full-system simulation: cores + memory controller + DRAM.
+
+:func:`simulate` is the main entry point of the library: it wires the cores
+to the memory controller under a chosen mapping and mitigation setup, runs
+the event loop to completion, and returns the collected statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.mapping import MemoryMapping, RubixMapping, ZenMapping
+from repro.mc.controller import MemoryController
+from repro.mc.setup import MitigationSetup
+from repro.sim.config import SystemConfig
+from repro.sim.engine import Engine
+from repro.sim.rng import RngStreams
+from repro.sim.stats import SimStats
+from repro.cpu.core import Core
+from repro.workloads.trace import Trace
+
+MAPPINGS = ("zen", "rubix")
+
+
+def build_mapping(name: str, config: SystemConfig, seed: int = 0) -> MemoryMapping:
+    """Construct a mapping by name ("zen" or "rubix")."""
+    if name == "zen":
+        return ZenMapping(config)
+    if name == "rubix":
+        return RubixMapping(config, key=RngStreams(seed).integer_seed("rubix-key"))
+    raise ValueError(f"unknown mapping {name!r}; expected one of {MAPPINGS}")
+
+
+@dataclass
+class SimulationResult:
+    """Statistics plus the knobs that produced them."""
+
+    stats: SimStats
+    setup: MitigationSetup
+    mapping: str
+    seed: int
+
+    def slowdown_vs(self, baseline: "SimulationResult") -> float:
+        """Fractional slowdown vs. ``baseline`` (0.04 = 4 % slower)."""
+        return self.stats.slowdown_vs(baseline.stats)
+
+
+def simulate(
+    traces: Sequence[Trace],
+    setup: Optional[MitigationSetup] = None,
+    config: Optional[SystemConfig] = None,
+    mapping: str = "zen",
+    seed: int = 0,
+    max_events: Optional[int] = None,
+    command_log=None,
+) -> SimulationResult:
+    """Run one full simulation and return its result.
+
+    ``traces`` supplies one post-LLC trace per core (rate mode passes the
+    same workload, independently generated, to every core). The simulation
+    ends when every core has retired its full trace.
+    """
+    config = config or SystemConfig()
+    setup = setup or MitigationSetup(mechanism="none")
+    config.validate()
+    if len(traces) != config.num_cores:
+        raise ValueError(
+            f"need {config.num_cores} traces (one per core), got {len(traces)}"
+        )
+
+    engine = Engine()
+    streams = RngStreams(seed)
+    stats = SimStats.with_shape(config.num_banks, config.num_cores)
+    mapping_obj = build_mapping(mapping, config, seed)
+
+    cores: List[Core] = []
+    controller = MemoryController(
+        config=config,
+        mapping=mapping_obj,
+        engine=engine,
+        setup=setup,
+        streams=streams.spawn("mc"),
+        stats=stats,
+        keep_running=lambda: any(not c.finished for c in cores),
+        command_log=command_log,
+    )
+    for core_id, trace in enumerate(traces):
+        core = Core(
+            core_id=core_id,
+            trace=trace,
+            config=config,
+            engine=engine,
+            submit=controller.submit,
+            stats=stats.cores[core_id],
+        )
+        cores.append(core)
+    for core in cores:
+        core.start()
+
+    engine.run(max_events=max_events)
+    if controller.buffered_writes():
+        # Write-drain mode: flush the stragglers and let them complete.
+        controller.drain_writes()
+        engine.run(max_events=max_events)
+
+    unfinished = [c.core_id for c in cores if not c.finished]
+    if unfinished:
+        raise RuntimeError(f"cores {unfinished} never finished (deadlock?)")
+    stats.cycles = max(c.stats.finish_cycle for c in cores)
+    return SimulationResult(stats=stats, setup=setup, mapping=mapping, seed=seed)

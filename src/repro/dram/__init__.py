@@ -1,0 +1,5 @@
+"""DRAM device model: banks with subarrays, closed-page timing, refresh."""
+
+from repro.dram.bank import Bank
+
+__all__ = ["Bank"]

@@ -1,0 +1,23 @@
+"""Physical memory mappings: line address -> (subchannel, bank, row, column).
+
+Two mappings from the paper:
+
+* :class:`ZenMapping` — the AMD-Zen-style baseline that keeps two lines of a
+  4 KB page in the same bank row and stripes the page across 32 banks.
+* :class:`RubixMapping` — randomized mapping: the line address is first
+  encrypted with a low-latency block cipher (:mod:`repro.mapping.kcipher`),
+  breaking all spatial correlation between accesses and subarrays.
+"""
+
+from repro.mapping.base import LineLocation, MemoryMapping
+from repro.mapping.kcipher import KCipher
+from repro.mapping.rubix import RubixMapping
+from repro.mapping.zen import ZenMapping
+
+__all__ = [
+    "LineLocation",
+    "MemoryMapping",
+    "KCipher",
+    "RubixMapping",
+    "ZenMapping",
+]

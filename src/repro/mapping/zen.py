@@ -1,0 +1,24 @@
+"""AMD-Zen-style baseline mapping (Table IV, "AMD Zen Mapping").
+
+As the paper describes it: the mapping "exploits bank-level parallelism by
+keeping two lines of a 4 KB page in the same bank and distributing the page
+across 32 banks". Consecutive line pairs therefore land in the same bank row
+(row-buffer hits), and a 4 KB page touches every bank of a subchannel once.
+"""
+
+from __future__ import annotations
+
+from repro.mapping.base import LineLocation, MemoryMapping
+
+
+class ZenMapping(MemoryMapping):
+    """Direct bit-sliced mapping with Zen's page-striping property."""
+
+    extra_latency = 0
+
+    def locate(self, line_addr: int) -> LineLocation:
+        self._check_range(line_addr)
+        return self._decompose(line_addr)
+
+    def line_for(self, location: LineLocation) -> int:
+        return self._compose(location)

@@ -1,0 +1,8 @@
+"""Memory controller: request queues, scheduler, ALERT retry machinery."""
+
+from repro.mc.busy_table import BankBusyTable
+from repro.mc.controller import MemoryController
+from repro.mc.request import Request
+from repro.mc.setup import MitigationSetup
+
+__all__ = ["BankBusyTable", "MemoryController", "Request", "MitigationSetup"]

@@ -1,0 +1,125 @@
+"""BlockHammer-style rate limiting [52] (Section VII-D).
+
+BlockHammer prevents Rowhammer *at the memory controller* by throttling any
+row activated faster than a safe rate. Row activation counts are estimated
+with a pair of counting Bloom filters that swap roles every half refresh
+window (so stale history ages out); a row whose estimate crosses the
+blacklist threshold has its activations spaced out far enough that it can
+never reach the Rowhammer threshold within tREFW.
+
+The safe spacing: with ``trh`` activations allowed per ``trefw_cycles``,
+a blacklisted row's ACTs are separated by at least ``trefw / trh`` cycles.
+Counting Bloom filters never undercount, so the defense is sound; false
+positives only cost benign performance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.sim.config import SystemConfig
+
+
+class CountingBloomFilter:
+    """A counting Bloom filter with conservative-increment updates."""
+
+    def __init__(self, bits: int, hashes: int):
+        if bits < 1 or hashes < 1:
+            raise ValueError("bits and hashes must be positive")
+        self.bits = bits
+        self.hashes = hashes
+        self._counters: List[int] = [0] * bits
+
+    def _indices(self, key: int) -> List[int]:
+        indices = []
+        x = key + 0x9E3779B9
+        for i in range(self.hashes):
+            x ^= (x >> 15) + i * 0x85EBCA6B
+            x = (x * 0xC2B2AE35) & 0xFFFFFFFF
+            indices.append(x % self.bits)
+        return indices
+
+    def insert(self, key: int) -> int:
+        """Conservative increment; returns the new estimate."""
+        indices = self._indices(key)
+        current = min(self._counters[i] for i in indices)
+        for i in indices:
+            if self._counters[i] == current:
+                self._counters[i] += 1
+        return current + 1
+
+    def estimate(self, key: int) -> int:
+        """Upper-bounded count estimate for ``key`` (never undercounts)."""
+        return min(self._counters[i] for i in self._indices(key))
+
+    def clear(self) -> None:
+        """Reset every counter (epoch rotation)."""
+        for i in range(self.bits):
+            self._counters[i] = 0
+
+
+class BlockHammerLimiter:
+    """Dual-filter activation-rate limiter for one channel.
+
+    ``observe`` is called per ACT and returns the earliest cycle the *next*
+    ACT to that row may issue (0 = unthrottled).
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        trh: int,
+        blacklist_threshold: int = None,
+        filter_bits: int = 1024,
+        hashes: int = 4,
+    ):
+        if trh < 2:
+            raise ValueError("trh must be at least 2")
+        self.config = config
+        self.trh = trh
+        # Blacklist once a row has used half its budget for the half-window.
+        self.blacklist_threshold = (
+            blacklist_threshold if blacklist_threshold is not None
+            else max(1, trh // 4)
+        )
+        self.epoch_cycles = config.timing.trefw // 2
+        # Safe spacing so a blacklisted row stays under trh per tREFW.
+        self.throttle_delay = max(1, config.timing.trefw // trh)
+
+        self._active = CountingBloomFilter(filter_bits, hashes)
+        self._history = CountingBloomFilter(filter_bits, hashes)
+        self._epoch_start = 0
+        self._next_allowed: Dict[Tuple[int, int], int] = {}
+        self.throttled_acts = 0
+
+    def _rotate_if_needed(self, now: int) -> None:
+        if now - self._epoch_start >= self.epoch_cycles:
+            self._active, self._history = self._history, self._active
+            self._active.clear()
+            self._epoch_start = now
+            self._next_allowed.clear()
+
+    def is_blacklisted(self, bank: int, row: int) -> bool:
+        """True when the row's estimated rate crosses the blacklist bar."""
+        key = (bank << 20) | row
+        count = max(self._active.estimate(key), self._history.estimate(key))
+        return count >= self.blacklist_threshold
+
+    def earliest_act(self, bank: int, row: int, now: int) -> int:
+        """Earliest cycle an ACT to (bank, row) may issue."""
+        self._rotate_if_needed(now)
+        return self._next_allowed.get((bank, row), 0)
+
+    def observe(self, bank: int, row: int, now: int) -> None:
+        """Record an issued ACT; arms the throttle if blacklisted."""
+        self._rotate_if_needed(now)
+        key = (bank << 20) | row
+        self._active.insert(key)
+        if self.is_blacklisted(bank, row):
+            self._next_allowed[(bank, row)] = now + self.throttle_delay
+            self.throttled_acts += 1
+
+    @property
+    def storage_bits(self) -> int:
+        counter_bits = max(1, self.blacklist_threshold.bit_length() + 2)
+        return 2 * self._active.bits * counter_bits

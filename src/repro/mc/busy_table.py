@@ -1,0 +1,39 @@
+"""Per-bank busy-bit + timestamp table (Fig. 7).
+
+When an ACT fails with an ALERT, the memory controller marks the bank busy
+and records the cycle at which it frees up (current time + t_M). A busy bank
+receives no demand requests until the timestamp passes. This is the paper's
+*simple* MC design; the per-request alternative (Section IV-C) is modeled by
+:class:`repro.mc.controller.MemoryController` with ``per_request_retry``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class BankBusyTable:
+    """Busy bit and free-up timestamp for each bank."""
+
+    #: Storage per bank: 1 busy bit + 15-bit timestamp (Section VI-C).
+    BITS_PER_BANK = 16
+
+    def __init__(self, num_banks: int):
+        self.num_banks = num_banks
+        self._busy_until: List[int] = [0] * num_banks
+
+    def mark_busy(self, bank: int, until: int) -> None:
+        """Set the busy bit; the timestamp only ever extends."""
+        self._busy_until[bank] = max(self._busy_until[bank], until)
+
+    def is_busy(self, bank: int, now: int) -> bool:
+        """True while the bank may not receive demand requests."""
+        return now < self._busy_until[bank]
+
+    def busy_until(self, bank: int) -> int:
+        """The cycle at which the bank frees up (0 when never marked)."""
+        return self._busy_until[bank]
+
+    @property
+    def storage_bytes(self) -> int:
+        return self.num_banks * self.BITS_PER_BANK // 8

@@ -1,0 +1,487 @@
+"""Memory controller and command scheduler.
+
+One :class:`MemoryController` owns both subchannels. Scheduling is
+event-driven at request granularity:
+
+* per-bank FIFO queues with row-hit-first service (FR-FCFS-lite) under the
+  closed-page-with-tRAS-window policy of the paper;
+* all-bank REF per subchannel every tREFI (blocking tRFC), staggered between
+  subchannels;
+* RFM mode — RAA counters; RFM issued eagerly at the precharge once RAA
+  reaches RFMTH, blocking the bank for tRFM;
+* AutoRFM mode — ACTs that conflict with the Subarray-Under-Mitigation are
+  declined with an ALERT; the per-bank busy table (Fig. 7) blocks the bank
+  for t_M before the retry. ``per_request_retry`` switches to the complex-MC
+  ablation of Section IV-C where only the conflicted request waits;
+* PRAC mode — scaled tRC plus ABO: an over-threshold row stalls the whole
+  subchannel for tRFM while the chip mitigates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional
+
+from repro.core.autorfm import AutoRfmEngine
+from repro.dram.bank import NO_ROW, Bank
+from repro.mapping.base import MemoryMapping
+from repro.mc.blockhammer import BlockHammerLimiter
+from repro.mc.busy_table import BankBusyTable
+from repro.mc.request import Request
+from repro.mc.setup import MitigationSetup, build_policy, build_tracker
+from repro.rfm.prac import PracModel, abo_threshold_for, prac_timing
+from repro.rfm.rfm import RfmController
+from repro.sim.cmdlog import (
+    ACT,
+    ALERT,
+    MITIGATION,
+    REF,
+    RFM,
+    VICTIM_REFRESH,
+    CommandLog,
+)
+from repro.sim.config import SystemConfig
+from repro.sim.engine import Engine
+from repro.sim.rng import RngStreams
+from repro.sim.stats import SimStats
+
+
+class MemoryController:
+    """Request queues, per-bank schedulers, and maintenance commands."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        mapping: MemoryMapping,
+        engine: Engine,
+        setup: MitigationSetup,
+        streams: RngStreams,
+        stats: SimStats,
+        keep_running: Optional[Callable[[], bool]] = None,
+        command_log: Optional[CommandLog] = None,
+    ):
+        config.validate()
+        if setup.mechanism == "prac":
+            config = dataclasses.replace(config, timing=prac_timing(config.timing))
+        self.config = config
+        self.timing = config.timing
+        self.mapping = mapping
+        self.engine = engine
+        self.setup = setup
+        self.stats = stats
+        self.keep_running = keep_running or (lambda: True)
+        self.command_log = command_log
+
+        self._open_page = config.page_policy == "open"
+        n_banks = config.num_banks
+        self.queues: List[List[Request]] = [[] for _ in range(n_banks)]
+        # tFAW: timestamps of the last four ACTs per subchannel.
+        self._recent_acts: List[List[int]] = [
+            [] for _ in range(config.num_subchannels)
+        ]
+        self.busy_table = BankBusyTable(n_banks)
+        # Optional write buffering (read-priority): writes park here until
+        # the high watermark triggers a burst drain.
+        self._write_buffers: List[List[Request]] = [
+            [] for _ in range(config.num_subchannels)
+        ]
+        self.bus_free_at: List[int] = [0] * config.num_subchannels
+        self._wakeups: List[Optional[int]] = [None] * n_banks
+        self._order = 0
+
+        self.rfm: Optional[RfmController] = None
+        self.prac: Optional[PracModel] = None
+        self.blockhammer: Optional[BlockHammerLimiter] = None
+        if setup.mechanism == "rfm":
+            self.rfm = RfmController(n_banks, setup.threshold)
+        elif setup.mechanism == "prac":
+            self.prac = PracModel(n_banks, abo_threshold_for(setup.prac_trh_d))
+        elif setup.mechanism == "blockhammer":
+            self.blockhammer = BlockHammerLimiter(
+                config, trh=setup.blockhammer_trh
+            )
+
+        self._streams = streams
+        self.banks: List[Bank] = [
+            self._build_bank(flat) for flat in range(n_banks)
+        ]
+        self._schedule_refreshes()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build_bank(self, flat: int) -> Bank:
+        setup, config = self.setup, self.config
+        bank_stats = self.stats.banks[flat]
+        autorfm = None
+        rfm_tracker = None
+        rfm_policy = None
+        if setup.mechanism == "autorfm":
+            autorfm = AutoRfmEngine(
+                config=config,
+                tracker=build_tracker(setup, self._streams, flat),
+                policy=build_policy(setup, config, self._streams, flat),
+                autorfm_th=setup.threshold,
+                stats=bank_stats,
+            )
+        elif setup.mechanism == "smd":
+            # Self-Managed DRAM (Section VII-B): same transparent-decline
+            # machinery, but PARA sampling at every precharge and a coarse
+            # maintenance-region lock instead of a single subarray.
+            smd_setup = dataclasses.replace(
+                setup, tracker="para", policy="blast2"
+            )
+            autorfm = AutoRfmEngine(
+                config=config,
+                tracker=build_tracker(smd_setup, self._streams, flat),
+                policy=build_policy(smd_setup, config, self._streams, flat),
+                autorfm_th=1,
+                stats=bank_stats,
+                regions_per_bank=setup.smd_regions_per_bank,
+            )
+        elif setup.mechanism == "rfm":
+            rfm_tracker = build_tracker(setup, self._streams, flat)
+            rfm_policy = build_policy(setup, config, self._streams, flat)
+        if autorfm is not None and self.command_log is not None:
+            autorfm.mitigation_listener = (
+                lambda t, f=flat: self.command_log.record(t, MITIGATION, f)
+            )
+            autorfm.victim_listener = (
+                lambda t, victim, f=flat: self.command_log.record(
+                    t, VICTIM_REFRESH, f, victim
+                )
+            )
+        return Bank(
+            config=config,
+            stats=bank_stats,
+            autorfm=autorfm,
+            rfm_tracker=rfm_tracker,
+            rfm_policy=rfm_policy,
+        )
+
+    def _schedule_refreshes(self) -> None:
+        trefi = self.timing.trefi
+        if self.config.refresh_mode == "same_bank":
+            # REFsb: one bank per tREFI / banks slot, round-robin, so every
+            # bank still refreshes once per tREFI.
+            self._ref_cursor = [0] * self.config.num_subchannels
+            interval = max(1, trefi // self.config.banks_per_subchannel)
+            for sc in range(self.config.num_subchannels):
+                offset = (sc * interval) // self.config.num_subchannels
+                self.engine.schedule(
+                    offset + interval,
+                    lambda t, s=sc: self._refresh_same_bank(s, t),
+                )
+        else:
+            for sc in range(self.config.num_subchannels):
+                offset = (sc * trefi) // self.config.num_subchannels
+                first = offset if offset > 0 else trefi
+                self.engine.schedule(first, lambda t, s=sc: self._refresh(s, t))
+        if self.prac is not None:
+            self.engine.schedule(self.timing.trefw, self._prac_refresh_window)
+
+    # ------------------------------------------------------------------
+    # Request entry point
+    # ------------------------------------------------------------------
+    def submit(self, request: Request) -> None:
+        """Accept a request at the current cycle."""
+        location = self.mapping.locate(request.line_addr)
+        request.location = location
+        request.flat_bank = location.flat_bank(self.config.banks_per_subchannel)
+        request._order = self._order
+        self._order += 1
+        if request.is_write and self.config.write_drain:
+            sc = request.flat_bank // self.config.banks_per_subchannel
+            buffer = self._write_buffers[sc]
+            buffer.append(request)
+            watermark = (3 * self.config.write_buffer_size) // 4
+            if len(buffer) >= watermark:
+                self.drain_writes(sc)
+            return
+        self.queues[request.flat_bank].append(request)
+        self._try_service(request.flat_bank, self.engine.now)
+
+    def drain_writes(self, sc: Optional[int] = None) -> int:
+        """Flush buffered writes into the bank queues; returns the count.
+
+        Called at the high watermark, at every REF (idle-ish moment), and
+        by :func:`repro.cpu.system.simulate` at end of run so no write is
+        ever lost.
+        """
+        subchannels = (
+            range(self.config.num_subchannels) if sc is None else (sc,)
+        )
+        drained = 0
+        for s in subchannels:
+            buffer = self._write_buffers[s]
+            if not buffer:
+                continue
+            drained += len(buffer)
+            for request in buffer:
+                self.queues[request.flat_bank].append(request)
+            touched = {r.flat_bank for r in buffer}
+            buffer.clear()
+            for flat in touched:
+                self._try_service(flat, self.engine.now)
+        return drained
+
+    def buffered_writes(self) -> int:
+        """Writes currently parked in the drain buffers."""
+        return sum(len(b) for b in self._write_buffers)
+
+    def pending_requests(self) -> int:
+        """Requests currently waiting in the per-bank queues."""
+        return sum(len(q) for q in self.queues)
+
+    # ------------------------------------------------------------------
+    # Scheduler
+    # ------------------------------------------------------------------
+    def _try_service(self, flat: int, now: int) -> None:
+        queue = self.queues[flat]
+        bank = self.banks[flat]
+        sc = flat // self.config.banks_per_subchannel
+
+        while queue:
+            # 1) Row-buffer hits first (FR-FCFS within the tRAS window).
+            if bank.is_open(now):
+                hits = [r for r in queue if r.location.row == bank.open_row]
+                if hits:
+                    for request in hits:
+                        bank.record_hit()
+                        self._serve(request, bank, sc, now, hit=True)
+                        queue.remove(request)
+                    continue
+
+            # 2) Pick the ACT candidate.
+            request = self._pick_candidate(flat, queue, now)
+            if request is None:
+                return
+
+            # 3) RFM gating: RAA at the cap means RFM before any ACT.
+            if self.rfm is not None and self.rfm.rfm_needed(flat):
+                if bank.open_row != NO_ROW and self._open_page:
+                    bank.precharge_for_conflict(now)
+                if bank.open_row == NO_ROW:
+                    free_at = bank.issue_rfm(now)
+                    self.rfm.on_rfm(flat)
+                    if self.command_log is not None:
+                        self.command_log.record(
+                            free_at - self.timing.trfm, RFM, flat
+                        )
+                    self._wakeup(flat, free_at)
+                else:
+                    self._wakeup(flat, bank.ready_at)
+                return
+
+            # 4) Bank timing. Open-page closes a conflicting row on demand;
+            # closed-page rows auto-precharge at tRAS.
+            if bank.open_row != NO_ROW and self._open_page:
+                bank.precharge_for_conflict(now)
+            if bank.open_row != NO_ROW or now < bank.ready_at:
+                self._wakeup(flat, bank.ready_at)
+                return
+
+            # 4a) tFAW: at most four ACTs per rolling window per subchannel.
+            recent = self._recent_acts[sc]
+            if len(recent) == 4 and now - recent[0] < self.timing.tfaw:
+                self._wakeup(flat, recent[0] + self.timing.tfaw)
+                return
+
+            row = request.location.row
+
+            # 4b) BlockHammer: a blacklisted row's ACTs are spaced out.
+            if self.blockhammer is not None:
+                allowed = self.blockhammer.earliest_act(flat, row, now)
+                if now < allowed:
+                    self._wakeup(flat, allowed)
+                    return
+
+            # 5) AutoRFM: conflict with the SAUM declines the ACT (ALERT).
+            if bank.autorfm is not None and bank.autorfm.conflicts(row, now):
+                self._handle_alert(request, bank, flat, now)
+                if self.setup.per_request_retry:
+                    continue
+                return
+
+            # 6) Issue the ACT.
+            bank.activate(row, now)
+            recent.append(now)
+            if len(recent) > 4:
+                recent.pop(0)
+            if self.command_log is not None:
+                self.command_log.record(now, ACT, flat, row)
+            if not self._open_page:
+                self.engine.schedule(
+                    now + self.timing.tras,
+                    lambda t, f=flat: self._auto_precharge(f, t),
+                )
+            if self.rfm is not None:
+                self.rfm.on_activation(flat)
+            if self.prac is not None and self.prac.on_activation(flat, row):
+                self._abo_stall(sc, flat, now)
+            if self.blockhammer is not None:
+                self.blockhammer.observe(flat, row, now)
+            self._serve(request, bank, sc, now, hit=False)
+            queue.remove(request)
+            # Loop: younger queued requests may now hit the open row.
+
+    def _pick_candidate(
+        self, flat: int, queue: List[Request], now: int
+    ) -> Optional[Request]:
+        if self.setup.per_request_retry:
+            eligible = [r for r in queue if r.retry_at <= now]
+            if not eligible:
+                self._wakeup(flat, min(r.retry_at for r in queue))
+                return None
+            return eligible[0]
+        if self.busy_table.is_busy(flat, now):
+            self._wakeup(flat, self.busy_table.busy_until(flat))
+            return None
+        if self.config.write_drain:
+            # Read priority: drained writes yield to demand reads.
+            for request in queue:
+                if not request.is_write:
+                    return request
+        return queue[0]
+
+    def _handle_alert(
+        self, request: Request, bank: Bank, flat: int, now: int
+    ) -> None:
+        bank.stats.alerts += 1
+        request.alerts += 1
+        if self.command_log is not None:
+            self.command_log.record(now, ALERT, flat, request.location.row)
+        if request.alerts > self.stats.max_request_alerts:
+            self.stats.max_request_alerts = request.alerts
+        tm = self.setup.tm_retry_cycles or bank.autorfm.mitigation_busy_cycles
+        retry_time = now + tm
+        # The MC precharges the bank so every chip holds the conflicted row
+        # closed (footnote 1 of the paper).
+        bank.stall_until(now + self.timing.trp)
+        if self.setup.per_request_retry:
+            request.retry_at = retry_time
+        else:
+            self.busy_table.mark_busy(flat, retry_time)
+            self._wakeup(flat, retry_time)
+
+    def _serve(
+        self, request: Request, bank: Bank, sc: int, now: int, hit: bool
+    ) -> None:
+        if hit:
+            data_ready = max(now, bank.act_time + self.timing.trcd)
+        else:
+            data_ready = now + self.timing.trcd
+        data_start = max(data_ready + self.timing.cas_latency, self.bus_free_at[sc])
+        self.bus_free_at[sc] = data_start + self.timing.burst
+        completion = (
+            data_start
+            + self.timing.burst
+            + self.config.static_mem_latency
+            + self.mapping.extra_latency
+        )
+        if request.is_write:
+            bank.stats.writes += 1
+        else:
+            bank.stats.reads += 1
+        if request.on_complete is not None:
+            self.engine.schedule(completion, request.on_complete)
+
+    # ------------------------------------------------------------------
+    # Maintenance events
+    # ------------------------------------------------------------------
+    def _auto_precharge(self, flat: int, now: int) -> None:
+        bank = self.banks[flat]
+        bank.auto_precharge(now)
+        if self.rfm is not None and self.rfm.rfm_due(flat):
+            # Opportunistic RFM: a due RFM is issued at the precharge when no
+            # demand is waiting (hiding the stall in idle time); with demand
+            # pending it is deferred until the RAAMMT hard cap forces it.
+            if not self.queues[flat] or self.rfm.rfm_needed(flat):
+                free_at = bank.issue_rfm(now)
+                self.rfm.on_rfm(flat)
+                if self.command_log is not None:
+                    self.command_log.record(
+                        free_at - self.timing.trfm, RFM, flat
+                    )
+                if self.queues[flat]:
+                    self._wakeup(flat, free_at)
+                return
+        if self.queues[flat]:
+            self._wakeup(flat, bank.ready_at)
+
+    def _refresh(self, sc: int, now: int) -> None:
+        base = sc * self.config.banks_per_subchannel
+        for local in range(self.config.banks_per_subchannel):
+            flat = base + local
+            self.banks[flat].start_refresh(now)
+            if self.rfm is not None:
+                self.rfm.on_refresh(flat)
+            if self.command_log is not None:
+                self.command_log.record(now, REF, flat)
+            if self.queues[flat]:
+                self._wakeup(flat, self.banks[flat].ready_at)
+        self.stats.refresh_windows += 1
+        if self.config.write_drain:
+            self.drain_writes(sc)  # REF is a natural drain point
+        if self.keep_running():
+            self.engine.schedule(
+                now + self.timing.trefi, lambda t, s=sc: self._refresh(s, t)
+            )
+
+    def _refresh_same_bank(self, sc: int, now: int) -> None:
+        base = sc * self.config.banks_per_subchannel
+        local = self._ref_cursor[sc]
+        self._ref_cursor[sc] = (local + 1) % self.config.banks_per_subchannel
+        flat = base + local
+        self.banks[flat].start_refresh(now, duration=self.timing.trfc_sb)
+        if self.rfm is not None:
+            self.rfm.on_refresh(flat)
+        if self.command_log is not None:
+            self.command_log.record(now, REF, flat)
+        if self.queues[flat]:
+            self._wakeup(flat, self.banks[flat].ready_at)
+        if local == self.config.banks_per_subchannel - 1:
+            self.stats.refresh_windows += 1
+        if self.keep_running():
+            interval = max(
+                1, self.timing.trefi // self.config.banks_per_subchannel
+            )
+            self.engine.schedule(
+                now + interval, lambda t, s=sc: self._refresh_same_bank(s, t)
+            )
+
+    def _prac_refresh_window(self, now: int) -> None:
+        self.prac.on_refresh_window()
+        if self.keep_running():
+            self.engine.schedule(
+                now + self.timing.trefw, self._prac_refresh_window
+            )
+
+    def _abo_stall(self, sc: int, flat: int, now: int) -> None:
+        """ABO ALERT: back off the whole subchannel for a mitigation slot."""
+        until = now + self.timing.trfm
+        base = sc * self.config.banks_per_subchannel
+        for local in range(self.config.banks_per_subchannel):
+            self.banks[base + local].stall_until(until)
+        alerting = self.stats.banks[flat]
+        alerting.alerts += 1
+        alerting.mitigations += 1
+        alerting.victim_refreshes += 4
+
+    # ------------------------------------------------------------------
+    # Wakeup bookkeeping
+    # ------------------------------------------------------------------
+    def _wakeup(self, flat: int, time: int) -> None:
+        now = self.engine.now
+        if time <= now:
+            time = now + 1
+        pending = self._wakeups[flat]
+        if pending is not None and pending <= time:
+            return
+        self._wakeups[flat] = time
+        self.engine.schedule(time, lambda t, f=flat: self._wakeup_fired(f, t))
+
+    def _wakeup_fired(self, flat: int, now: int) -> None:
+        if self._wakeups[flat] is not None and self._wakeups[flat] <= now:
+            self._wakeups[flat] = None
+        self._try_service(flat, now)

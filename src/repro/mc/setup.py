@@ -1,0 +1,157 @@
+"""Mitigation setup: which mechanism/tracker/policy a simulation runs.
+
+The setup is a small declarative record; :func:`build_tracker` and
+:func:`build_policy` construct the per-bank objects from it with properly
+derived RNG streams so that every bank's stochastic choices are independent
+and reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.mitigation import (
+    BlastRadiusMitigation,
+    FractalMitigation,
+    MitigationPolicy,
+)
+from repro.sim.config import SystemConfig
+from repro.sim.rng import RngStreams
+from repro.trackers import (
+    MintTracker,
+    MithrilTracker,
+    ParaTracker,
+    ParfmTracker,
+    PrideTracker,
+    Tracker,
+)
+
+MECHANISMS = ("none", "rfm", "autorfm", "prac", "smd", "blockhammer")
+TRACKERS = ("mint", "pride", "parfm", "mithril", "para", "hydra")
+POLICIES = ("fractal", "recursive", "blast2", "rowswap", "aqua")
+
+
+@dataclass(frozen=True)
+class MitigationSetup:
+    """What Rowhammer machinery the memory system runs.
+
+    * ``mechanism`` — "none" (baseline), "rfm" (blocking DDR5 RFM),
+      "autorfm" (the paper's transparent RFM), "prac" (PRAC + ABO).
+    * ``threshold`` — RFMTH / AutoRFMTH: activations per mitigation window.
+    * ``tracker`` — aggressor tracker ("mint" is the paper's default).
+    * ``policy`` — victim-refresh policy: "fractal" (FM), "recursive"
+      (RM: MINT transitive slot + level-shifted blast radius), or "blast2"
+      (plain blast-radius-2, insecure against transitive attacks).
+    * ``prac_trh_d`` — tolerated TRH-D target for the PRAC+ABO model.
+    * ``per_request_retry`` — the complex-MC ablation of Section IV-C.
+    * ``smd_regions_per_bank`` — Self-Managed-DRAM comparison (Section
+      VII-B): "smd" locks coarse maintenance regions instead of single
+      subarrays and uses PARA sampling with p = 1/threshold.
+    """
+
+    mechanism: str = "none"
+    threshold: int = 4
+    tracker: str = "mint"
+    policy: str = "fractal"
+    pride_fifo_entries: int = 4
+    mithril_entries: int = 1024
+    prac_trh_d: int = 100
+    per_request_retry: bool = False
+    #: ALERT retry time t_M in cycles; 0 means the mitigation busy time
+    #: (4 * tRC). The t_M-sensitivity ablation sets this explicitly.
+    tm_retry_cycles: int = 0
+    smd_regions_per_bank: int = 8
+    #: Rowhammer threshold target for the BlockHammer rate limiter.
+    blockhammer_trh: int = 1000
+
+    def __post_init__(self):
+        if self.mechanism not in MECHANISMS:
+            raise ValueError(f"unknown mechanism {self.mechanism!r}")
+        if self.tracker not in TRACKERS:
+            raise ValueError(f"unknown tracker {self.tracker!r}")
+        if self.policy not in POLICIES:
+            raise ValueError(f"unknown policy {self.policy!r}")
+        if self.mechanism in ("rfm", "autorfm", "smd") and self.threshold < 1:
+            raise ValueError("threshold must be >= 1")
+
+    @property
+    def uses_tracker(self) -> bool:
+        return self.mechanism in ("rfm", "autorfm", "smd")
+
+    def describe(self) -> str:
+        """Human-readable one-liner for logs and reports."""
+        if self.mechanism == "none":
+            return "baseline (no mitigation)"
+        if self.mechanism == "prac":
+            return f"PRAC+ABO (TRH-D {self.prac_trh_d})"
+        if self.mechanism == "smd":
+            return (
+                f"SMD (PARA p=1/{self.threshold}, "
+                f"{self.smd_regions_per_bank} regions/bank)"
+            )
+        if self.mechanism == "blockhammer":
+            return f"BlockHammer (TRH {self.blockhammer_trh})"
+        name = "RFM" if self.mechanism == "rfm" else "AutoRFM"
+        return f"{name}-{self.threshold} ({self.tracker}, {self.policy})"
+
+
+def build_tracker(
+    setup: MitigationSetup, streams: RngStreams, bank: int
+) -> Tracker:
+    """Construct the per-bank tracker named by ``setup``."""
+    rng = streams.get(f"tracker/{bank}")
+    # AutoRFM mitigates every `threshold` ACTs exactly; blocking RFM may be
+    # deferred to the RAAMMT cap, so its trackers tolerate window overruns.
+    strict = setup.mechanism != "rfm"
+    if setup.tracker == "mint":
+        return MintTracker(
+            window=setup.threshold,
+            rng=rng,
+            transitive_slot=(setup.policy == "recursive"),
+            strict=strict,
+        )
+    if setup.tracker == "pride":
+        return PrideTracker(
+            sample_probability=1.0 / setup.threshold,
+            rng=rng,
+            fifo_entries=setup.pride_fifo_entries,
+        )
+    if setup.tracker == "parfm":
+        return ParfmTracker(window=setup.threshold, rng=rng, strict=strict)
+    if setup.tracker == "para":
+        return ParaTracker(probability=1.0 / setup.threshold, rng=rng)
+    if setup.tracker == "hydra":
+        from repro.trackers.hydra import HydraTracker
+
+        return HydraTracker(rng=rng)
+    if setup.tracker == "mithril":
+        return MithrilTracker(entries=setup.mithril_entries, rng=rng)
+    raise ValueError(f"unknown tracker {setup.tracker!r}")
+
+
+def build_policy(
+    setup: MitigationSetup, config: SystemConfig, streams: RngStreams, bank: int
+) -> MitigationPolicy:
+    """Construct the per-bank victim-refresh policy named by ``setup``."""
+    if setup.policy == "fractal":
+        return FractalMitigation(
+            rows_per_bank=config.rows_per_bank,
+            rng=streams.get(f"fractal/{bank}"),
+        )
+    if setup.policy == "rowswap":
+        from repro.core.rowswap import RowSwapMitigation
+
+        return RowSwapMitigation(
+            rows_per_bank=config.rows_per_bank,
+            rng=streams.get(f"rowswap/{bank}"),
+        )
+    if setup.policy == "aqua":
+        from repro.core.rowswap import QuarantineMitigation
+
+        return QuarantineMitigation(
+            rows_per_bank=config.rows_per_bank,
+            rng=streams.get(f"aqua/{bank}"),
+        )
+    # Both "recursive" and "blast2" refresh with the level-shifted blast
+    # radius; the difference is whether the tracker escalates levels.
+    return BlastRadiusMitigation(rows_per_bank=config.rows_per_bank)

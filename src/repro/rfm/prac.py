@@ -1,0 +1,80 @@
+"""PRAC + ABO model (Section VII-A, Fig. 13), in the style of MOAT [36].
+
+Per-Row Activation Counting stores an activation counter inside each DRAM
+row; maintaining it lengthens the DRAM timings (the paper reports tRC growing
+by ~10 %, which alone costs ~4 % performance regardless of threshold).
+Alert Back-Off lets the DRAM chip assert ALERT when some row's counter
+crosses an internal threshold; the controller then stalls the subchannel for
+a mitigation window (modeled as tRFM) while the chip refreshes the victims.
+
+The ABO threshold follows MOAT: mitigate when a row reaches roughly half the
+tolerated Rowhammer threshold, minus the slack an attacker can squeeze in
+between ALERT assertion and the back-off taking effect (20-30 extra ACTs per
+the works cited in Section VII-A).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.sim.config import DramTiming
+
+#: tRC inflation from the counter read-modify-write (Section VII-A).
+PRAC_TRC_FACTOR = 1.10
+
+#: Activations an attacker can land between ALERT and the stall (Sec. VII-A).
+ABO_SLACK_ACTS = 25
+
+
+def prac_timing(base: DramTiming) -> DramTiming:
+    """DDR5 timings with PRAC's counter update folded into tRC."""
+    return base.scaled(trc_factor=PRAC_TRC_FACTOR)
+
+
+def abo_threshold_for(trh_d: int) -> int:
+    """Internal per-row ALERT threshold needed to tolerate ``trh_d``.
+
+    A double-sided threshold of TRH-D allows TRH-D activations per neighbour;
+    the chip must mitigate before that, leaving room for the ABO slack.
+    """
+    threshold = trh_d - ABO_SLACK_ACTS
+    if threshold < 1:
+        raise ValueError(
+            f"PRAC+ABO cannot tolerate TRH-D {trh_d} "
+            f"(needs > {ABO_SLACK_ACTS + 1}, Section VII-A)"
+        )
+    return threshold
+
+
+class PracModel:
+    """Per-row counters and the ABO stall rule for one subchannel."""
+
+    def __init__(self, num_banks: int, abo_threshold: int):
+        if abo_threshold < 1:
+            raise ValueError("abo_threshold must be at least 1")
+        self.abo_threshold = abo_threshold
+        self.num_banks = num_banks
+        self._counters: List[Dict[int, int]] = [{} for _ in range(num_banks)]
+        self.alerts = 0
+
+    def on_activation(self, bank: int, row: int) -> bool:
+        """Count an ACT; return True when the chip asserts ABO ALERT."""
+        counters = self._counters[bank]
+        count = counters.get(row, 0) + 1
+        if count >= self.abo_threshold:
+            # The chip mitigates this row (victim refreshes) during the
+            # back-off window; its counter resets.
+            counters[row] = 0
+            self.alerts += 1
+            return True
+        counters[row] = count
+        return False
+
+    def on_refresh_window(self) -> None:
+        """Full tREFW elapsed: every row was refreshed, counters clear."""
+        for counters in self._counters:
+            counters.clear()
+
+    def row_count(self, bank: int, row: int) -> int:
+        """Current per-row activation count (0 when untracked)."""
+        return self._counters[bank].get(row, 0)

@@ -1,0 +1,64 @@
+"""DDR5 Refresh Management (RFM) bookkeeping (Section II-E).
+
+The memory controller counts activations per bank in a Rolling Accumulated
+ACT (RAA) counter. When a bank's RAA reaches ``rfm_th`` the MC must issue an
+RFM command — a blocking operation of tRFM during which the bank services no
+demand requests — which decrements RAA by ``rfm_th``. A REF also decrements
+RAA (by 100 % of ``rfm_th`` here, the paper's assumption in Section II-F).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class RfmController:
+    """Per-bank RAA counters and the RFM issue rule.
+
+    DDR5 defines two trip points: RAAIMT (here ``rfm_th``), above which an
+    RFM is *due*, and RAAMMT (``rfm_th * max_factor``), above which the MC
+    must stop activating the bank until an RFM completes. A good controller
+    issues due RFMs opportunistically while the bank is idle and only blocks
+    demand once the hard cap is reached.
+    """
+
+    def __init__(
+        self,
+        num_banks: int,
+        rfm_th: int,
+        ref_decrement: int = None,
+        max_factor: float = 1.5,
+    ):
+        if rfm_th < 1:
+            raise ValueError("rfm_th must be at least 1")
+        if max_factor < 1.0:
+            raise ValueError("max_factor must be >= 1")
+        self.num_banks = num_banks
+        self.rfm_th = rfm_th
+        self.raa_max = max(rfm_th, int(rfm_th * max_factor))
+        # REF reduces RAA by 50 % or 100 % of RFMTH per the spec; the paper's
+        # motivation study assumes 100 %.
+        self.ref_decrement = rfm_th if ref_decrement is None else ref_decrement
+        self.raa: List[int] = [0] * num_banks
+        self.rfms_issued = 0
+
+    def on_activation(self, bank: int) -> None:
+        """Count one ACT into the bank's RAA counter."""
+        self.raa[bank] += 1
+
+    def rfm_due(self, bank: int) -> bool:
+        """RAAIMT reached: an RFM should be issued when convenient."""
+        return self.raa[bank] >= self.rfm_th
+
+    def rfm_needed(self, bank: int) -> bool:
+        """RAAMMT reached: no more ACTs to ``bank`` until an RFM."""
+        return self.raa[bank] >= self.raa_max
+
+    def on_rfm(self, bank: int) -> None:
+        """Account an issued RFM: RAA drops by RFMTH."""
+        self.raa[bank] = max(0, self.raa[bank] - self.rfm_th)
+        self.rfms_issued += 1
+
+    def on_refresh(self, bank: int) -> None:
+        """Account a REF: RAA drops by the refresh decrement."""
+        self.raa[bank] = max(0, self.raa[bank] - self.ref_decrement)

@@ -1,0 +1,42 @@
+"""Security analysis: analytical threshold models and attack simulation.
+
+* :mod:`repro.security.mint_model` — Appendix A: tolerated Rowhammer
+  threshold of MINT-style trackers as a function of window size.
+* :mod:`repro.security.fractal_model` — Appendix B: damage/escape model of
+  Fractal Mitigation and the TRH-D >= 53 safety bound.
+* :mod:`repro.security.thresholds` — the measured TRH history (Table II,
+  Fig. 1a).
+* :mod:`repro.security.montecarlo` — logical-time attack simulation against
+  tracker + mitigation pairs (transitive/Half-Double patterns included).
+* :mod:`repro.security.blast` — disturbance-vs-distance model (Blaster).
+* :mod:`repro.security.ecc` — SECDED tolerance model (Section VII-E).
+"""
+
+from repro.security.fractal_model import (
+    FM_SAFE_TRHD,
+    fm_damage,
+    fm_escape_probability,
+    fm_max_damage,
+    mint_escape_probability,
+)
+from repro.security.mint_model import (
+    MTTF_TARGET_YEARS,
+    mint_tolerated_trhd,
+    mint_tolerated_trhs,
+)
+from repro.security.montecarlo import AttackResult, run_attack
+from repro.security.thresholds import TRH_HISTORY
+
+__all__ = [
+    "FM_SAFE_TRHD",
+    "fm_damage",
+    "fm_escape_probability",
+    "fm_max_damage",
+    "mint_escape_probability",
+    "MTTF_TARGET_YEARS",
+    "mint_tolerated_trhd",
+    "mint_tolerated_trhs",
+    "AttackResult",
+    "run_attack",
+    "TRH_HISTORY",
+]

@@ -1,0 +1,90 @@
+"""Timing-level Rowhammer security audit.
+
+The Monte-Carlo harness checks trackers at logical activation granularity;
+this module audits an *actual timing simulation*: it replays the recorded
+command log (ACTs, victim refreshes, REFs) through the same
+pressure-accounting rules and reports the worst unmitigated hammer pressure
+any row experienced. The threat-model success condition — "any row receives
+more than the threshold number of activations without any intervening
+mitigation" (Section II-A) — becomes directly checkable against the full
+system: scheduler, queues, retries, ALERT machinery and all.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.sim.cmdlog import ACT, REF, VICTIM_REFRESH, CommandLog
+from repro.sim.config import SystemConfig
+
+#: Relative damage a victim at distance 2 takes (Blaster, Section V fn. 3).
+FAR_DAMAGE = 0.1
+
+
+@dataclass
+class HammerAudit:
+    """Worst-case hammer pressure observed in a simulation."""
+
+    max_pressure: float = 0.0
+    max_pressure_bank: int = -1
+    max_pressure_row: int = -1
+    activations: int = 0
+    victim_refreshes: int = 0
+    pressure: Dict[Tuple[int, int], float] = field(default_factory=dict)
+
+    def is_safe_for(self, trh: float) -> bool:
+        """True when no row's pressure reached the given threshold."""
+        return self.max_pressure < trh
+
+
+def audit_hammer_pressure(
+    log: CommandLog,
+    config: SystemConfig,
+    blast_radius: int = 2,
+) -> HammerAudit:
+    """Compute per-row hammer pressure from a recorded command stream.
+
+    Rules mirror :mod:`repro.security.montecarlo`: an ACT of row r adds
+    full damage to r +- 1 and ``FAR_DAMAGE`` to r +- 2; activating or
+    victim-refreshing a row restores it; a REF models the per-tREFI
+    refresh of 1/8192 of the rows — over a full tREFW every row resets,
+    which short simulations never reach, so REF is conservatively ignored
+    here (pressure only ever over-estimates).
+    """
+    config.validate()
+    pressure: Dict[Tuple[int, int], float] = defaultdict(float)
+    audit = HammerAudit()
+
+    def bump(bank: int, row: int, amount: float) -> None:
+        if not 0 <= row < config.rows_per_bank:
+            return
+        key = (bank, row)
+        pressure[key] += amount
+        if pressure[key] > audit.max_pressure:
+            audit.max_pressure = pressure[key]
+            audit.max_pressure_bank, audit.max_pressure_row = key
+
+    for record in sorted(log.records, key=lambda r: r.time):
+        if record.kind == ACT:
+            audit.activations += 1
+            for dist in range(1, blast_radius + 1):
+                damage = 1.0 if dist == 1 else FAR_DAMAGE
+                bump(record.bank, record.row - dist, damage)
+                bump(record.bank, record.row + dist, damage)
+            pressure[(record.bank, record.row)] = 0.0
+        elif record.kind == VICTIM_REFRESH:
+            audit.victim_refreshes += 1
+            # The refresh restores the victim but hammers its neighbours
+            # (the transitive vector), same as a row cycle.
+            for dist in range(1, blast_radius + 1):
+                damage = 1.0 if dist == 1 else FAR_DAMAGE
+                bump(record.bank, record.row - dist, damage)
+                bump(record.bank, record.row + dist, damage)
+            pressure[(record.bank, record.row)] = 0.0
+        elif record.kind == REF:
+            continue  # conservative: see docstring
+
+    audit.pressure = dict(pressure)
+    return audit

@@ -1,0 +1,82 @@
+"""ECC-based Rowhammer tolerance model (Section VII-E).
+
+SafeGuard, CSI-RH, PT-Guard, and Cube repurpose ECC to *correct* Rowhammer
+bit flips instead of preventing them. The paper's criticism: "uncorrectable
+failures can still occur, leading to data loss". This module quantifies
+that with the standard SECDED math: per-word flip counts are binomial in
+the raw bit-flip probability, SECDED(72,64) corrects exactly one flip per
+word, and multi-flip words are uncorrectable (or worse, miscorrected).
+
+The model shows the cliff: ECC looks great while flips are rare, but the
+uncorrectable rate grows ~quadratically with hammer pressure — and a
+targeted attacker concentrates pressure, which is why the paper prevents
+activations rather than patching their effects.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SecdedCode:
+    """A SECDED code correcting 1 and detecting 2 flips per word."""
+
+    data_bits: int = 64
+    check_bits: int = 8
+
+    @property
+    def word_bits(self) -> int:
+        return self.data_bits + self.check_bits
+
+    def _binomial(self, k: int, p: float) -> float:
+        n = self.word_bits
+        return math.comb(n, k) * p**k * (1 - p) ** (n - k)
+
+    def p_correctable(self, bit_flip_probability: float) -> float:
+        """P(word has exactly one flip) — silently repaired."""
+        _check_probability(bit_flip_probability)
+        return self._binomial(1, bit_flip_probability)
+
+    def p_uncorrectable(self, bit_flip_probability: float) -> float:
+        """P(word has two or more flips) — detected-or-worse data loss."""
+        _check_probability(bit_flip_probability)
+        p = bit_flip_probability
+        return 1.0 - self._binomial(0, p) - self._binomial(1, p)
+
+
+def _check_probability(p: float) -> None:
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("probability must be in [0, 1]")
+
+
+def flip_probability(pressure: float, trh: float, spread: float = 0.15) -> float:
+    """Per-bit flip probability as hammer pressure approaches the threshold.
+
+    Bit thresholds in a row are distributed around the nominal TRH; the
+    weakest bits flip first. Modeled as a logistic in log-pressure with
+    ``spread`` controlling the threshold variance across bits: at
+    pressure = TRH, half the marginal bits of the victim row have flipped.
+    The absolute scale (fraction of bits that are Rowhammer-weak at all,
+    ~1e-5 per characterization studies) multiplies the logistic.
+    """
+    if pressure < 0 or trh <= 0:
+        raise ValueError("pressure must be >= 0 and trh > 0")
+    if spread <= 0:
+        raise ValueError("spread must be positive")
+    weak_fraction = 1e-5
+    if pressure == 0:
+        return 0.0
+    x = (math.log(pressure) - math.log(trh)) / spread
+    logistic = 1.0 / (1.0 + math.exp(-x))
+    return weak_fraction * logistic
+
+
+def uncorrectable_rate_per_gb(
+    pressure: float, trh: float, code: SecdedCode = SecdedCode()
+) -> float:
+    """Expected uncorrectable words per GB of hammered victim data."""
+    p_bit = flip_probability(pressure, trh)
+    words_per_gb = (1 << 30) * 8 // code.data_bits
+    return words_per_gb * code.p_uncorrectable(p_bit)

@@ -1,0 +1,80 @@
+"""Security model of Fractal Mitigation (Appendix B, Fig. 15/16).
+
+An attacker hammering an aggressor row triggers N Fractal Mitigation
+episodes and tries to use FM's own probabilistic refreshes as activations on
+a distant victim R. R's neighbours R- and R+ receive refreshes with
+probabilities p and p/4 while R itself escapes with probability
+(1 - p/2)^N:
+
+* ``Damage = 1.25 * p * N`` (Eq. 8);
+* ``P_escape ~= exp(-Damage / 2.5)`` (Eq. 9);
+* at the 10^-18 escape target (10 K-year MTTF), ``Damage <= 104`` so FM is
+  safe for TRH-D >= 53 (Eq. 10).
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Escape-probability target corresponding to the 10 K-year MTTF.
+ESCAPE_TARGET = 1e-18
+
+#: FM is safe against transitive abuse for systems with TRH-D >= this bound.
+FM_SAFE_TRHD = 53
+
+
+def fm_damage(refresh_probability: float, episodes: int) -> float:
+    """Expected activations on R's neighbours after N episodes (Eq. 8)."""
+    if not 0.0 <= refresh_probability <= 1.0:
+        raise ValueError("refresh_probability must be in [0, 1]")
+    if episodes < 0:
+        raise ValueError("episodes must be non-negative")
+    return 1.25 * refresh_probability * episodes
+
+
+def fm_escape_probability(damage: float) -> float:
+    """P(victim row R receives no refresh) given total damage (Eq. 9)."""
+    if damage < 0:
+        raise ValueError("damage must be non-negative")
+    return math.exp(-damage / 2.5)
+
+
+def fm_max_damage(escape_target: float = ESCAPE_TARGET) -> float:
+    """Largest damage whose escape probability still meets the target."""
+    if not 0.0 < escape_target < 1.0:
+        raise ValueError("escape_target must be in (0, 1)")
+    return -2.5 * math.log(escape_target)
+
+
+def fm_safe_trhd(escape_target: float = ESCAPE_TARGET) -> int:
+    """Smallest TRH-D at which FM's transitive refreshes cannot cause failure.
+
+    Damage is double-sided (R+ and R- both hammered), so the attack reaches
+    thresholds up to ceil(damage / 2) (Eq. 10: 104 / 2 = 52); FM is safe
+    from the next threshold up (53, matching Section V-D).
+    """
+    return math.ceil(fm_max_damage(escape_target) / 2.0) + 1
+
+
+def mint_escape_probability(damage: float, window: int) -> float:
+    """P(escape) for direct activations under MINT-W (Fig. 16)."""
+    if window < 2:
+        raise ValueError("window must be at least 2")
+    if damage < 0:
+        raise ValueError("damage must be non-negative")
+    return (1.0 - 1.0 / window) ** damage
+
+
+def mixed_attack_escape(
+    fm_damage_count: float, mint_damage_count: float, window: int
+) -> float:
+    """Escape probability of a combined FM + direct attack (Appendix B).
+
+    The two attack components escape independently, so the combined escape
+    probability is the product — always weaker per activation than the pure
+    direct attack, which is why FM does not lower MINT's threshold for
+    TRH-D >= 53.
+    """
+    return fm_escape_probability(fm_damage_count) * mint_escape_probability(
+        mint_damage_count, window
+    )

@@ -1,0 +1,83 @@
+"""Analytical model for MINT + (Auto)RFM (Appendix A).
+
+MINT selects each activation of a W-activation window with probability p
+(p = 1/W with Fractal Mitigation; p = 1/(W+1) with recursive mitigation's
+reserved transitive slot). For the strongest attack — W unique rows activated
+round-robin, (ABCD)^K — the model gives:
+
+* escape probability of one row over T activations: ``P_T = (1 - p)^T``
+  (Eq. 1);
+* epoch time between mitigations of a given row:
+  ``t_E = (1/p) * W * tRC + t_M`` (Eq. 2 with general p);
+* failure rate over all W attacked rows: ``W * P_T / t_E`` (Eq. 4);
+* solving ``MTTF = 1 / rate`` for T gives the tolerated single-sided
+  threshold (Eq. 6), and TRH-D = T / 2 (Eq. 7).
+
+With W = 4, tRC = 48 ns, t_M = 205 ns and a 10 000-year MTTF target the
+model yields TRH-D 73 (FM) and 94 (RM); the paper reports 74 and 96 (it
+rounds its operating points up conservatively — see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import math
+
+#: The paper's reliability target.
+MTTF_TARGET_YEARS = 10_000.0
+
+SECONDS_PER_YEAR = 365.25 * 24 * 3600.0
+
+
+def mint_tolerated_trhs(
+    window: int,
+    recursive: bool = False,
+    trc_ns: float = 48.0,
+    tm_ns: float = 205.0,
+    mttf_years: float = MTTF_TARGET_YEARS,
+) -> float:
+    """Tolerated single-sided threshold (T of Eq. 6) for MINT.
+
+    ``recursive`` selects the W+1-slot variant (recursive mitigation);
+    otherwise the W-slot variant used with Fractal Mitigation.
+    """
+    if window < 2:
+        raise ValueError("window must be at least 2")
+    if mttf_years <= 0:
+        raise ValueError("mttf_years must be positive")
+    slots = window + 1 if recursive else window
+    p = 1.0 / slots
+    epoch_ns = slots * window * trc_ns + tm_ns
+    mttf_ns = mttf_years * SECONDS_PER_YEAR * 1e9
+    # MTTF = t_E / (W * (1-p)^T)  =>  (1-p)^T = t_E / (W * MTTF)
+    ratio = epoch_ns / (window * mttf_ns)
+    return math.log(ratio) / math.log(1.0 - p)
+
+
+def mint_tolerated_trhd(
+    window: int,
+    recursive: bool = False,
+    trc_ns: float = 48.0,
+    tm_ns: float = 205.0,
+    mttf_years: float = MTTF_TARGET_YEARS,
+) -> int:
+    """Tolerated double-sided threshold, TRH-D = ceil(T / 2) (Eq. 7)."""
+    t = mint_tolerated_trhs(window, recursive, trc_ns, tm_ns, mttf_years)
+    return math.ceil(t / 2.0)
+
+
+def mttf_years_for_threshold(
+    trh_d: int,
+    window: int,
+    recursive: bool = False,
+    trc_ns: float = 48.0,
+    tm_ns: float = 205.0,
+) -> float:
+    """Inverse model: MTTF (Eq. 5) achieved at a given TRH-D."""
+    if trh_d < 1:
+        raise ValueError("trh_d must be positive")
+    slots = window + 1 if recursive else window
+    p = 1.0 / slots
+    epoch_ns = slots * window * trc_ns + tm_ns
+    t = 2.0 * trh_d
+    mttf_ns = epoch_ns / (window * (1.0 - p) ** t)
+    return mttf_ns / 1e9 / SECONDS_PER_YEAR

@@ -1,0 +1,135 @@
+"""Logical-time attack simulation against tracker + mitigation pairs.
+
+The harness replays a per-bank row-activation sequence (see
+:mod:`repro.workloads.attacks`) through a tracker and mitigation policy at
+activation granularity — no DRAM timing, just the security bookkeeping:
+
+* every activation of row r hammers its neighbours: ``pressure[v]`` grows
+  for v at distances within ``blast_radius`` (nearer neighbours take full
+  damage, distance-2 takes ``FAR_DAMAGE`` per the Blaster characterization
+  the paper cites: < 10 % charge loss at d = 2);
+* every ``window`` activations the tracker nominates an aggressor and the
+  policy's victim refreshes reset those rows' pressure — but each refresh is
+  itself an activation that hammers *its* neighbours (transitive attacks);
+* the run records the maximum pressure any row ever reaches: the minimum
+  Rowhammer threshold this defense held in this run.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from repro.core.mitigation import MitigationPolicy
+from repro.trackers.base import Tracker
+
+#: Relative damage a victim at distance 2 takes (Section V footnote 3).
+FAR_DAMAGE = 0.1
+
+
+@dataclass
+class AttackResult:
+    """Outcome of one attack replay."""
+
+    max_pressure: float = 0.0
+    max_pressure_row: int = -1
+    activations: int = 0
+    mitigations: int = 0
+    victim_refreshes: int = 0
+    pressure: Dict[int, float] = field(default_factory=dict)
+
+    def tolerated_threshold(self) -> float:
+        """A defense is safe in this run for TRH above the max pressure."""
+        return self.max_pressure
+
+
+def run_attack(
+    pattern: Sequence[int],
+    tracker: Tracker,
+    policy: MitigationPolicy,
+    window: int,
+    blast_radius: int = 2,
+    refresh_interval_acts: Optional[int] = None,
+    remapper=None,
+) -> AttackResult:
+    """Replay ``pattern`` and return the worst per-row hammer pressure.
+
+    ``window`` is the mitigation cadence (AutoRFMTH). If
+    ``refresh_interval_acts`` is given, all pressure resets that often
+    (modeling the tREFW periodic refresh). ``remapper`` (a
+    :class:`~repro.core.rowswap.RowSwapRemapper`) makes the accounting
+    remap-aware: the pattern names *logical* rows, pressure accrues on
+    *physical* neighbours, and row-swap mitigations relocate aggressors.
+    """
+    if window < 1:
+        raise ValueError("window must be at least 1")
+    if blast_radius < 1:
+        raise ValueError("blast_radius must be at least 1")
+
+    from repro.core.rowswap import MigrationMitigation
+
+    swap_policy = isinstance(policy, MigrationMitigation)
+    if swap_policy and remapper is None:
+        remapper = policy  # MigrationMitigation exposes physical_row
+
+    pressure: Dict[int, float] = defaultdict(float)
+    result = AttackResult()
+    position = 0
+
+    def hammer(row: int) -> None:
+        for dist in range(1, blast_radius + 1):
+            damage = 1.0 if dist == 1 else FAR_DAMAGE
+            for victim in (row - dist, row + dist):
+                if victim < 0:
+                    continue
+                pressure[victim] += damage
+                if pressure[victim] > result.max_pressure:
+                    result.max_pressure = pressure[victim]
+                    result.max_pressure_row = victim
+
+    def physical(row: int) -> int:
+        return remapper.physical_row(row) if remapper is not None else row
+
+    for row in pattern:
+        if row < 0:
+            raise ValueError("row indices must be non-negative")
+        tracker.on_activation(row)
+        phys = physical(row)
+        hammer(phys)
+        # Activating a row restores its own charge: a row cannot be its own
+        # Rowhammer victim.
+        pressure[phys] = 0.0
+        result.activations += 1
+        position += 1
+
+        if position >= window:
+            position = 0
+            request = tracker.select_for_mitigation()
+            if request is not None:
+                if swap_policy:
+                    # Row migration: the aggressor moves; its accumulated
+                    # pressure against the old neighbourhood is orphaned
+                    # (the attacker must re-discover adjacency).
+                    policy.relocate(request)
+                    result.mitigations += 1
+                else:
+                    victims = policy.victims(request)
+                    result.mitigations += 1
+                    result.victim_refreshes += len(victims)
+                    for victim in victims:
+                        # The refresh replenishes the victim but hammers
+                        # *its* neighbours (the transitive-attack vector).
+                        phys_victim = physical(victim)
+                        hammer(phys_victim)
+                        pressure[phys_victim] = 0.0
+                        tracker.on_victim_refresh(victim, request.level)
+
+        if (
+            refresh_interval_acts is not None
+            and result.activations % refresh_interval_acts == 0
+        ):
+            pressure.clear()
+
+    result.pressure = dict(pressure)
+    return result

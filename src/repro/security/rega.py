@@ -1,0 +1,54 @@
+"""REGA model [30] (Section VII-D).
+
+REGA redesigns the DRAM mat so every demand activation *also* drives
+refresh-generating activations to other rows of the subarray via spare
+row-buffer circuitry. With k refreshes per ACT, a subarray's rows are all
+replenished every rows/k activations — a deterministic guarantee with no
+tracker at all. The catch is circuit time: each extra refresh lengthens the
+row cycle, and the paper dismisses REGA for the sub-100 regime because the
+required k is unaffordable. This model quantifies that argument.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Fractional tRC increase per refresh-generating activation beyond the
+#: first (fit to REGA's published V1/V2 operating points: ~45 -> 60 ns).
+TRC_PENALTY_PER_REFRESH = 0.33
+
+
+def rega_tolerated_trhd(
+    refreshes_per_act: int, rows_per_subarray: int = 512
+) -> int:
+    """TRH-D guaranteed by REGA-V<k>.
+
+    Round-robin refresh means any victim row waits at most
+    rows/k activations between replenishments; with double-sided damage
+    the tolerated TRH-D is half the single-sided bound.
+    """
+    if refreshes_per_act < 1:
+        raise ValueError("refreshes_per_act must be >= 1")
+    if rows_per_subarray < 2:
+        raise ValueError("rows_per_subarray must be >= 2")
+    worst_wait = rows_per_subarray / refreshes_per_act
+    return math.ceil(worst_wait / 2.0) * 2  # even, conservative
+
+
+def rega_trc_factor(refreshes_per_act: int) -> float:
+    """tRC inflation for REGA-V<k> relative to an unmodified device."""
+    if refreshes_per_act < 1:
+        raise ValueError("refreshes_per_act must be >= 1")
+    return 1.0 + TRC_PENALTY_PER_REFRESH * (refreshes_per_act - 1)
+
+
+def rega_k_for_trhd(trhd: int, rows_per_subarray: int = 512) -> int:
+    """Smallest refreshes-per-ACT achieving a TRH-D target."""
+    if trhd < 1:
+        raise ValueError("trhd must be positive")
+    k = 1
+    while rega_tolerated_trhd(k, rows_per_subarray) > trhd:
+        k += 1
+        if k > rows_per_subarray:
+            raise ValueError("target unreachable")
+    return k

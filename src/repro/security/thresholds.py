@@ -1,0 +1,50 @@
+"""Rowhammer threshold history (Table II, Fig. 1a)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ThresholdEntry:
+    """One DRAM generation's measured thresholds (activations)."""
+
+    generation: str
+    year: int
+    trh_single: Optional[int]  # TRH-S, single-sided
+    trh_double_low: Optional[int]  # TRH-D range
+    trh_double_high: Optional[int]
+
+    @property
+    def representative(self) -> int:
+        """The value the trend plot uses: TRH-D low end, else TRH-S."""
+        if self.trh_double_low is not None:
+            return self.trh_double_low
+        if self.trh_single is not None:
+            return self.trh_single
+        raise ValueError(f"{self.generation} has no threshold data")
+
+
+#: Table II: thresholds from [21] (Kim 2014), [17] (Kim 2020), [23]
+#: (Half-Double).
+TRH_HISTORY: List[ThresholdEntry] = [
+    ThresholdEntry("DDR3-old", 2014, 139_000, None, None),
+    ThresholdEntry("DDR3-new", 2016, None, 22_400, 22_400),
+    ThresholdEntry("DDR4", 2018, None, 10_000, 17_500),
+    ThresholdEntry("LPDDR4", 2020, None, 4_800, 9_000),
+]
+
+
+def threshold_trend() -> List[Tuple[int, int]]:
+    """(year, representative threshold) pairs for the Fig. 1a trend."""
+    return [(e.year, e.representative) for e in TRH_HISTORY]
+
+
+def halving_time_years() -> float:
+    """Average time for the threshold to halve across the history."""
+    import math
+
+    first, last = TRH_HISTORY[0], TRH_HISTORY[-1]
+    halvings = math.log2(first.representative / last.representative)
+    return (last.year - first.year) / halvings

@@ -1,0 +1,27 @@
+"""Simulation kernel: configuration, deterministic RNG streams, statistics.
+
+The simulator is event-driven with integer time measured in CPU cycles at
+4 GHz (0.25 ns per cycle), so every DDR5 timing from Table I of the paper is
+an exact integer number of cycles.
+"""
+
+from repro.sim.config import (
+    CYCLES_PER_NS,
+    DramTiming,
+    SystemConfig,
+    ns_to_cycles,
+    cycles_to_ns,
+)
+from repro.sim.rng import RngStreams
+from repro.sim.stats import BankStats, SimStats
+
+__all__ = [
+    "CYCLES_PER_NS",
+    "DramTiming",
+    "SystemConfig",
+    "ns_to_cycles",
+    "cycles_to_ns",
+    "RngStreams",
+    "BankStats",
+    "SimStats",
+]

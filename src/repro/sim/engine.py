@@ -1,0 +1,59 @@
+"""Minimal event-driven simulation kernel.
+
+Time is integer CPU cycles. Events are (time, sequence, callback) entries in
+a binary heap; ties break by insertion order, so the simulation is fully
+deterministic. Callbacks receive the current time.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Tuple
+
+EventCallback = Callable[[int], None]
+
+
+class Engine:
+    """Deterministic discrete-event loop."""
+
+    def __init__(self):
+        self.now = 0
+        self._seq = 0
+        self._heap: List[Tuple[int, int, EventCallback]] = []
+
+    def schedule(self, time: int, callback: EventCallback) -> None:
+        """Schedule ``callback(time)`` at ``time`` (>= now)."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule at {time}, now is {self.now}")
+        heapq.heappush(self._heap, (time, self._seq, callback))
+        self._seq += 1
+
+    def schedule_in(self, delay: int, callback: EventCallback) -> None:
+        """Schedule ``callback`` after ``delay`` cycles."""
+        self.schedule(self.now + delay, callback)
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)
+
+    def run(self, until: int = None, max_events: int = None) -> int:
+        """Run until the heap drains (or a bound is hit); return final time.
+
+        ``until`` stops the loop once the next event would be later than the
+        bound; ``max_events`` guards against runaway simulations.
+        """
+        processed = 0
+        heap = self._heap
+        while heap:
+            time, _, callback = heap[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(heap)
+            self.now = time
+            callback(time)
+            processed += 1
+            if max_events is not None and processed >= max_events:
+                raise RuntimeError(
+                    f"exceeded {max_events} events; likely a livelock"
+                )
+        return self.now

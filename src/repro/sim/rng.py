@@ -1,0 +1,51 @@
+"""Deterministic, named random-number streams.
+
+Every stochastic component of the simulator (MINT slot selection, Fractal
+Mitigation distances, cipher keys, trace generation) draws from its own child
+stream of a single root seed, so a simulation is exactly reproducible and
+adding a new consumer never perturbs existing ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict
+
+import numpy as np
+
+
+def _child_seed(root_seed: int, name: str) -> int:
+    """Derive a stable 64-bit child seed from a root seed and a name."""
+    digest = hashlib.sha256(f"{root_seed}/{name}".encode()).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+class RngStreams:
+    """A registry of named ``numpy.random.Generator`` streams.
+
+    >>> streams = RngStreams(seed=7)
+    >>> a = streams.get("mint/bank0")
+    >>> b = streams.get("mint/bank0")
+    >>> a is b
+    True
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    def get(self, name: str) -> np.random.Generator:
+        """Return (creating on first use) the stream for ``name``."""
+        stream = self._streams.get(name)
+        if stream is None:
+            stream = np.random.default_rng(_child_seed(self.seed, name))
+            self._streams[name] = stream
+        return stream
+
+    def spawn(self, name: str) -> "RngStreams":
+        """Return an independent registry rooted at a child of this seed."""
+        return RngStreams(_child_seed(self.seed, name))
+
+    def integer_seed(self, name: str) -> int:
+        """Return a bare 64-bit seed for consumers that keep their own RNG."""
+        return _child_seed(self.seed, name)

@@ -1,0 +1,196 @@
+"""Simulation statistics.
+
+``BankStats`` accumulates per-bank command counts; ``SimStats`` aggregates a
+whole run (per-core progress, per-bank counters) and derives the metrics the
+paper reports: ACT-PKI, ACT-per-tREFI, ALERT-per-ACT, weighted speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class BankStats:
+    """Command counters for a single bank."""
+
+    activations: int = 0
+    row_hits: int = 0
+    reads: int = 0
+    writes: int = 0
+    refreshes: int = 0
+    rfm_commands: int = 0
+    mitigations: int = 0
+    victim_refreshes: int = 0
+    row_swaps: int = 0  # row-migration mitigations (RRS policy)
+    alerts: int = 0
+    recursive_rounds: int = 0  # extra chained mitigation rounds (RM only)
+
+    def merge(self, other: "BankStats") -> None:
+        """Accumulate another bank's counters into this one."""
+        for name in self.__dataclass_fields__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+
+@dataclass
+class CoreStats:
+    """Per-core progress counters."""
+
+    instructions: int = 0
+    memory_requests: int = 0
+    finish_cycle: int = 0
+    read_latency_sum: int = 0
+    reads_completed: int = 0
+
+    @property
+    def ipc(self) -> float:
+        if self.finish_cycle == 0:
+            return 0.0
+        return self.instructions / self.finish_cycle
+
+    @property
+    def avg_read_latency(self) -> float:
+        """Mean dispatch-to-data read latency, in CPU cycles."""
+        if self.reads_completed == 0:
+            return 0.0
+        return self.read_latency_sum / self.reads_completed
+
+
+@dataclass
+class SimStats:
+    """Aggregated statistics for one simulation run."""
+
+    cycles: int = 0
+    banks: List[BankStats] = field(default_factory=list)
+    cores: List[CoreStats] = field(default_factory=list)
+    refresh_windows: int = 0  # number of elapsed tREFI intervals
+    #: Worst number of ALERTs any single request suffered. The paper's
+    #: Fig.-7 design guarantees 1 (a failed ACT succeeds on its retry);
+    #: values above 1 appear with the per-request-retry ablation or with
+    #: recursive mitigation's chained rounds.
+    max_request_alerts: int = 0
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def total_activations(self) -> int:
+        return sum(b.activations for b in self.banks)
+
+    @property
+    def total_row_hits(self) -> int:
+        return sum(b.row_hits for b in self.banks)
+
+    @property
+    def total_alerts(self) -> int:
+        return sum(b.alerts for b in self.banks)
+
+    @property
+    def total_rfm_commands(self) -> int:
+        return sum(b.rfm_commands for b in self.banks)
+
+    @property
+    def total_mitigations(self) -> int:
+        return sum(b.mitigations for b in self.banks)
+
+    @property
+    def total_victim_refreshes(self) -> int:
+        return sum(b.victim_refreshes for b in self.banks)
+
+    @property
+    def total_row_swaps(self) -> int:
+        return sum(b.row_swaps for b in self.banks)
+
+    @property
+    def total_refreshes(self) -> int:
+        return sum(b.refreshes for b in self.banks)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(c.instructions for c in self.cores)
+
+    @property
+    def total_memory_requests(self) -> int:
+        return sum(c.memory_requests for c in self.cores)
+
+    # ------------------------------------------------------------------
+    # Paper metrics
+    # ------------------------------------------------------------------
+    @property
+    def act_pki(self) -> float:
+        """Activations per thousand instructions (Table V)."""
+        instrs = self.total_instructions
+        if instrs == 0:
+            return 0.0
+        return 1000.0 * self.total_activations / instrs
+
+    def act_per_trefi(self, trefi_cycles: int) -> float:
+        """Average activations per tREFI per bank (Table V)."""
+        if self.cycles == 0 or not self.banks:
+            return 0.0
+        windows = self.cycles / trefi_cycles
+        return self.total_activations / windows / len(self.banks)
+
+    @property
+    def alerts_per_act(self) -> float:
+        """Probability that an ACT is declined with an ALERT (Fig. 8b)."""
+        acts = self.total_activations
+        if acts == 0:
+            return 0.0
+        return self.total_alerts / acts
+
+    @property
+    def row_hit_rate(self) -> float:
+        accesses = self.total_activations + self.total_row_hits
+        if accesses == 0:
+            return 0.0
+        return self.total_row_hits / accesses
+
+    def weighted_speedup(self, baseline: "SimStats") -> float:
+        """Weighted speedup of this run relative to ``baseline``.
+
+        Each core contributes IPC_this / IPC_baseline; the result is the
+        mean over cores (so the no-change case is exactly 1.0).
+        """
+        if len(self.cores) != len(baseline.cores):
+            raise ValueError("core counts differ")
+        if not self.cores:
+            return 1.0
+        ratios = []
+        for mine, base in zip(self.cores, baseline.cores):
+            if base.ipc == 0:
+                raise ValueError("baseline core has zero IPC")
+            ratios.append(mine.ipc / base.ipc)
+        return sum(ratios) / len(ratios)
+
+    def slowdown_vs(self, baseline: "SimStats") -> float:
+        """Fractional slowdown vs. ``baseline`` (0.04 means 4 % slower)."""
+        return 1.0 - self.weighted_speedup(baseline)
+
+    def bank(self, index: int) -> BankStats:
+        """Counters of one bank by flat index."""
+        return self.banks[index]
+
+    @classmethod
+    def with_shape(cls, num_banks: int, num_cores: int) -> "SimStats":
+        return cls(
+            banks=[BankStats() for _ in range(num_banks)],
+            cores=[CoreStats() for _ in range(num_cores)],
+        )
+
+    def summary(self, trefi_cycles: Optional[int] = None) -> Dict[str, float]:
+        """Return the headline metrics as a plain dict (for reports)."""
+        out = {
+            "cycles": float(self.cycles),
+            "instructions": float(self.total_instructions),
+            "activations": float(self.total_activations),
+            "act_pki": self.act_pki,
+            "alerts_per_act": self.alerts_per_act,
+            "row_hit_rate": self.row_hit_rate,
+            "mitigations": float(self.total_mitigations),
+            "rfm_commands": float(self.total_rfm_commands),
+        }
+        if trefi_cycles:
+            out["act_per_trefi"] = self.act_per_trefi(trefi_cycles)
+        return out

@@ -1,0 +1,31 @@
+"""Secure low-cost in-DRAM trackers (Section II-D, Appendix D).
+
+All trackers implement :class:`Tracker`: they observe per-bank activations
+and, when the bank's mitigation window completes, nominate one aggressor row.
+
+* :class:`MintTracker` — the paper's representative tracker: one slot of the
+  upcoming W-activation window is pre-selected uniformly at random.
+* :class:`PrideTracker` — probabilistic sampling into a small FIFO.
+* :class:`ParfmTracker` — PARA-style: buffer the window, pick uniformly.
+* :class:`MithrilTracker` — deterministic Misra-Gries (counter) tracker.
+"""
+
+from repro.trackers.base import Tracker
+from repro.trackers.graphene import GrapheneTracker
+from repro.trackers.mint import MintTracker
+from repro.trackers.mithril import MithrilTracker
+from repro.trackers.para import ParaTracker
+from repro.trackers.parfm import ParfmTracker
+from repro.trackers.pride import PrideTracker
+from repro.trackers.trr import TrrTracker
+
+__all__ = [
+    "Tracker",
+    "GrapheneTracker",
+    "MintTracker",
+    "MithrilTracker",
+    "ParaTracker",
+    "ParfmTracker",
+    "PrideTracker",
+    "TrrTracker",
+]

@@ -1,0 +1,53 @@
+"""Tracker interface.
+
+A tracker instance serves exactly one DRAM bank. The bank (or the AutoRFM
+engine driving it) calls :meth:`on_activation` for every demand ACT and
+:meth:`select_for_mitigation` once per mitigation window; the returned
+:class:`MitigationRequest` names the aggressor row (or ``None`` when the
+tracker has nothing to mitigate, e.g. an empty PrIDE FIFO).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MitigationRequest:
+    """One nominated aggressor.
+
+    ``level`` is the recursive-mitigation level: level 1 is a direct
+    aggressor; level L > 1 means the row was itself a victim of a level L-1
+    mitigation and its victims must be refreshed at increased distance
+    (Fig. 9b). Fractal Mitigation always issues level 1.
+    """
+
+    row: int
+    level: int = 1
+
+
+class Tracker(abc.ABC):
+    """Per-bank aggressor-row tracker."""
+
+    def __init__(self, rng: np.random.Generator):
+        self.rng = rng
+
+    @abc.abstractmethod
+    def on_activation(self, row: int) -> None:
+        """Observe one demand activation of ``row``."""
+
+    @abc.abstractmethod
+    def select_for_mitigation(self) -> Optional[MitigationRequest]:
+        """Nominate the aggressor for this window (called at window end)."""
+
+    def on_victim_refresh(self, row: int, level: int) -> None:
+        """Observe a victim refresh (used by recursive-mitigation trackers)."""
+
+    @property
+    @abc.abstractmethod
+    def storage_bits(self) -> int:
+        """SRAM the tracker needs per bank, in bits (Section VI-C)."""

@@ -1,0 +1,78 @@
+"""Graphene tracker [35] (Section VII-D).
+
+Graphene keeps a Misra-Gries table like Mithril but mitigates on a count
+*threshold*: whenever a row's estimated count crosses ``mitigation_count``
+it is nominated at the next opportunity and its counter resets. The table
+clears every refresh window (tREFW), bounding the counts it must represent.
+
+Graphene is deterministic and secure but needs counters sized for the
+threshold; it is included as the strong-but-expensive end of the tracker
+spectrum (the paper's low-cost trackers trade determinism for SRAM).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.trackers.base import MitigationRequest, Tracker
+
+
+class GrapheneTracker(Tracker):
+    """Misra-Gries table with threshold-triggered mitigation."""
+
+    def __init__(
+        self,
+        entries: int,
+        mitigation_count: int,
+        rng: np.random.Generator,
+    ):
+        super().__init__(rng)
+        if entries < 1:
+            raise ValueError("entries must be at least 1")
+        if mitigation_count < 1:
+            raise ValueError("mitigation_count must be at least 1")
+        self.entries = entries
+        self.mitigation_count = mitigation_count
+        self._counts: Dict[int, int] = {}
+        self._decrements = 0
+        self._due: Optional[int] = None
+
+    def on_activation(self, row: int) -> None:
+        counts = self._counts
+        if row in counts:
+            counts[row] += 1
+        elif len(counts) < self.entries:
+            counts[row] = self._decrements + 1
+        else:
+            self._decrements += 1
+            dead = [r for r, c in counts.items() if c <= self._decrements]
+            for r in dead:
+                del counts[r]
+            return
+        if counts[row] - self._decrements >= self.mitigation_count:
+            self._due = row
+
+    def select_for_mitigation(self) -> Optional[MitigationRequest]:
+        if self._due is None:
+            return None
+        row, self._due = self._due, None
+        self._counts[row] = self._decrements  # count re-earned from zero
+        return MitigationRequest(row, level=1)
+
+    def on_refresh_window(self) -> None:
+        """tREFW elapsed: every row refreshed, the table clears."""
+        self._counts.clear()
+        self._decrements = 0
+        self._due = None
+
+    def effective_count(self, row: int) -> int:
+        """Misra-Gries estimate for ``row`` (0 when untracked)."""
+        return max(0, self._counts.get(row, self._decrements) - self._decrements)
+
+    @property
+    def storage_bits(self) -> int:
+        # Row address (~17 bits) + a counter wide enough for the threshold.
+        counter_bits = max(1, self.mitigation_count.bit_length())
+        return self.entries * (17 + counter_bits)

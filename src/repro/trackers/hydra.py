@@ -1,0 +1,114 @@
+"""Hydra tracker [38] (Section VII-D).
+
+Hydra keeps *per-row* activation counters in DRAM and filters accesses to
+them with two SRAM structures: a Group Count Table (GCT) that counts
+activations per group of rows, and a Row Count Cache (RCC) over the DRAM
+counters. Per-row tracking engages only after a group's count crosses
+``group_threshold`` — benign traffic almost never does — so the common case
+touches SRAM only. The costs the paper alludes to ("can still cause
+significant slowdowns") are the DRAM counter lookups on RCC misses, which
+this model counts in :attr:`dram_lookups`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.trackers.base import MitigationRequest, Tracker
+
+
+class HydraTracker(Tracker):
+    """GCT + RCC + DRAM-resident per-row counters."""
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        group_size: int = 128,
+        group_threshold: int = 200,
+        row_threshold: int = 400,
+        rcc_entries: int = 64,
+    ):
+        super().__init__(rng)
+        if group_size < 1 or rcc_entries < 1:
+            raise ValueError("group_size and rcc_entries must be positive")
+        if group_threshold < 1 or row_threshold < 1:
+            raise ValueError("thresholds must be positive")
+        self.group_size = group_size
+        self.group_threshold = group_threshold
+        self.row_threshold = row_threshold
+        self.rcc_entries = rcc_entries
+
+        self._group_counts: Dict[int, int] = {}
+        self._row_counts: Dict[int, int] = {}  # the DRAM-resident counters
+        self._rcc: "OrderedDict[int, None]" = OrderedDict()  # LRU over rows
+        self._pending: Optional[int] = None
+
+        self.dram_lookups = 0  # RCC misses once per-row tracking engaged
+        self.engaged_groups = 0
+
+    # ------------------------------------------------------------------
+    def on_activation(self, row: int) -> None:
+        group = row // self.group_size
+        count = self._group_counts.get(group, 0) + 1
+        self._group_counts[group] = count
+        if count < self.group_threshold:
+            return  # common case: SRAM only
+        if count == self.group_threshold:
+            self.engaged_groups += 1
+
+        self._rcc_access(row)
+        row_count = self._row_counts.get(row, 0) + 1
+        self._row_counts[row] = row_count
+        if row_count >= self.row_threshold:
+            self._pending = row
+
+    def _rcc_access(self, row: int) -> None:
+        if row in self._rcc:
+            self._rcc.move_to_end(row)
+            return
+        self.dram_lookups += 1  # counter fetched (and written back) in DRAM
+        if len(self._rcc) >= self.rcc_entries:
+            self._rcc.popitem(last=False)
+        self._rcc[row] = None
+
+    def select_for_mitigation(self) -> Optional[MitigationRequest]:
+        if self._pending is None:
+            return None
+        row, self._pending = self._pending, None
+        self._row_counts[row] = 0
+        return MitigationRequest(row, level=1)
+
+    def on_refresh_window(self) -> None:
+        """tREFW elapsed: all counters reset."""
+        self._group_counts.clear()
+        self._row_counts.clear()
+        self._rcc.clear()
+        self._pending = None
+
+    # ------------------------------------------------------------------
+    def row_count(self, row: int) -> int:
+        """DRAM-resident counter value for ``row`` (0 before engagement)."""
+        return self._row_counts.get(row, 0)
+
+    def group_count(self, row: int) -> int:
+        """GCT counter of the group holding ``row``."""
+        return self._group_counts.get(row // self.group_size, 0)
+
+    @property
+    def storage_bits(self) -> int:
+        """SRAM only: the GCT plus the RCC (DRAM counters are not SRAM).
+
+        The GCT is sized for the groups of one bank (rows / group_size);
+        each entry needs a counter wide enough for group_threshold, and
+        each RCC entry a row id plus a row counter.
+        """
+        group_counter_bits = max(1, self.group_threshold.bit_length())
+        row_counter_bits = max(1, self.row_threshold.bit_length())
+        gct_entries = 128 * 1024 // self.group_size
+        return (
+            gct_entries * group_counter_bits
+            + self.rcc_entries * (17 + row_counter_bits)
+        )

@@ -1,0 +1,111 @@
+"""MINT: Minimalist In-DRAM Tracker [37] (Section II-D, Fig. 4 and Fig. 6).
+
+MINT operates over a window of W activations. At the start of each window it
+pre-selects, uniformly at random, which of the upcoming slots will be
+mitigated; the row occupying that slot is nominated at the end of the window.
+MINT stores a single row address (plus the slot counter), making it the
+cheapest secure tracker.
+
+Two flavours:
+
+* ``transitive_slot=False`` (used with Fractal Mitigation): select among the
+  W demand slots.
+* ``transitive_slot=True`` (MINT's native recursive-mitigation defence):
+  select among W+1 slots, where the extra slot re-mitigates the previously
+  mitigated row at an increased distance (level + 1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.trackers.base import MitigationRequest, Tracker
+
+
+class MintTracker(Tracker):
+    """Single-entry probabilistic tracker with pre-decided slot selection."""
+
+    def __init__(
+        self,
+        window: int,
+        rng: np.random.Generator,
+        transitive_slot: bool = False,
+        strict: bool = True,
+    ):
+        """``strict=False`` lets the window wrap instead of raising.
+
+        AutoRFM guarantees a mitigation every ``window`` activations, so its
+        trackers run strict. Under blocking RFM the controller may defer a
+        due RFM up to the RAAMMT hard cap, so more than ``window`` ACTs can
+        land between mitigations; non-strict mode re-rolls the window when
+        that happens (the selection probability per ACT is unchanged).
+        """
+        super().__init__(rng)
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        self.window = window
+        self.transitive_slot = transitive_slot
+        self.strict = strict
+        self._position = 0
+        self._captured: Optional[int] = None
+        self._last_mitigation: Optional[MitigationRequest] = None
+        self._chosen_slot = self._draw_slot()
+
+    # ------------------------------------------------------------------
+    def _draw_slot(self) -> int:
+        """Slot index in [1, W] (or [1, W+1] with the transitive slot)."""
+        slots = self.window + (1 if self.transitive_slot else 0)
+        return int(self.rng.integers(1, slots + 1))
+
+    @property
+    def selection_probability(self) -> float:
+        """Probability that a given demand activation is selected."""
+        return 1.0 / (self.window + (1 if self.transitive_slot else 0))
+
+    # ------------------------------------------------------------------
+    def on_activation(self, row: int) -> None:
+        if self._position >= self.window:
+            if self.strict:
+                raise RuntimeError(
+                    "window overran: select_for_mitigation was not called"
+                )
+            self._position = 0
+            self._chosen_slot = self._draw_slot()
+        self._position += 1
+        if self._position == self._chosen_slot:
+            self._captured = row
+
+    def window_complete(self) -> bool:
+        """True when all W slots of the current window have been seen."""
+        return self._position >= self.window
+
+    def select_for_mitigation(self) -> Optional[MitigationRequest]:
+        """Close the window, nominate its aggressor, and start a new window."""
+        transitive = (
+            self.transitive_slot and self._chosen_slot == self.window + 1
+        )
+        if transitive:
+            previous = self._last_mitigation
+            if previous is None:
+                request = None
+            else:
+                request = MitigationRequest(previous.row, previous.level + 1)
+        elif self._captured is not None:
+            request = MitigationRequest(self._captured, level=1)
+        else:
+            request = None
+
+        self._last_mitigation = request or self._last_mitigation
+        self._position = 0
+        self._captured = None
+        self._chosen_slot = self._draw_slot()
+        return request
+
+    # ------------------------------------------------------------------
+    @property
+    def storage_bits(self) -> int:
+        # One row address (17 bits for 128K rows), a slot counter, the chosen
+        # slot, and the last-mitigation record: ~4 bytes (Section VI-C).
+        return 32

@@ -1,0 +1,68 @@
+"""Mithril tracker [18] (Appendix D).
+
+Mithril is a deterministic counter-based tracker built on the Misra-Gries
+frequent-elements algorithm: it keeps ``entries`` (row, count) pairs; an
+activation increments its row's counter (inserting when a free or zero-count
+slot exists) or decrements every counter when the table is full. At each
+mitigation opportunity the row with the highest count is mitigated and its
+counter reset to the running minimum.
+
+Misra-Gries guarantees that any row's true activation count since its last
+mitigation is at most ``count + total_acts / entries``, which is what gives
+Mithril a deterministic tolerated threshold (at the price of > 30 K entries
+per bank, Fig. 18).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.trackers.base import MitigationRequest, Tracker
+
+
+class MithrilTracker(Tracker):
+    """Misra-Gries counter tracker with highest-count mitigation."""
+
+    def __init__(self, entries: int, rng: np.random.Generator):
+        super().__init__(rng)
+        if entries < 1:
+            raise ValueError("entries must be at least 1")
+        self.entries = entries
+        self._counts: Dict[int, int] = {}
+        self._decrements = 0  # global decrement offset (lazy Misra-Gries)
+
+    def on_activation(self, row: int) -> None:
+        counts = self._counts
+        if row in counts:
+            counts[row] += 1
+        elif len(counts) < self.entries:
+            counts[row] = self._decrements + 1
+        else:
+            # Table full: the classic Misra-Gries decrement of every counter,
+            # done lazily by raising the global offset and evicting rows whose
+            # effective count reaches zero.
+            self._decrements += 1
+            dead = [r for r, c in counts.items() if c <= self._decrements]
+            for r in dead:
+                del counts[r]
+
+    def select_for_mitigation(self) -> Optional[MitigationRequest]:
+        if not self._counts:
+            return None
+        row = max(self._counts, key=self._counts.get)
+        if self._counts[row] <= self._decrements:
+            return None
+        # Reset the mitigated row to the floor so it re-earns its count.
+        self._counts[row] = self._decrements
+        return MitigationRequest(row, level=1)
+
+    def effective_count(self, row: int) -> int:
+        """Current Misra-Gries estimate for ``row`` (0 when untracked)."""
+        return max(0, self._counts.get(row, self._decrements) - self._decrements)
+
+    @property
+    def storage_bits(self) -> int:
+        # Each entry: row address (~17 bits) + counter (~16 bits).
+        return self.entries * 33

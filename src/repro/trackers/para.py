@@ -1,0 +1,45 @@
+"""PARA-style sampling tracker (used by the SMD comparison, Section VII-B).
+
+PARA samples each activation with probability ``p`` and mitigates the
+sampled row at the next opportunity. Unlike MINT there is no window
+structure: most mitigation opportunities find nothing pending, and a new
+sample overwrites an unharvested one (the classic single-entry PARA).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.trackers.base import MitigationRequest, Tracker
+
+
+class ParaTracker(Tracker):
+    """Sample-with-probability-p, mitigate-at-next-opportunity."""
+
+    def __init__(self, probability: float, rng: np.random.Generator):
+        super().__init__(rng)
+        if not 0.0 < probability <= 1.0:
+            raise ValueError("probability must be in (0, 1]")
+        self.probability = probability
+        self._pending: Optional[int] = None
+        self.samples = 0
+        self.overwritten = 0
+
+    def on_activation(self, row: int) -> None:
+        if self.rng.random() < self.probability:
+            if self._pending is not None:
+                self.overwritten += 1
+            self._pending = row
+            self.samples += 1
+
+    def select_for_mitigation(self) -> Optional[MitigationRequest]:
+        if self._pending is None:
+            return None
+        row, self._pending = self._pending, None
+        return MitigationRequest(row, level=1)
+
+    @property
+    def storage_bits(self) -> int:
+        return 18  # one pending row address + valid bit

@@ -1,0 +1,47 @@
+"""PARFM tracker [18] (Section II-D).
+
+PARFM buffers the row addresses activated since the last mitigation; on
+mitigation, one buffered address is selected uniformly at random. The buffer
+covers one mitigation window, so its size equals the window length.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.trackers.base import MitigationRequest, Tracker
+
+
+class ParfmTracker(Tracker):
+    """Uniform selection over the activations of the current window."""
+
+    def __init__(self, window: int, rng: np.random.Generator, strict: bool = True):
+        super().__init__(rng)
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        self.window = window
+        self.strict = strict
+        self._buffer: List[int] = []
+
+    def on_activation(self, row: int) -> None:
+        if len(self._buffer) >= self.window:
+            if self.strict:
+                raise RuntimeError(
+                    "window overran: select_for_mitigation was not called"
+                )
+            self._buffer.pop(0)  # deferred mitigation: slide the window
+        self._buffer.append(row)
+
+    def select_for_mitigation(self) -> Optional[MitigationRequest]:
+        if not self._buffer:
+            return None
+        choice = int(self.rng.integers(0, len(self._buffer)))
+        row = self._buffer[choice]
+        self._buffer.clear()
+        return MitigationRequest(row, level=1)
+
+    @property
+    def storage_bits(self) -> int:
+        return self.window * 18

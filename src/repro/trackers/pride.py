@@ -1,0 +1,58 @@
+"""PrIDE tracker [11] (Section II-D).
+
+PrIDE samples each activation with probability ``p`` into a small FIFO; at
+each mitigation opportunity the oldest sampled entry is mitigated. Its
+tolerated threshold depends on the sampling probability, the FIFO's loss
+probability (a sampled row is dropped when the FIFO is full), and tardiness
+(activations between insertion and mitigation).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+import numpy as np
+
+from repro.trackers.base import MitigationRequest, Tracker
+
+
+class PrideTracker(Tracker):
+    """Probabilistic sampling into a bounded FIFO."""
+
+    def __init__(
+        self,
+        sample_probability: float,
+        rng: np.random.Generator,
+        fifo_entries: int = 4,
+    ):
+        super().__init__(rng)
+        if not 0.0 < sample_probability <= 1.0:
+            raise ValueError("sample_probability must be in (0, 1]")
+        if fifo_entries < 1:
+            raise ValueError("fifo_entries must be at least 1")
+        self.sample_probability = sample_probability
+        self.fifo_entries = fifo_entries
+        self._fifo: Deque[int] = deque()
+        self.samples_dropped = 0
+
+    def on_activation(self, row: int) -> None:
+        if self.rng.random() < self.sample_probability:
+            if len(self._fifo) >= self.fifo_entries:
+                self.samples_dropped += 1
+                return
+            self._fifo.append(row)
+
+    def select_for_mitigation(self) -> Optional[MitigationRequest]:
+        if not self._fifo:
+            return None
+        return MitigationRequest(self._fifo.popleft(), level=1)
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._fifo)
+
+    @property
+    def storage_bits(self) -> int:
+        # fifo_entries row addresses at ~17 bits plus valid bits.
+        return self.fifo_entries * 18

@@ -1,0 +1,61 @@
+"""A TRR-style vendor tracker — deliberately *insecure* (Section I / II-D).
+
+In-DRAM Target Row Refresh implementations sample activations
+deterministically into a tiny table and refresh the hottest entry during
+REF. TRRespass [5] and Blacksmith [12] broke them with many-sided patterns:
+enough decoy aggressors evict the real target from the table between
+mitigations. This model reproduces that failure mode so the benchmark suite
+can demonstrate *why* the paper restricts itself to secure trackers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.trackers.base import MitigationRequest, Tracker
+
+
+class TrrTracker(Tracker):
+    """Deterministic periodic sampler over a tiny recency table."""
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        entries: int = 4,
+        sample_period: int = 4,
+    ):
+        super().__init__(rng)
+        if entries < 1:
+            raise ValueError("entries must be at least 1")
+        if sample_period < 1:
+            raise ValueError("sample_period must be at least 1")
+        self.entries = entries
+        self.sample_period = sample_period
+        self._table: Dict[int, int] = {}  # row -> sampled-hit count
+        self._acts = 0
+
+    def on_activation(self, row: int) -> None:
+        self._acts += 1
+        if self._acts % self.sample_period:
+            return  # deterministic sampling: every Nth ACT only
+        if row in self._table:
+            self._table[row] += 1
+            return
+        if len(self._table) >= self.entries:
+            # Evict the coldest entry — the lever many-sided attacks pull.
+            coldest = min(self._table, key=self._table.get)
+            del self._table[coldest]
+        self._table[row] = 1
+
+    def select_for_mitigation(self) -> Optional[MitigationRequest]:
+        if not self._table:
+            return None
+        row = max(self._table, key=self._table.get)
+        del self._table[row]
+        return MitigationRequest(row, level=1)
+
+    @property
+    def storage_bits(self) -> int:
+        return self.entries * (17 + 8)

@@ -1,0 +1,26 @@
+"""Workloads: synthetic trace generators and Rowhammer attack patterns.
+
+The paper evaluates 11 SPEC-2017, 6 GAP, and 4 STREAM workloads (Table V).
+Real SPEC slices are not redistributable, so :mod:`repro.workloads.catalog`
+defines 21 synthetic generators calibrated to each workload's memory
+intensity (ACT-PKI) and locality class; see DESIGN.md for the substitution
+rationale.
+"""
+
+from repro.workloads.catalog import (
+    WORKLOADS,
+    Workload,
+    workload_names,
+    workloads_by_suite,
+)
+from repro.workloads.synthetic import generate_trace
+from repro.workloads.trace import Trace
+
+__all__ = [
+    "WORKLOADS",
+    "Workload",
+    "workload_names",
+    "workloads_by_suite",
+    "generate_trace",
+    "Trace",
+]

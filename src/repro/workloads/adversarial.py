@@ -1,0 +1,97 @@
+"""Adversarial *timing-level* workloads: attack traces for the simulator.
+
+The logical patterns in :mod:`repro.workloads.attacks` exercise trackers in
+isolation; the generators here build full memory-request traces that land on
+chosen DRAM rows *through a mapping* (using the mapping's inverse — the
+threat model's strongest attacker, who knows the defense and the address
+scrambling). They drive two timing studies:
+
+* classic hammering through the full memory system (scheduler, tRC, REF,
+  mitigation all in the loop);
+* denial-of-service probing (Section IV's concern): an attacker pinning one
+  subarray under constant mitigation while victims run alongside.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.mapping.base import LineLocation, MemoryMapping
+from repro.sim.config import SystemConfig
+from repro.workloads.trace import Trace
+
+
+def lines_for_rows(
+    mapping: MemoryMapping,
+    subchannel: int,
+    bank: int,
+    rows: Sequence[int],
+    column: int = 0,
+) -> List[int]:
+    """Line addresses that map onto ``rows`` of one bank."""
+    return [
+        mapping.line_for(
+            LineLocation(subchannel=subchannel, bank=bank, row=row, column=column)
+        )
+        for row in rows
+    ]
+
+
+def hammer_trace(
+    mapping: MemoryMapping,
+    rows: Sequence[int],
+    num_requests: int,
+    subchannel: int = 0,
+    bank: int = 0,
+    gap: int = 0,
+) -> Trace:
+    """Round-robin activation trace over ``rows`` of one bank.
+
+    With two or more rows every request forces a fresh ACT (the previous
+    row must be precharged first), which is the maximal-rate hammer the
+    closed-page policy admits. ``gap`` inserts compute between requests to
+    throttle the attacker below the memory system's saturation point.
+    """
+    if not rows:
+        raise ValueError("need at least one target row")
+    if num_requests < 0:
+        raise ValueError("num_requests must be non-negative")
+    lines = lines_for_rows(mapping, subchannel, bank, rows)
+    n = len(lines)
+    return Trace(
+        gaps=[gap] * num_requests,
+        addrs=[lines[i % n] for i in range(num_requests)],
+        writes=[False] * num_requests,
+        name="hammer",
+    )
+
+
+def subarray_dos_trace(
+    mapping: MemoryMapping,
+    config: SystemConfig,
+    num_requests: int,
+    subchannel: int = 0,
+    bank: int = 0,
+    subarray: int = 0,
+    gap: int = 0,
+) -> Trace:
+    """Keep one subarray under perpetual mitigation pressure.
+
+    The attacker cycles rows of a single subarray so that (a) every
+    mitigation the tracker triggers lands on that subarray and (b) every
+    demand ACT it issues can conflict with the ongoing mitigation — the
+    worst case for AutoRFM's ALERT machinery. AutoRFM's deterministic t_M
+    bounds the damage; recursive mitigation's chained rounds do not.
+    """
+    if not 0 <= subarray < config.subarrays_per_bank:
+        raise ValueError(f"subarray {subarray} out of range")
+    base = subarray * config.rows_per_subarray
+    rows = [base + 2 * i for i in range(min(8, config.rows_per_subarray // 2))]
+    return hammer_trace(
+        mapping,
+        rows,
+        num_requests,
+        subchannel=subchannel,
+        bank=bank,
+        gap=gap,
+    )

@@ -1,0 +1,62 @@
+"""Rowhammer attack access patterns (logical, per-bank row sequences).
+
+These generate the row-activation sequences the security analysis replays
+against a tracker + mitigation pair: the (ABCD)^K round-robin pattern that is
+optimal against MINT (Appendix A), classic single/double-sided hammers, and
+the Half-Double transitive pattern [23].
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+
+def round_robin_attack(rows: Sequence[int], total_acts: int) -> List[int]:
+    """(ABCD...)^K — W unique rows activated continuously in a circle."""
+    if not rows:
+        raise ValueError("need at least one row")
+    if total_acts < 0:
+        raise ValueError("total_acts must be non-negative")
+    n = len(rows)
+    return [rows[i % n] for i in range(total_acts)]
+
+
+def single_sided(row: int, total_acts: int) -> List[int]:
+    """Hammer one aggressor row continuously."""
+    return round_robin_attack([row], total_acts)
+
+
+def double_sided(victim: int, total_acts: int) -> List[int]:
+    """Alternate the two neighbours of ``victim`` (the strongest pattern)."""
+    if victim < 1:
+        raise ValueError("victim must have two neighbours")
+    return round_robin_attack([victim - 1, victim + 1], total_acts)
+
+
+def half_double(far_aggressor: int, total_acts: int, decoys: int = 8) -> List[int]:
+    """Half-Double [23]: hammer A so its victim refreshes hammer A +- 2.
+
+    The attacker hammers ``far_aggressor`` (and rotating decoy rows far away
+    so blocking trackers can't trivially lock on); the mitigation's victim
+    refreshes of A+-1 then act as activations next to the real target rows at
+    distance two. The decoys sit 10 000 rows away, outside any blast radius.
+    """
+    if decoys < 0:
+        raise ValueError("decoys must be non-negative")
+    pattern = [far_aggressor]
+    pattern.extend(far_aggressor + 10_000 + 2 * d for d in range(decoys))
+    return round_robin_attack(pattern, total_acts)
+
+
+def interleave(patterns: Sequence[Sequence[int]], total_acts: int) -> List[int]:
+    """Round-robin interleaving of several attack sub-patterns."""
+    if not patterns or any(len(p) == 0 for p in patterns):
+        raise ValueError("patterns must be non-empty")
+    iters: List[Iterator[int]] = [_cycle(p) for p in patterns]
+    return [next(iters[i % len(iters)]) for i in range(total_acts)]
+
+
+def _cycle(seq: Sequence[int]) -> Iterator[int]:
+    while True:
+        for item in seq:
+            yield item

@@ -1,0 +1,52 @@
+"""Post-LLC memory trace format."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class Trace:
+    """A core's memory-request stream.
+
+    ``gaps[i]`` is the number of non-memory instructions between request
+    i-1 and request i; ``addrs[i]`` is the 64 B line address; ``writes[i]``
+    marks stores. ``tail_instructions`` run after the final request.
+    """
+
+    gaps: List[int] = field(default_factory=list)
+    addrs: List[int] = field(default_factory=list)
+    writes: List[bool] = field(default_factory=list)
+    tail_instructions: int = 0
+    name: str = ""
+
+    def __post_init__(self):
+        if not (len(self.gaps) == len(self.addrs) == len(self.writes)):
+            raise ValueError("gaps, addrs, and writes must align")
+
+    def __len__(self) -> int:
+        return len(self.addrs)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(self.gaps) + len(self.gaps) + self.tail_instructions
+
+    @property
+    def mpki(self) -> float:
+        """Memory requests per thousand instructions."""
+        total = self.total_instructions
+        if total == 0:
+            return 0.0
+        return 1000.0 * len(self) / total
+
+    def sliced(self, num_requests: int) -> "Trace":
+        """A prefix of the trace with at most ``num_requests`` requests."""
+        n = min(num_requests, len(self))
+        return Trace(
+            gaps=self.gaps[:n],
+            addrs=self.addrs[:n],
+            writes=self.writes[:n],
+            tail_instructions=self.tail_instructions,
+            name=self.name,
+        )

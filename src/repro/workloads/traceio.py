@@ -1,0 +1,108 @@
+"""Trace file I/O: bring-your-own-traces support.
+
+The simulator consumes post-LLC request streams; users with real traces
+(from Pin/DynamoRIO tools or another simulator) can load them through this
+module instead of using the synthetic generators. The format is the
+memsim-style text form, one request per line::
+
+    # comment lines and blanks are ignored
+    <gap> <line_address> <R|W>
+
+``gap`` is the number of non-memory instructions since the previous
+request. A trailing ``#tail <n>`` directive sets the instructions after
+the last request. Files ending in ``.gz`` are compressed transparently.
+"""
+
+from __future__ import annotations
+
+import gzip
+from typing import List, TextIO, Union
+
+from repro.workloads.trace import Trace
+
+
+def save_trace(trace: Trace, path: str) -> None:
+    """Write ``trace`` in the text format (gzip if path ends in .gz)."""
+    with _open(path, "wt") as handle:
+        handle.write(f"# trace {trace.name or 'unnamed'}\n")
+        handle.write(f"# requests {len(trace)}\n")
+        for gap, addr, is_write in zip(trace.gaps, trace.addrs, trace.writes):
+            handle.write(f"{gap} {addr} {'W' if is_write else 'R'}\n")
+        if trace.tail_instructions:
+            handle.write(f"#tail {trace.tail_instructions}\n")
+
+
+def load_trace(path: str, name: str = "") -> Trace:
+    """Parse a trace file; raises ``ValueError`` with line numbers on
+    malformed input."""
+    gaps: List[int] = []
+    addrs: List[int] = []
+    writes: List[bool] = []
+    tail = 0
+    with _open(path, "rt") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                if line.startswith("#tail"):
+                    tail = _parse_tail(line, lineno)
+                continue
+            gap, addr, is_write = _parse_request(line, lineno)
+            gaps.append(gap)
+            addrs.append(addr)
+            writes.append(is_write)
+    return Trace(
+        gaps=gaps,
+        addrs=addrs,
+        writes=writes,
+        tail_instructions=tail,
+        name=name or _basename(path),
+    )
+
+
+def _parse_request(line: str, lineno: int):
+    parts = line.split()
+    if len(parts) != 3:
+        raise ValueError(
+            f"line {lineno}: expected '<gap> <line_address> <R|W>', "
+            f"got {line!r}"
+        )
+    try:
+        gap = int(parts[0])
+        addr = int(parts[1], 0)  # accepts decimal and 0x-hex
+    except ValueError as exc:
+        raise ValueError(f"line {lineno}: bad integer in {line!r}") from exc
+    if gap < 0 or addr < 0:
+        raise ValueError(f"line {lineno}: negative gap or address")
+    op = parts[2].upper()
+    if op not in ("R", "W"):
+        raise ValueError(f"line {lineno}: op must be R or W, got {parts[2]!r}")
+    return gap, addr, op == "W"
+
+
+def _parse_tail(line: str, lineno: int) -> int:
+    parts = line.split()
+    if len(parts) != 2:
+        raise ValueError(f"line {lineno}: expected '#tail <n>'")
+    try:
+        tail = int(parts[1])
+    except ValueError as exc:
+        raise ValueError(f"line {lineno}: bad tail count") from exc
+    if tail < 0:
+        raise ValueError(f"line {lineno}: negative tail count")
+    return tail
+
+
+def _open(path: str, mode: str) -> Union[TextIO, "gzip.GzipFile"]:
+    if path.endswith(".gz"):
+        return gzip.open(path, mode)
+    return open(path, mode)
+
+
+def _basename(path: str) -> str:
+    name = path.rsplit("/", 1)[-1]
+    for suffix in (".gz", ".trace", ".txt"):
+        if name.endswith(suffix):
+            name = name[: -len(suffix)]
+    return name

@@ -1,0 +1,116 @@
+"""Trace diagnostics: quantify the locality properties calibration relies on.
+
+The synthetic generators are calibrated so that, through the Zen mapping,
+they reproduce each workload's Table V behaviour. These metrics make that
+calibration inspectable (and testable) instead of folklore:
+
+* :func:`reuse_distance_histogram` — how soon the stream revisits the same
+  bank row (the distribution that decides row hits vs SAUM conflicts);
+* :func:`bank_spread` — how evenly requests cover the banks (bank-level
+  parallelism);
+* :func:`sequentiality` — fraction of +1-line transitions;
+* :func:`trace_profile` — the bundle, as a dict for reports.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, Iterable, List
+
+from repro.mapping.base import MemoryMapping
+from repro.workloads.trace import Trace
+
+#: Reuse-distance bucket edges (in requests); the tRAS window at typical
+#: arrival rates corresponds to the first bucket or two.
+REUSE_BUCKETS = (4, 16, 64, 256, 1024)
+
+
+def reuse_distance_histogram(
+    trace: Trace, mapping: MemoryMapping
+) -> Dict[str, float]:
+    """Distribution of same-bank-row revisit distances, in requests.
+
+    Returns bucket-label -> fraction of requests that revisit a row last
+    touched within that many requests ("inf" = first touch or beyond the
+    largest bucket). Short distances become row hits (or SAUM conflicts);
+    long ones are fresh activations.
+    """
+    last_seen: Dict[tuple, int] = {}
+    counts: Counter = Counter()
+    total = 0
+    for index, addr in enumerate(trace.addrs):
+        loc = mapping.locate(addr)
+        key = (loc.subchannel, loc.bank, loc.row)
+        total += 1
+        if key in last_seen:
+            distance = index - last_seen[key]
+            for edge in REUSE_BUCKETS:
+                if distance <= edge:
+                    counts[f"<={edge}"] += 1
+                    break
+            else:
+                counts["inf"] += 1
+        else:
+            counts["inf"] += 1
+        last_seen[key] = index
+    if total == 0:
+        return {}
+    return {label: counts.get(label, 0) / total
+            for label in [f"<={e}" for e in REUSE_BUCKETS] + ["inf"]}
+
+
+def bank_spread(trace: Trace, mapping: MemoryMapping) -> float:
+    """Normalized entropy of the per-bank request distribution (0..1).
+
+    1.0 means perfectly uniform coverage of all banks (maximal bank-level
+    parallelism); values near 0 mean the stream camps on few banks.
+    """
+    import math
+
+    counts: Dict[int, int] = defaultdict(int)
+    banks_total = (
+        mapping.config.num_subchannels * mapping.config.banks_per_subchannel
+    )
+    for addr in trace.addrs:
+        loc = mapping.locate(addr)
+        counts[loc.flat_bank(mapping.config.banks_per_subchannel)] += 1
+    total = sum(counts.values())
+    if total == 0 or banks_total < 2:
+        return 0.0
+    entropy = -sum(
+        (c / total) * math.log(c / total) for c in counts.values() if c
+    )
+    return entropy / math.log(banks_total)
+
+
+def sequentiality(trace: Trace) -> float:
+    """Fraction of consecutive-line (+1) transitions in the stream."""
+    if len(trace) < 2:
+        return 0.0
+    hits = sum(1 for a, b in zip(trace.addrs, trace.addrs[1:]) if b == a + 1)
+    return hits / (len(trace) - 1)
+
+
+def trace_profile(trace: Trace, mapping: MemoryMapping) -> Dict[str, object]:
+    """All diagnostics in one record (for reports and calibration tests)."""
+    return {
+        "name": trace.name,
+        "requests": len(trace),
+        "mpki": round(trace.mpki, 3),
+        "write_fraction": (
+            sum(trace.writes) / len(trace) if len(trace) else 0.0
+        ),
+        "sequentiality": round(sequentiality(trace), 4),
+        "bank_spread": round(bank_spread(trace, mapping), 4),
+        "reuse": {
+            k: round(v, 4)
+            for k, v in reuse_distance_histogram(trace, mapping).items()
+        },
+    }
+
+
+def profile_table(
+    traces: Iterable[Trace], mapping: MemoryMapping
+) -> List[Dict[str, object]]:
+    """Profiles for several traces (one record each)."""
+    return [trace_profile(t, mapping) for t in traces]

@@ -1,0 +1,37 @@
+"""Shared fixtures: a small, fast system configuration for simulation tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.config import SystemConfig
+from repro.sim.rng import RngStreams
+
+
+@pytest.fixture
+def small_config() -> SystemConfig:
+    """A scaled-down geometry that keeps simulation tests fast.
+
+    2 cores, 2 subchannels x 4 banks, 4 K rows per bank in 16 subarrays
+    (256 rows each), 64-line rows — all the structural relations of the
+    full Table IV config at 1/64 the size.
+    """
+    return SystemConfig(
+        num_cores=2,
+        num_subchannels=2,
+        banks_per_subchannel=4,
+        rows_per_bank=4096,
+        subarrays_per_bank=16,
+        llc_size_bytes=64 * 1024,
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def streams() -> RngStreams:
+    return RngStreams(seed=99)

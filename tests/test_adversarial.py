@@ -1,0 +1,99 @@
+"""Tests for inverse mappings and adversarial trace generation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapping import LineLocation, RubixMapping, ZenMapping
+from repro.sim.config import SystemConfig
+from repro.workloads.adversarial import hammer_trace, subarray_dos_trace
+
+CONFIG = SystemConfig()
+
+
+class TestInverseMapping:
+    @given(st.integers(min_value=0, max_value=CONFIG.total_lines - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_zen_round_trip(self, line):
+        zen = ZenMapping(CONFIG)
+        assert zen.line_for(zen.locate(line)) == line
+
+    @given(st.integers(min_value=0, max_value=CONFIG.total_lines - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_rubix_round_trip(self, line):
+        rubix = RubixMapping(CONFIG, key=9)
+        assert rubix.line_for(rubix.locate(line)) == line
+
+    def test_line_for_hits_requested_location(self):
+        for mapping in (ZenMapping(CONFIG), RubixMapping(CONFIG, key=3)):
+            target = LineLocation(subchannel=1, bank=17, row=70_000, column=5)
+            line = mapping.line_for(target)
+            assert mapping.locate(line) == target
+
+    def test_line_for_rejects_bad_location(self):
+        zen = ZenMapping(CONFIG)
+        with pytest.raises(ValueError):
+            zen.line_for(LineLocation(0, 0, CONFIG.rows_per_bank, 0))
+        with pytest.raises(ValueError):
+            zen.line_for(LineLocation(0, 99, 0, 0))
+        with pytest.raises(ValueError):
+            zen.line_for(LineLocation(5, 0, 0, 0))
+        with pytest.raises(ValueError):
+            zen.line_for(LineLocation(0, 0, 0, 64))
+
+
+class TestHammerTrace:
+    def test_targets_requested_rows(self):
+        zen = ZenMapping(CONFIG)
+        rows = [1000, 1002]
+        trace = hammer_trace(zen, rows, num_requests=10, bank=3)
+        for addr in trace.addrs:
+            loc = zen.locate(addr)
+            assert loc.bank == 3
+            assert loc.row in rows
+
+    def test_round_robin_order(self):
+        zen = ZenMapping(CONFIG)
+        trace = hammer_trace(zen, [10, 20], num_requests=4)
+        rows = [zen.locate(a).row for a in trace.addrs]
+        assert rows == [10, 20, 10, 20]
+
+    def test_works_through_rubix(self):
+        # The strongest attacker knows the key: rows still reachable.
+        rubix = RubixMapping(CONFIG, key=77)
+        trace = hammer_trace(rubix, [500, 502], num_requests=6, bank=9)
+        for addr in trace.addrs:
+            loc = rubix.locate(addr)
+            assert loc.bank == 9
+            assert loc.row in (500, 502)
+
+    def test_gap_throttles(self):
+        zen = ZenMapping(CONFIG)
+        trace = hammer_trace(zen, [1], num_requests=5, gap=100)
+        assert trace.gaps == [100] * 5
+
+    def test_rejects_empty_rows(self):
+        with pytest.raises(ValueError):
+            hammer_trace(ZenMapping(CONFIG), [], num_requests=5)
+
+
+class TestSubarrayDos:
+    def test_all_requests_in_one_subarray(self):
+        zen = ZenMapping(CONFIG)
+        trace = subarray_dos_trace(zen, CONFIG, num_requests=40, subarray=7)
+        for addr in trace.addrs:
+            loc = zen.locate(addr)
+            assert CONFIG.subarray_of_row(loc.row) == 7
+            assert loc.bank == 0
+
+    def test_uses_multiple_rows(self):
+        zen = ZenMapping(CONFIG)
+        trace = subarray_dos_trace(zen, CONFIG, num_requests=40)
+        rows = {zen.locate(a).row for a in trace.addrs}
+        assert len(rows) >= 2  # forces fresh ACTs
+
+    def test_rejects_bad_subarray(self):
+        with pytest.raises(ValueError):
+            subarray_dos_trace(
+                ZenMapping(CONFIG), CONFIG, 10, subarray=CONFIG.subarrays_per_bank
+            )

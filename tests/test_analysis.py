@@ -1,0 +1,79 @@
+"""Tests for the analysis helpers: tables, storage, experiment harness."""
+
+import pytest
+
+from repro.analysis.storage import storage_overheads
+from repro.analysis.tables import render_series, render_table
+from repro.mc.setup import MitigationSetup
+from repro.sim.config import SystemConfig
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        out = render_table(
+            ["workload", "slowdown"],
+            [["bwaves", 0.123456], ["mcf", 0.5]],
+            title="Fig. X",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "Fig. X"
+        assert "workload" in lines[1]
+        assert "bwaves" in out and "0.1235" in out
+
+    def test_small_floats_use_scientific(self):
+        out = render_table(["p"], [[0.0001]])
+        assert "e-04" in out
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_render_series(self):
+        out = render_series("slowdown", [(4, 0.33), (8, 0.13)], unit="frac")
+        assert "slowdown:" in out
+        assert "4 -> 0.33 frac" in out
+
+
+class TestStorageOverheads:
+    def test_paper_numbers(self):
+        # Section VI-C: 128 B at the MC; ~5 B per DRAM bank.
+        overheads = storage_overheads(SystemConfig())
+        assert overheads.mc_bytes_total == 128
+        assert overheads.dram_saum_bits_per_bank == 9  # valid + 8-bit id
+        assert 4.0 <= overheads.dram_bytes_per_bank <= 6.0
+
+    def test_scales_with_banks(self):
+        import dataclasses
+
+        config = dataclasses.replace(SystemConfig(), banks_per_subchannel=16)
+        assert storage_overheads(config).mc_bytes_total == 64
+
+
+class TestMitigationSetup:
+    def test_describe(self):
+        assert "baseline" in MitigationSetup("none").describe()
+        assert "RFM-4" in MitigationSetup("rfm", threshold=4).describe()
+        assert "AutoRFM-8" in MitigationSetup("autorfm", threshold=8).describe()
+        assert "PRAC" in MitigationSetup("prac").describe()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MitigationSetup("tm")
+        with pytest.raises(ValueError):
+            MitigationSetup("rfm", tracker="lru")
+        with pytest.raises(ValueError):
+            MitigationSetup("autorfm", policy="none")
+        with pytest.raises(ValueError):
+            MitigationSetup("rfm", threshold=0)
+
+    def test_uses_tracker(self):
+        assert MitigationSetup("rfm").uses_tracker
+        assert MitigationSetup("autorfm").uses_tracker
+        assert not MitigationSetup("none").uses_tracker
+        assert not MitigationSetup("prac").uses_tracker
+
+    def test_hashable_for_memoization(self):
+        a = MitigationSetup("autorfm", threshold=4)
+        b = MitigationSetup("autorfm", threshold=4)
+        assert hash(a) == hash(b)
+        assert a == b

@@ -1,0 +1,113 @@
+"""Tests for the AutoRFM engine (SAUM lifecycle, ALERT conflicts)."""
+
+import numpy as np
+import pytest
+
+from repro.core.autorfm import AutoRfmEngine
+from repro.core.mitigation import BlastRadiusMitigation, FractalMitigation
+from repro.sim.stats import BankStats
+from repro.trackers.mint import MintTracker
+
+
+def make_engine(small_config, th=4, policy_kind="fractal", seed=0):
+    rng = np.random.default_rng(seed)
+    tracker = MintTracker(window=th, rng=rng, transitive_slot=(policy_kind == "recursive"))
+    if policy_kind == "fractal":
+        policy = FractalMitigation(small_config.rows_per_bank, np.random.default_rng(seed + 1))
+    else:
+        policy = BlastRadiusMitigation(small_config.rows_per_bank)
+    return AutoRfmEngine(small_config, tracker, policy, autorfm_th=th, stats=BankStats())
+
+
+class TestAutoRfmEngine:
+    def test_no_mitigation_before_window_completes(self, small_config):
+        engine = make_engine(small_config)
+        for i, row in enumerate([10, 20, 30]):
+            engine.on_activation(row, now=i * 200)
+            engine.on_precharge(now=i * 200 + 144)
+        assert engine.stats.mitigations == 0
+        assert engine.saum is None
+
+    def test_mitigation_starts_at_window_closing_precharge(self, small_config):
+        engine = make_engine(small_config)
+        rows = [100, 200, 300, 400]
+        for i, row in enumerate(rows):
+            engine.on_activation(row, now=i * 200)
+            engine.on_precharge(now=i * 200 + 144)
+        assert engine.stats.mitigations == 1
+        # SAUM is the subarray of one of the window's rows.
+        subarrays = {small_config.subarray_of_row(r) for r in rows}
+        assert engine.saum in subarrays
+
+    def test_saum_busy_exactly_four_trc(self, small_config):
+        engine = make_engine(small_config)
+        for i in range(4):
+            engine.on_activation(512, now=i * 200)  # subarray 2
+            engine.on_precharge(now=i * 200 + 144)
+        start = 3 * 200 + 144
+        assert engine.saum_busy_until == start + 4 * small_config.timing.trc
+
+    def test_conflict_only_for_saum_rows_during_busy(self, small_config):
+        engine = make_engine(small_config)
+        for i in range(4):
+            engine.on_activation(512, now=i * 200)  # all in subarray 2
+            engine.on_precharge(now=i * 200 + 144)
+        t = engine.saum_busy_until - 1
+        assert engine.saum == 2
+        assert engine.conflicts(513, t)  # same subarray
+        assert engine.conflicts(767, t)  # still subarray 2
+        assert not engine.conflicts(100, t)  # subarray 0
+        assert not engine.conflicts(768, t)  # subarray 3
+
+    def test_no_conflict_after_busy_expires(self, small_config):
+        engine = make_engine(small_config)
+        for i in range(4):
+            engine.on_activation(512, now=i * 200)
+            engine.on_precharge(now=i * 200 + 144)
+        assert not engine.conflicts(513, engine.saum_busy_until)
+
+    def test_windows_repeat(self, small_config):
+        engine = make_engine(small_config, th=4)
+        now = 0
+        for burst in range(10):
+            for _ in range(4):
+                engine.on_activation(1000 + burst, now)
+                engine.on_precharge(now + 144)
+                now += 5000  # far apart: each mitigation expires
+        assert engine.stats.mitigations == 10
+        assert engine.stats.victim_refreshes == 40
+
+    def test_victim_refresh_count_per_mitigation(self, small_config):
+        engine = make_engine(small_config, policy_kind="recursive")
+        now = 0
+        for _ in range(8):  # several windows: the transitive slot may skip
+            for _ in range(4):
+                engine.on_activation(2048, now)
+                engine.on_precharge(now + 144)
+                now += 2000
+        assert engine.stats.mitigations >= 1
+        assert engine.stats.victim_refreshes == 4 * engine.stats.mitigations
+
+    def test_recursive_rounds_counted(self, small_config):
+        engine = make_engine(small_config, th=2, policy_kind="recursive", seed=3)
+        now = 0
+        for _ in range(400):
+            for _ in range(2):
+                engine.on_activation(128, now)
+                engine.on_precharge(now + 144)
+                now += 2000
+        assert engine.stats.recursive_rounds > 0
+        assert engine.stats.recursive_rounds < engine.stats.mitigations
+
+    def test_precharge_without_pending_is_noop(self, small_config):
+        engine = make_engine(small_config)
+        engine.on_precharge(now=50)
+        assert engine.stats.mitigations == 0
+
+    def test_rejects_bad_threshold(self, small_config):
+        with pytest.raises(ValueError):
+            make_engine(small_config, th=0)
+
+    def test_mitigation_busy_cycles_matches_policy(self, small_config):
+        engine = make_engine(small_config)
+        assert engine.mitigation_busy_cycles == 4 * small_config.timing.trc

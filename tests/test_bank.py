@@ -1,0 +1,135 @@
+"""Tests for the per-bank DRAM state machine."""
+
+import numpy as np
+import pytest
+
+from repro.core.mitigation import BlastRadiusMitigation
+from repro.dram.bank import NO_ROW, Bank
+from repro.sim.stats import BankStats
+from repro.trackers.mint import MintTracker
+
+
+def make_bank(small_config, with_rfm_tracker=False):
+    stats = BankStats()
+    tracker = policy = None
+    if with_rfm_tracker:
+        tracker = MintTracker(window=4, rng=np.random.default_rng(0), strict=False)
+        policy = BlastRadiusMitigation(small_config.rows_per_bank)
+    return Bank(small_config, stats, rfm_tracker=tracker, rfm_policy=policy)
+
+
+class TestBankTiming:
+    def test_activate_opens_row(self, small_config):
+        bank = make_bank(small_config)
+        bank.activate(10, now=0)
+        assert bank.open_row == 10
+        assert bank.is_open(100)
+        assert bank.open_until == small_config.timing.tras
+
+    def test_trc_spacing_enforced(self, small_config):
+        bank = make_bank(small_config)
+        bank.activate(10, now=0)
+        bank.auto_precharge(small_config.timing.tras)
+        with pytest.raises(RuntimeError):
+            bank.activate(11, now=small_config.timing.trc - 1)
+
+    def test_next_act_allowed_at_trc(self, small_config):
+        bank = make_bank(small_config)
+        bank.activate(10, now=0)
+        bank.auto_precharge(small_config.timing.tras)
+        bank.activate(11, now=small_config.timing.trc)
+        assert bank.open_row == 11
+
+    def test_cannot_activate_over_open_row(self, small_config):
+        bank = make_bank(small_config)
+        bank.activate(10, now=0)
+        assert not bank.can_activate(now=50)
+
+    def test_row_hit_window(self, small_config):
+        bank = make_bank(small_config)
+        bank.activate(10, now=0)
+        assert bank.row_hits(10, now=small_config.timing.tras)
+        assert not bank.row_hits(11, now=50)
+        assert not bank.row_hits(10, now=small_config.timing.tras + 1)
+
+    def test_auto_precharge_closes(self, small_config):
+        bank = make_bank(small_config)
+        bank.activate(10, now=0)
+        bank.auto_precharge(now=small_config.timing.tras)
+        assert bank.open_row == NO_ROW
+        assert not bank.is_open(small_config.timing.tras)
+
+    def test_activation_counted(self, small_config):
+        bank = make_bank(small_config)
+        bank.activate(10, now=0)
+        assert bank.stats.activations == 1
+
+
+class TestBankRefresh:
+    def test_refresh_blocks_for_trfc(self, small_config):
+        bank = make_bank(small_config)
+        bank.start_refresh(now=1000)
+        assert bank.ready_at == 1000 + small_config.timing.trfc
+        assert bank.stats.refreshes == 1
+
+    def test_refresh_closes_open_row(self, small_config):
+        bank = make_bank(small_config)
+        bank.activate(10, now=0)
+        bank.start_refresh(now=50)
+        assert bank.open_row == NO_ROW
+
+    def test_refresh_harvests_pending_window(self, small_config):
+        bank = make_bank(small_config, with_rfm_tracker=True)
+        now = 0
+        for row in (1, 2, 3, 4):
+            bank.activate(row, now)
+            bank.auto_precharge(now + small_config.timing.tras)
+            now += small_config.timing.trc
+        bank.start_refresh(now)
+        assert bank.stats.mitigations == 1
+
+
+class TestBankRfm:
+    def test_rfm_blocks_for_trfm(self, small_config):
+        bank = make_bank(small_config, with_rfm_tracker=True)
+        free_at = bank.issue_rfm(now=500)
+        assert free_at == 500 + small_config.timing.trfm
+        assert bank.ready_at == free_at
+        assert bank.stats.rfm_commands == 1
+
+    def test_rfm_requires_precharged_bank(self, small_config):
+        bank = make_bank(small_config, with_rfm_tracker=True)
+        bank.activate(10, now=0)
+        with pytest.raises(RuntimeError):
+            bank.issue_rfm(now=50)
+
+    def test_rfm_performs_mitigation(self, small_config):
+        bank = make_bank(small_config, with_rfm_tracker=True)
+        now = 0
+        for row in (7, 8, 9, 10):
+            bank.activate(row, now)
+            bank.auto_precharge(now + small_config.timing.tras)
+            now += small_config.timing.trc
+        bank.issue_rfm(now)
+        assert bank.stats.mitigations == 1
+        assert bank.stats.victim_refreshes == 4
+
+    def test_rfm_starts_after_ready(self, small_config):
+        bank = make_bank(small_config, with_rfm_tracker=True)
+        bank.activate(10, now=0)
+        bank.auto_precharge(small_config.timing.tras)
+        # RFM issued before tRC elapses starts when the bank is ready.
+        free_at = bank.issue_rfm(now=small_config.timing.tras)
+        assert free_at == small_config.timing.trc + small_config.timing.trfm
+
+    def test_tracker_policy_pairing_enforced(self, small_config):
+        tracker = MintTracker(window=4, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            Bank(small_config, BankStats(), rfm_tracker=tracker)
+
+    def test_stall_until_only_extends(self, small_config):
+        bank = make_bank(small_config)
+        bank.stall_until(100)
+        assert bank.ready_at == 100
+        bank.stall_until(50)
+        assert bank.ready_at == 100

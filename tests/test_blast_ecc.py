@@ -1,0 +1,108 @@
+"""Tests for the blast-radius model and the ECC tolerance model."""
+
+import pytest
+
+from repro.core.mitigation import FractalMitigation
+from repro.security.blast import (
+    DISTANCE_2_FRACTION,
+    effective_pressure,
+    fm_budget_ratio,
+    max_protected_distance,
+    relative_damage,
+)
+from repro.security.ecc import (
+    SecdedCode,
+    flip_probability,
+    uncorrectable_rate_per_gb,
+)
+
+
+class TestBlastRadius:
+    def test_d1_is_reference(self):
+        assert relative_damage(1) == 1.0
+
+    def test_d2_matches_blaster(self):
+        # Footnote 3: < 10 % charge loss at d = 2.
+        assert relative_damage(2) == DISTANCE_2_FRACTION
+
+    def test_decay_is_monotone(self):
+        damages = [relative_damage(d) for d in range(1, 8)]
+        assert all(a > b for a, b in zip(damages, damages[1:]))
+
+    def test_effective_pressure(self):
+        assert effective_pressure(1000, 2) == pytest.approx(100.0)
+        assert effective_pressure(1000, 1) == 1000.0
+
+    def test_fm_budget_never_below_damage_share(self):
+        """FM's 2^(1-d) refresh schedule decays slower than the 10x-per-hop
+        damage decay, so protection margin grows with distance."""
+        ratios = [fm_budget_ratio(d) for d in range(1, 10)]
+        assert all(r >= 1.0 for r in ratios)
+        assert all(a <= b for a, b in zip(ratios, ratios[1:]))
+
+    def test_max_protected_distance(self):
+        assert max_protected_distance() == FractalMitigation.RAND_BITS + 2
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            relative_damage(0)
+        with pytest.raises(ValueError):
+            relative_damage(2, d2_fraction=1.5)
+        with pytest.raises(ValueError):
+            effective_pressure(-1, 2)
+
+
+class TestSecded:
+    def test_word_geometry(self):
+        code = SecdedCode()
+        assert code.word_bits == 72
+
+    def test_no_flips_no_failures(self):
+        code = SecdedCode()
+        assert code.p_correctable(0.0) == 0.0
+        assert code.p_uncorrectable(0.0) == 0.0
+
+    def test_single_flips_dominate_at_low_p(self):
+        code = SecdedCode()
+        p = 1e-6
+        assert code.p_correctable(p) > 100 * code.p_uncorrectable(p)
+
+    def test_uncorrectable_grows_quadratically(self):
+        code = SecdedCode()
+        low = code.p_uncorrectable(1e-6)
+        high = code.p_uncorrectable(1e-5)
+        assert high / low == pytest.approx(100, rel=0.05)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            SecdedCode().p_uncorrectable(1.5)
+
+
+class TestEccCliff:
+    def test_flip_probability_rises_through_threshold(self):
+        below = flip_probability(pressure=500, trh=1000)
+        at = flip_probability(pressure=1000, trh=1000)
+        above = flip_probability(pressure=2000, trh=1000)
+        assert below < at < above
+        assert at == pytest.approx(0.5e-5, rel=0.01)
+
+    def test_zero_pressure_never_flips(self):
+        assert flip_probability(0, 1000) == 0.0
+
+    def test_uncorrectable_failures_remain(self):
+        """The paper's criticism quantified: past the threshold, ECC leaves
+        a macroscopic uncorrectable rate — data loss, not prevention."""
+        rate = uncorrectable_rate_per_gb(pressure=4000, trh=1000)
+        assert rate > 1.0  # more than one lost word per hammered GB
+
+    def test_prevention_regime_is_clean(self):
+        """Below the threshold that a mitigation enforces, failures are
+        negligible — prevention composes with ECC, replacement does not."""
+        rate = uncorrectable_rate_per_gb(pressure=70, trh=1000)
+        assert rate < 1e-6
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            flip_probability(-1, 100)
+        with pytest.raises(ValueError):
+            flip_probability(1, 100, spread=0)

@@ -1,0 +1,113 @@
+"""Tests for the BlockHammer-style rate limiter."""
+
+import pytest
+
+from repro.cpu.system import build_mapping, simulate
+from repro.mc.blockhammer import BlockHammerLimiter, CountingBloomFilter
+from repro.mc.setup import MitigationSetup
+from repro.workloads.adversarial import hammer_trace
+from tests.test_system import make_traces
+
+
+class TestCountingBloomFilter:
+    def test_never_undercounts(self):
+        bloom = CountingBloomFilter(bits=256, hashes=4)
+        for _ in range(10):
+            bloom.insert(42)
+        assert bloom.estimate(42) >= 10
+
+    def test_unseen_keys_mostly_zero(self):
+        bloom = CountingBloomFilter(bits=4096, hashes=4)
+        bloom.insert(1)
+        zero = sum(1 for key in range(100, 200) if bloom.estimate(key) == 0)
+        assert zero > 90
+
+    def test_clear(self):
+        bloom = CountingBloomFilter(bits=64, hashes=2)
+        bloom.insert(5)
+        bloom.clear()
+        assert bloom.estimate(5) == 0
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            CountingBloomFilter(bits=0, hashes=1)
+
+
+class TestLimiter:
+    def make(self, small_config, trh=100):
+        return BlockHammerLimiter(small_config, trh=trh)
+
+    def test_cold_rows_unthrottled(self, small_config):
+        limiter = self.make(small_config)
+        assert limiter.earliest_act(0, 5, now=0) == 0
+        limiter.observe(0, 5, now=0)
+        assert limiter.earliest_act(0, 5, now=10) == 0
+
+    def test_hot_row_gets_throttled(self, small_config):
+        limiter = self.make(small_config, trh=100)
+        now = 0
+        for _ in range(limiter.blacklist_threshold + 1):
+            limiter.observe(0, 7, now)
+            now += 200
+        assert limiter.is_blacklisted(0, 7)
+        assert limiter.earliest_act(0, 7, now) >= now
+
+    def test_throttle_enforces_safe_rate(self, small_config):
+        """The spacing guarantees < trh ACTs per tREFW."""
+        limiter = self.make(small_config, trh=100)
+        assert limiter.throttle_delay >= small_config.timing.trefw // 100
+
+    def test_other_rows_unaffected(self, small_config):
+        limiter = self.make(small_config, trh=100)
+        now = 0
+        for _ in range(limiter.blacklist_threshold + 1):
+            limiter.observe(0, 7, now)
+            now += 200
+        assert limiter.earliest_act(0, 8, now) == 0
+        assert limiter.earliest_act(1, 7, now) == 0
+
+    def test_epoch_rotation_forgets(self, small_config):
+        limiter = self.make(small_config, trh=100)
+        for i in range(limiter.blacklist_threshold + 1):
+            limiter.observe(0, 7, now=i)
+        later = 2 * limiter.epoch_cycles + 10
+        limiter.observe(0, 9, later)  # triggers two rotations worth of aging
+        limiter.observe(0, 9, later + limiter.epoch_cycles + 1)
+        assert limiter.earliest_act(0, 7, later + limiter.epoch_cycles + 2) == 0
+
+    def test_rejects_tiny_trh(self, small_config):
+        with pytest.raises(ValueError):
+            BlockHammerLimiter(small_config, trh=1)
+
+
+class TestBlockHammerSystem:
+    def test_benign_run_negligible_cost(self, small_config):
+        traces = make_traces(small_config, n=800)
+        base = simulate(traces, MitigationSetup("none"), small_config, "zen")
+        bh = simulate(
+            traces,
+            MitigationSetup("blockhammer", blockhammer_trh=1000),
+            small_config,
+            "zen",
+        )
+        assert abs(bh.slowdown_vs(base)) < 0.05
+
+    def test_attacker_act_rate_capped(self, small_config):
+        """A two-row hammer gets its ACT rate limited below TRH per tREFW."""
+        mapping = build_mapping("zen", small_config)
+        trh = 64
+        attacker = hammer_trace(mapping, [1000, 1002], num_requests=3000)
+        idle = attacker.sliced(0)
+        result = simulate(
+            [attacker, idle],
+            MitigationSetup("blockhammer", blockhammer_trh=trh),
+            small_config,
+            "zen",
+        )
+        limiter_rate_cap = trh / small_config.timing.trefw  # ACTs per cycle
+        total_acts = result.stats.total_activations
+        # Two throttled rows: the whole run cannot beat ~2x the cap (plus
+        # the pre-blacklist burst).
+        measured_rate = total_acts / result.stats.cycles
+        assert measured_rate < 4 * limiter_rate_cap + 0.001
+        assert result.stats.cycles > 3000 * 100  # visibly stretched

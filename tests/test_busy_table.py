@@ -1,0 +1,31 @@
+"""Tests for the MC busy-bit + timestamp table (Fig. 7)."""
+
+from repro.mc.busy_table import BankBusyTable
+
+
+class TestBankBusyTable:
+    def test_initially_free(self):
+        table = BankBusyTable(4)
+        assert not table.is_busy(0, now=0)
+
+    def test_mark_and_expire(self):
+        table = BankBusyTable(4)
+        table.mark_busy(2, until=100)
+        assert table.is_busy(2, now=99)
+        assert not table.is_busy(2, now=100)  # timestamp passed -> free
+
+    def test_other_banks_unaffected(self):
+        table = BankBusyTable(4)
+        table.mark_busy(2, until=100)
+        assert not table.is_busy(1, now=50)
+
+    def test_mark_only_extends(self):
+        table = BankBusyTable(2)
+        table.mark_busy(0, until=100)
+        table.mark_busy(0, until=50)
+        assert table.busy_until(0) == 100
+
+    def test_storage_is_two_bytes_per_bank(self):
+        # Section VI-C: 64 banks -> 128 bytes of MC SRAM.
+        assert BankBusyTable(64).storage_bytes == 128
+        assert BankBusyTable(8).storage_bytes == 16

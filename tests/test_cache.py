@@ -1,0 +1,105 @@
+"""Tests for the set-associative LLC and the post-LLC trace filter."""
+
+import pytest
+
+from repro.cpu.cache import SetAssociativeCache, llc_filter
+from repro.workloads.trace import Trace
+
+
+def small_cache(ways=2, sets=4):
+    return SetAssociativeCache(size_bytes=ways * sets * 64, ways=ways)
+
+
+class TestCacheBasics:
+    def test_first_access_misses_then_hits(self):
+        cache = small_cache()
+        hit, _ = cache.access(10, is_write=False)
+        assert not hit
+        hit, _ = cache.access(10, is_write=False)
+        assert hit
+
+    def test_lru_eviction(self):
+        cache = small_cache(ways=2, sets=1)
+        cache.access(0, False)
+        cache.access(1, False)
+        cache.access(0, False)  # refresh 0's recency
+        cache.access(2, False)  # evicts 1, not 0
+        assert cache.contains(0)
+        assert not cache.contains(1)
+
+    def test_dirty_eviction_returns_writeback(self):
+        cache = small_cache(ways=1, sets=1)
+        cache.access(5, is_write=True)
+        _, writeback = cache.access(6, is_write=False)
+        assert writeback == 5
+        assert cache.stats.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        cache = small_cache(ways=1, sets=1)
+        cache.access(5, is_write=False)
+        _, writeback = cache.access(6, is_write=False)
+        assert writeback is None
+
+    def test_write_hit_marks_dirty(self):
+        cache = small_cache(ways=1, sets=1)
+        cache.access(5, is_write=False)
+        cache.access(5, is_write=True)
+        _, writeback = cache.access(6, is_write=False)
+        assert writeback == 5
+
+    def test_set_indexing(self):
+        cache = small_cache(ways=1, sets=4)
+        cache.access(0, False)
+        cache.access(1, False)  # different set: no conflict
+        assert cache.contains(0)
+        assert cache.contains(1)
+
+    def test_miss_rate(self):
+        cache = small_cache()
+        for _ in range(2):
+            for addr in range(4):
+                cache.access(addr, False)
+        assert cache.stats.miss_rate == pytest.approx(0.5)
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(size_bytes=0, ways=4)
+        with pytest.raises(ValueError):
+            SetAssociativeCache(size_bytes=100, ways=3)
+
+
+class TestLlcFilter:
+    def test_hits_are_filtered_out(self):
+        trace = Trace(gaps=[0, 0, 0], addrs=[1, 1, 1], writes=[False] * 3)
+        out = llc_filter(trace, small_cache())
+        assert len(out) == 1
+        assert out.addrs == [1]
+
+    def test_gaps_accumulate_over_hits(self):
+        trace = Trace(gaps=[5, 5, 5], addrs=[1, 1, 2], writes=[False] * 3)
+        out = llc_filter(trace, small_cache())
+        # Second access hits: its gap (5) plus the hit instruction fold into
+        # the third request's gap.
+        assert out.addrs == [1, 2]
+        assert out.gaps == [5, 11]
+
+    def test_instruction_count_preserved(self):
+        trace = Trace(
+            gaps=[3, 4, 5, 6],
+            addrs=[1, 1, 2, 1],
+            writes=[False] * 4,
+            tail_instructions=9,
+        )
+        out = llc_filter(trace, small_cache())
+        assert out.total_instructions == trace.total_instructions
+
+    def test_writebacks_appear_as_writes(self):
+        cache = small_cache(ways=1, sets=1)
+        trace = Trace(gaps=[0, 0], addrs=[5, 6], writes=[True, False])
+        out = llc_filter(trace, cache)
+        assert out.addrs == [5, 6, 5]
+        assert out.writes == [True, False, True]
+
+    def test_empty_trace(self):
+        out = llc_filter(Trace(), small_cache())
+        assert len(out) == 0

@@ -1,0 +1,106 @@
+"""Tests for terminal charts and multi-programmed mixes."""
+
+import pytest
+
+from repro.analysis.charts import render_barchart, render_linechart
+from repro.cpu.system import simulate
+from repro.mc.setup import MitigationSetup
+from repro.sim.config import SystemConfig
+from repro.workloads.catalog import WORKLOADS
+from repro.workloads.rate import make_mix_traces
+
+
+class TestBarChart:
+    def test_scales_to_peak(self):
+        out = render_barchart([("a", 10.0), ("b", 5.0)], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_labels_aligned(self):
+        out = render_barchart([("long-name", 1.0), ("x", 1.0)])
+        lines = out.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_title_and_unit(self):
+        out = render_barchart([("a", 0.5)], title="T", unit="%")
+        assert out.startswith("T\n")
+        assert "0.5%" in out
+
+    def test_all_zero_values(self):
+        out = render_barchart([("a", 0.0)])
+        assert "#" not in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_barchart([])
+
+
+class TestLineChart:
+    def test_corners_plotted(self):
+        out = render_linechart([(0, 0), (10, 10)], width=11, height=5)
+        lines = [l for l in out.splitlines() if l.startswith("|")]
+        assert lines[0].rstrip().endswith("*")  # top-right
+        assert lines[-1][1] == "*"  # bottom-left
+
+    def test_axis_labels(self):
+        out = render_linechart([(1, 2), (3, 4)])
+        assert "x: 1 .. 3" in out
+        assert "y: 2 .. 4" in out
+
+    def test_flat_series(self):
+        out = render_linechart([(0, 5), (10, 5)])
+        assert "*" in out
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            render_linechart([(1, 1)])
+
+
+class TestMixes:
+    def small(self):
+        return SystemConfig(
+            num_cores=2,
+            num_subchannels=2,
+            banks_per_subchannel=4,
+            rows_per_bank=4096,
+            subarrays_per_bank=16,
+        )
+
+    def test_one_workload_per_core(self):
+        config = self.small()
+        mix = [WORKLOADS["bwaves"], WORKLOADS["mcf"]]
+        traces = make_mix_traces(mix, config, requests=100)
+        assert traces[0].name == "bwaves"
+        assert traces[1].name == "mcf"
+
+    def test_wrong_count_rejected(self):
+        with pytest.raises(ValueError, match="mix needs"):
+            make_mix_traces([WORKLOADS["bwaves"]], self.small(), 10)
+
+    def test_disjoint_regions(self):
+        config = self.small()
+        traces = make_mix_traces(
+            [WORKLOADS["bwaves"], WORKLOADS["mcf"]], config, requests=300
+        )
+        region = config.total_lines // 2
+        assert all(a < region for a in traces[0].addrs)
+        assert all(a >= region for a in traces[1].addrs)
+
+    def test_mix_simulates_under_autorfm(self):
+        config = self.small()
+        traces = make_mix_traces(
+            [WORKLOADS["add"], WORKLOADS["omnetpp"]], config, requests=400
+        )
+        base = simulate(traces, MitigationSetup("none"), config, "zen")
+        auto = simulate(
+            traces, MitigationSetup("autorfm", threshold=4), config, "rubix"
+        )
+        assert auto.stats.total_mitigations > 0
+        assert abs(auto.slowdown_vs(base)) < 0.5
+
+    def test_different_mixes_different_randomness(self):
+        config = self.small()
+        a = make_mix_traces([WORKLOADS["bwaves"], WORKLOADS["mcf"]], config, 100)
+        b = make_mix_traces([WORKLOADS["bwaves"], WORKLOADS["xz"]], config, 100)
+        assert a[0].addrs != b[0].addrs  # mix composition feeds the seed

@@ -1,0 +1,103 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCliSecurity:
+    def test_security_prints_thresholds(self, capsys):
+        assert main(["security", "--windows", "4", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "TRH-D" in out
+        assert "53" in out  # the FM safety bound
+
+    def test_security_with_attack(self, capsys):
+        code = main(["security", "--windows", "4", "--attack-acts", "4000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Monte-Carlo" in out
+        assert "mitigations" in out
+
+
+class TestCliCatalog:
+    def test_workloads_lists_all(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("bwaves", "ConnComp", "triad"):
+            assert name in out
+
+    def test_storage(self, capsys):
+        assert main(["storage"]) == 0
+        out = capsys.readouterr().out
+        assert "128 B" in out
+
+
+class TestCliRun:
+    def test_run_small(self, capsys):
+        code = main(
+            ["run", "--workload", "wrf", "--mechanism", "autorfm",
+             "--threshold", "4", "--requests", "300"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "slowdown vs Zen baseline" in out
+        assert "AutoRFM-4" in out
+
+    def test_run_unknown_workload_fails(self, capsys):
+        assert main(["run", "--workload", "nope", "--requests", "10"]) == 2
+
+    def test_run_baseline_mechanism(self, capsys):
+        code = main(
+            ["run", "--workload", "wrf", "--mechanism", "none",
+             "--mapping", "zen", "--requests", "300"]
+        )
+        assert code == 0
+        assert "baseline" in capsys.readouterr().out
+
+    def test_sweep_small(self, capsys):
+        code = main(
+            ["sweep", "--workloads", "wrf", "--threshold", "8",
+             "--requests", "300"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RFM-8" in out and "AutoRFM-8" in out
+
+    def test_sweep_unknown_workload_fails(self):
+        assert main(["sweep", "--workloads", "nope", "--requests", "10"]) == 2
+
+
+class TestCliAuditAndTradeoffs:
+    def test_tradeoffs(self, capsys):
+        assert main(["tradeoffs", "--window", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "MINT" in out and "Mithril" in out
+
+    def test_audit_small(self, capsys):
+        code = main(["audit", "--acts", "400", "--row", "500"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "worst row pressure" in out
+        assert "timing violations" in out
+
+
+class TestCliReproduce:
+    def test_list_experiments(self, capsys):
+        assert main(["reproduce", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3_rfm_slowdown" in out
+        assert "table6_rm_vs_fm" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["reproduce", "definitely-not-a-thing"]) == 2
+
+
+class TestCliParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_rejects_unknown_mechanism(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--mechanism", "magic"])

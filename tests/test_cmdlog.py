@@ -1,0 +1,139 @@
+"""Tests for the command log and the post-hoc timing verifier."""
+
+import pytest
+
+from repro.cpu.system import simulate
+from repro.mc.setup import MitigationSetup
+from repro.sim.cmdlog import ACT, ALERT, MITIGATION, REF, RFM, CommandLog
+from repro.sim.config import SystemConfig
+from tests.test_system import make_traces
+
+CONFIG = SystemConfig()
+
+
+class TestCommandLogBasics:
+    def test_records_append(self):
+        log = CommandLog()
+        log.record(10, ACT, bank=3, row=7)
+        log.record(20, REF, bank=3)
+        assert len(log) == 2
+        assert log.of_kind(ACT)[0].row == 7
+        assert log.banks() == [3]
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            CommandLog().record(0, "NOP", bank=0)
+
+
+class TestVerifierRules:
+    def test_trc_violation_detected(self):
+        log = CommandLog()
+        log.record(0, ACT, bank=0, row=1)
+        log.record(CONFIG.timing.trc - 1, ACT, bank=0, row=2)
+        violations = log.verify(CONFIG)
+        assert len(violations) == 1
+        assert violations[0].rule == "tRC"
+        assert "tRC" in str(violations[0])
+
+    def test_trc_ok_at_exact_spacing(self):
+        log = CommandLog()
+        log.record(0, ACT, bank=0, row=1)
+        log.record(CONFIG.timing.trc, ACT, bank=0, row=2)
+        assert log.verify(CONFIG) == []
+
+    def test_banks_independent(self):
+        log = CommandLog()
+        log.record(0, ACT, bank=0, row=1)
+        log.record(1, ACT, bank=1, row=1)
+        assert log.verify(CONFIG) == []
+
+    def test_act_during_ref_detected(self):
+        log = CommandLog()
+        log.record(100, REF, bank=2)
+        log.record(100 + CONFIG.timing.trfc - 1, ACT, bank=2, row=0)
+        assert any(v.rule == "REF-block" for v in log.verify(CONFIG))
+
+    def test_act_during_rfm_detected(self):
+        log = CommandLog()
+        log.record(100, RFM, bank=2)
+        log.record(100 + CONFIG.timing.trfm - 1, ACT, bank=2, row=0)
+        assert any(v.rule == "RFM-block" for v in log.verify(CONFIG))
+
+    def test_alert_requires_mitigation(self):
+        log = CommandLog()
+        log.record(50, ALERT, bank=0, row=9)
+        assert any(
+            v.rule == "ALERT-without-mitigation" for v in log.verify(CONFIG)
+        )
+
+    def test_alert_during_mitigation_ok(self):
+        log = CommandLog()
+        log.record(40, MITIGATION, bank=0)
+        log.record(50, ALERT, bank=0, row=9)
+        log.record(50 + 4 * CONFIG.timing.trc, ACT, bank=0, row=9)
+        assert log.verify(CONFIG) == []
+
+    def test_act_during_alert_busy_detected(self):
+        log = CommandLog()
+        log.record(40, MITIGATION, bank=0)
+        log.record(50, ALERT, bank=0, row=9)
+        log.record(60, ACT, bank=0, row=3)
+        assert any(v.rule == "ALERT-busy" for v in log.verify(CONFIG))
+
+    def test_per_request_mode_skips_alert_busy(self):
+        log = CommandLog()
+        log.record(40, MITIGATION, bank=0)
+        log.record(50, ALERT, bank=0, row=9)
+        log.record(50 + CONFIG.timing.trc, ACT, bank=0, row=3)
+        assert log.verify(CONFIG, per_request_retry=True) == []
+
+    def test_out_of_order_records_sorted(self):
+        log = CommandLog()
+        log.record(CONFIG.timing.trc, ACT, bank=0, row=2)
+        log.record(0, ACT, bank=0, row=1)  # logged late, happened first
+        assert log.verify(CONFIG) == []
+
+
+class TestEndToEndAudit:
+    """Run real simulations and assert the scheduler never violates timing."""
+
+    @pytest.mark.parametrize(
+        "setup,mapping",
+        [
+            (MitigationSetup("none"), "zen"),
+            (MitigationSetup("rfm", threshold=4), "zen"),
+            (MitigationSetup("autorfm", threshold=4), "rubix"),
+            (MitigationSetup("autorfm", threshold=4, policy="recursive"), "zen"),
+            (MitigationSetup("smd", threshold=5), "zen"),
+        ],
+    )
+    def test_simulation_is_timing_clean(self, small_config, setup, mapping):
+        log = CommandLog()
+        traces = make_traces(small_config, n=600)
+        simulate(traces, setup, small_config, mapping, command_log=log)
+        assert len(log.of_kind(ACT)) > 0
+        violations = log.verify(small_config)
+        assert violations == [], violations[:5]
+
+    def test_per_request_retry_audit(self, small_config):
+        log = CommandLog()
+        setup = MitigationSetup("autorfm", threshold=4, per_request_retry=True)
+        traces = make_traces(small_config, n=600)
+        simulate(traces, setup, small_config, "zen", command_log=log)
+        violations = log.verify(small_config, per_request_retry=True)
+        assert violations == [], violations[:5]
+
+    def test_open_page_audit(self, small_config):
+        import dataclasses
+
+        config = dataclasses.replace(small_config, page_policy="open")
+        log = CommandLog()
+        traces = make_traces(config, n=600)
+        simulate(
+            traces,
+            MitigationSetup("autorfm", threshold=4),
+            config,
+            "rubix",
+            command_log=log,
+        )
+        assert log.verify(config) == []

@@ -1,0 +1,103 @@
+"""Tests for repro.sim.config: timings, geometry, validation."""
+
+import dataclasses
+
+import pytest
+
+from repro.sim.config import (
+    CYCLES_PER_NS,
+    DramTiming,
+    SystemConfig,
+    cycles_to_ns,
+    ns_to_cycles,
+)
+
+
+class TestCycleConversion:
+    def test_table1_timings_are_exact_integers(self):
+        timing = DramTiming()
+        assert timing.trcd == 48
+        assert timing.trp == 48
+        assert timing.tras == 144
+        assert timing.trc == 192
+        assert timing.trefi == 15_600
+        assert timing.trfc == 1640
+        assert timing.trfm == 820
+
+    def test_trc_is_tras_plus_trp(self):
+        timing = DramTiming()
+        assert timing.trc == timing.tras + timing.trp
+
+    def test_round_trip(self):
+        assert cycles_to_ns(ns_to_cycles(48.0)) == 48.0
+
+    def test_fractional_ns_rounds(self):
+        # PRAC's scaled tRC: 52.8 ns -> 211 cycles.
+        assert ns_to_cycles(52.8) == 211
+
+    def test_cycles_per_ns_is_four(self):
+        assert CYCLES_PER_NS == 4
+
+
+class TestDramTimingScaled:
+    def test_scaled_trc(self):
+        timing = DramTiming().scaled(trc_factor=1.10)
+        assert timing.trc_ns == pytest.approx(52.8)
+        assert timing.trp_ns == 12.0  # untouched
+
+    def test_scaled_is_new_object(self):
+        base = DramTiming()
+        assert base.scaled(trc_factor=2.0) is not base
+        assert base.trc_ns == 48.0
+
+
+class TestSystemConfigGeometry:
+    def test_table4_defaults(self):
+        config = SystemConfig()
+        assert config.num_banks == 64
+        assert config.rows_per_bank == 128 * 1024
+        assert config.subarrays_per_bank == 256
+        assert config.rows_per_subarray == 512
+        assert config.lines_per_row == 64
+        assert config.capacity_bytes == 32 * 1024**3
+
+    def test_total_lines(self):
+        config = SystemConfig()
+        assert config.total_lines == 2**29  # 32 GB / 64 B
+
+    def test_subarray_of_row(self):
+        config = SystemConfig()
+        assert config.subarray_of_row(0) == 0
+        assert config.subarray_of_row(511) == 0
+        assert config.subarray_of_row(512) == 1
+        assert config.subarray_of_row(128 * 1024 - 1) == 255
+
+    def test_subarray_of_row_out_of_range(self):
+        config = SystemConfig()
+        with pytest.raises(ValueError):
+            config.subarray_of_row(128 * 1024)
+        with pytest.raises(ValueError):
+            config.subarray_of_row(-1)
+
+    def test_validate_accepts_default(self):
+        SystemConfig().validate()
+
+    def test_validate_rejects_misaligned_subarrays(self):
+        config = dataclasses.replace(SystemConfig(), subarrays_per_bank=1000)
+        with pytest.raises(ValueError, match="subarrays"):
+            config.validate()
+
+    def test_validate_rejects_bad_row_bytes(self):
+        config = dataclasses.replace(SystemConfig(), row_bytes=100)
+        with pytest.raises(ValueError):
+            config.validate()
+
+    def test_validate_rejects_zero_cores(self):
+        config = dataclasses.replace(SystemConfig(), num_cores=0)
+        with pytest.raises(ValueError):
+            config.validate()
+
+    def test_small_config_consistent(self, small_config):
+        small_config.validate()
+        assert small_config.rows_per_subarray == 256
+        assert small_config.num_banks == 8

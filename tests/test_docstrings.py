@@ -1,0 +1,68 @@
+"""Quality gate: every public module, class, and function is documented."""
+
+import importlib
+import inspect
+import pathlib
+import pkgutil
+
+import repro
+
+PACKAGE_ROOT = pathlib.Path(repro.__file__).parent
+
+
+def iter_modules():
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name.endswith("__main__"):
+            continue
+        yield importlib.import_module(info.name)
+
+
+class TestDocumentation:
+    def test_every_module_has_a_docstring(self):
+        undocumented = [
+            m.__name__ for m in iter_modules() if not (m.__doc__ or "").strip()
+        ]
+        assert undocumented == []
+
+    def test_every_public_class_and_function_documented(self):
+        missing = []
+        for module in iter_modules():
+            for name, obj in vars(module).items():
+                if name.startswith("_"):
+                    continue
+                if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+                    continue
+                if getattr(obj, "__module__", None) != module.__name__:
+                    continue  # re-export; documented at its home
+                if not (obj.__doc__ or "").strip():
+                    missing.append(f"{module.__name__}.{name}")
+        assert missing == []
+
+    def test_public_methods_documented(self):
+        missing = []
+        for module in iter_modules():
+            for cls_name, cls in vars(module).items():
+                if not inspect.isclass(cls) or cls_name.startswith("_"):
+                    continue
+                if getattr(cls, "__module__", None) != module.__name__:
+                    continue
+                for meth_name, meth in vars(cls).items():
+                    if meth_name.startswith("_"):
+                        continue
+                    if not inspect.isfunction(meth):
+                        continue
+                    if (meth.__doc__ or "").strip():
+                        continue
+                    # Interface implementations inherit the contract doc
+                    # from the base class (Tracker, MitigationPolicy, ...).
+                    inherited = any(
+                        (getattr(base, meth_name, None) is not None)
+                        and (
+                            getattr(base, meth_name).__doc__ or ""
+                        ).strip()
+                        for base in cls.__mro__[1:]
+                    )
+                    if inherited:
+                        continue
+                    missing.append(f"{module.__name__}.{cls_name}.{meth_name}")
+        assert missing == []

@@ -1,0 +1,81 @@
+"""Tests for the event-driven simulation kernel."""
+
+import pytest
+
+from repro.sim.engine import Engine
+
+
+class TestEngine:
+    def test_events_fire_in_time_order(self):
+        engine = Engine()
+        order = []
+        engine.schedule(30, lambda t: order.append(("c", t)))
+        engine.schedule(10, lambda t: order.append(("a", t)))
+        engine.schedule(20, lambda t: order.append(("b", t)))
+        engine.run()
+        assert order == [("a", 10), ("b", 20), ("c", 30)]
+
+    def test_ties_break_by_insertion_order(self):
+        engine = Engine()
+        order = []
+        for tag in "xyz":
+            engine.schedule(5, lambda t, tag=tag: order.append(tag))
+        engine.run()
+        assert order == ["x", "y", "z"]
+
+    def test_now_advances(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(7, lambda t: seen.append(engine.now))
+        engine.run()
+        assert seen == [7]
+        assert engine.now == 7
+
+    def test_cannot_schedule_in_the_past(self):
+        engine = Engine()
+        engine.schedule(10, lambda t: engine.schedule(5, lambda t2: None))
+        with pytest.raises(ValueError):
+            engine.run()
+
+    def test_schedule_in(self):
+        engine = Engine()
+        times = []
+        engine.schedule(10, lambda t: engine.schedule_in(5, times.append))
+        engine.run()
+        assert times == [15]
+
+    def test_handlers_can_chain(self):
+        engine = Engine()
+        count = [0]
+
+        def tick(t):
+            count[0] += 1
+            if count[0] < 4:
+                engine.schedule_in(10, tick)
+
+        engine.schedule(0, tick)
+        final = engine.run()
+        assert count[0] == 4
+        assert final == 30
+
+    def test_until_bound(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(10, fired.append)
+        engine.schedule(100, fired.append)
+        engine.run(until=50)
+        assert fired == [10]
+        assert engine.pending == 1
+
+    def test_max_events_guard(self):
+        engine = Engine()
+
+        def forever(t):
+            engine.schedule_in(1, forever)
+
+        engine.schedule(0, forever)
+        with pytest.raises(RuntimeError, match="livelock"):
+            engine.run(max_events=100)
+
+    def test_empty_run_returns_zero(self):
+        assert Engine().run() == 0

@@ -1,0 +1,51 @@
+"""Smoke checks on the example scripts: importable, documented, guarded.
+
+The examples run real (multi-second) simulations, so CI executes only their
+module top level; the `__main__` guard keeps that cheap. A separate check
+runs the fastest example end to end.
+"""
+
+import importlib.util
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_imports_cleanly(path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)  # __main__ guard keeps this instant
+    assert callable(getattr(module, "main", None)), "examples expose main()"
+    assert module.__doc__, "examples start with a usage docstring"
+    assert "Run:" in module.__doc__
+
+
+def test_expected_example_set():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "design_space_sweep",
+        "rowhammer_attack_analysis",
+        "full_cpu_path",
+        "custom_tracker",
+        "generate_report",
+    } <= names
+
+
+def test_fastest_example_runs_end_to_end(tmp_path):
+    # custom_tracker is pure Monte Carlo (no timing sim): a few seconds.
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "custom_tracker.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=tmp_path,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "broken" in result.stdout

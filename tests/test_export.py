@@ -1,0 +1,93 @@
+"""Tests for the JSON/CSV result exporters."""
+
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    config_record,
+    result_record,
+    to_csv,
+    to_json,
+    write_records,
+)
+from repro.cpu.system import simulate
+from repro.mc.setup import MitigationSetup
+from tests.test_system import make_traces
+
+
+@pytest.fixture
+def result_pair(small_config):
+    traces = make_traces(small_config, n=300)
+    baseline = simulate(traces, MitigationSetup("none"), small_config, "zen")
+    run = simulate(
+        traces,
+        MitigationSetup("autorfm", threshold=4),
+        small_config,
+        "rubix",
+    )
+    return baseline, run
+
+
+class TestResultRecord:
+    def test_contains_setup_and_metrics(self, small_config, result_pair):
+        baseline, run = result_pair
+        record = result_record(
+            run, workload="synthetic", config=small_config, baseline=baseline
+        )
+        assert record["mechanism"] == "autorfm"
+        assert record["mapping"] == "rubix"
+        assert record["activations"] > 0
+        assert "slowdown" in record
+        assert "act_per_trefi" in record
+
+    def test_optional_fields_absent_without_inputs(self, result_pair):
+        _, run = result_pair
+        record = result_record(run)
+        assert "slowdown" not in record
+        assert "act_per_trefi" not in record
+
+
+class TestSerializers:
+    def test_json_round_trip(self, small_config, result_pair):
+        baseline, run = result_pair
+        records = [result_record(run, "a", small_config, baseline)]
+        parsed = json.loads(to_json(records))
+        assert parsed[0]["mechanism"] == "autorfm"
+
+    def test_csv_has_header_and_rows(self, result_pair):
+        _, run = result_pair
+        text = to_csv([result_record(run, "a"), result_record(run, "b")])
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("workload,")
+        assert len(lines) == 3
+
+    def test_csv_handles_heterogeneous_records(self):
+        text = to_csv([{"a": 1}, {"a": 2, "b": 3}])
+        lines = text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,"
+
+    def test_empty_csv(self):
+        assert to_csv([]) == ""
+
+    def test_write_json_and_csv(self, tmp_path, result_pair):
+        _, run = result_pair
+        records = [result_record(run, "x")]
+        json_path = tmp_path / "out.json"
+        csv_path = tmp_path / "out.csv"
+        write_records(records, str(json_path))
+        write_records(records, str(csv_path))
+        assert json.loads(json_path.read_text())[0]["workload"] == "x"
+        assert csv_path.read_text().startswith("workload,")
+
+    def test_write_rejects_unknown_extension(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_records([], str(tmp_path / "out.parquet"))
+
+
+class TestConfigRecord:
+    def test_flattens_timing(self, small_config):
+        record = config_record(small_config)
+        assert record["num_cores"] == small_config.num_cores
+        assert record["timing"]["trc_ns"] == 48.0

@@ -1,0 +1,96 @@
+"""Tests for the Hydra hybrid tracker."""
+
+import numpy as np
+import pytest
+
+from repro.trackers.hydra import HydraTracker
+
+
+def make(group_size=128, group_th=20, row_th=40, rcc=8, seed=0):
+    return HydraTracker(
+        rng=np.random.default_rng(seed),
+        group_size=group_size,
+        group_threshold=group_th,
+        row_threshold=row_th,
+        rcc_entries=rcc,
+    )
+
+
+class TestHydraCommonCase:
+    def test_benign_traffic_stays_in_sram(self):
+        hydra = make(group_th=20)
+        # Spread accesses: every group stays far below its threshold.
+        for row in range(0, 10_000, 7):
+            hydra.on_activation(row)
+        assert hydra.dram_lookups == 0
+        assert hydra.engaged_groups == 0
+        assert hydra.select_for_mitigation() is None
+
+    def test_group_counter_aggregates(self):
+        hydra = make(group_size=128)
+        for row in (0, 5, 127):
+            hydra.on_activation(row)
+        assert hydra.group_count(0) == 3
+        assert hydra.group_count(128) == 0
+
+
+class TestHydraEngagement:
+    def test_hot_group_engages_row_tracking(self):
+        hydra = make(group_th=10, row_th=1000)
+        for _ in range(15):
+            hydra.on_activation(42)
+        assert hydra.engaged_groups == 1
+        assert hydra.row_count(42) > 0
+
+    def test_row_threshold_triggers_mitigation(self):
+        hydra = make(group_th=5, row_th=10)
+        for _ in range(20):
+            hydra.on_activation(42)
+        request = hydra.select_for_mitigation()
+        assert request is not None and request.row == 42
+        assert hydra.row_count(42) == 0  # reset after mitigation
+
+    def test_dram_lookups_on_rcc_misses(self):
+        hydra = make(group_th=1, row_th=10_000, rcc=2)
+        # Three distinct hot rows with a 2-entry RCC: misses keep coming.
+        for i in range(30):
+            hydra.on_activation([10, 20, 30][i % 3])
+        assert hydra.dram_lookups > 3
+
+    def test_rcc_hits_avoid_dram(self):
+        hydra = make(group_th=1, row_th=10_000, rcc=8)
+        for _ in range(30):
+            hydra.on_activation(10)
+        assert hydra.dram_lookups == 1  # first touch only
+
+    def test_attack_bounded_by_thresholds(self):
+        hydra = make(group_th=8, row_th=16)
+        worst_streak = streak = 0
+        for _ in range(4000):
+            hydra.on_activation(77)
+            streak += 1
+            if hydra.select_for_mitigation() is not None:
+                worst_streak = max(worst_streak, streak)
+                streak = 0
+        assert worst_streak <= 8 + 16  # engage latency + row threshold
+
+
+class TestHydraHousekeeping:
+    def test_refresh_window_resets(self):
+        hydra = make(group_th=2, row_th=4)
+        for _ in range(6):
+            hydra.on_activation(9)
+        hydra.on_refresh_window()
+        assert hydra.group_count(9) == 0
+        assert hydra.row_count(9) == 0
+        assert hydra.select_for_mitigation() is None
+
+    def test_storage_is_sram_only(self):
+        # A few KB of SRAM, far below per-row counters for 128K rows.
+        assert make().storage_bits < 64 * 1024 * 8
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            make(group_size=0)
+        with pytest.raises(ValueError):
+            make(row_th=0)

@@ -1,0 +1,81 @@
+"""Tests for the K-cipher-style block cipher (bijectivity is load-bearing:
+Rubix must never alias two lines onto one location)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapping.kcipher import KCipher
+
+
+class TestKCipherBasics:
+    def test_encrypt_stays_in_domain(self):
+        cipher = KCipher(domain=1000, key=5)
+        for value in range(1000):
+            assert 0 <= cipher.encrypt(value) < 1000
+
+    def test_decrypt_inverts_encrypt_small_domain(self):
+        cipher = KCipher(domain=1000, key=5)
+        for value in range(1000):
+            assert cipher.decrypt(cipher.encrypt(value)) == value
+
+    def test_bijective_on_full_power_of_two_domain(self):
+        cipher = KCipher(domain=1 << 12, key=77)
+        images = {cipher.encrypt(v) for v in range(1 << 12)}
+        assert len(images) == 1 << 12
+
+    def test_bijective_on_odd_domain(self):
+        cipher = KCipher(domain=1013, key=3)  # prime, forces cycle-walking
+        images = {cipher.encrypt(v) for v in range(1013)}
+        assert len(images) == 1013
+
+    def test_different_keys_give_different_permutations(self):
+        a = KCipher(domain=1 << 16, key=1)
+        b = KCipher(domain=1 << 16, key=2)
+        assert any(a.encrypt(v) != b.encrypt(v) for v in range(64))
+
+    def test_deterministic(self):
+        assert KCipher(1 << 20, 9).encrypt(12345) == KCipher(1 << 20, 9).encrypt(12345)
+
+    def test_rejects_tiny_domain(self):
+        with pytest.raises(ValueError):
+            KCipher(domain=1, key=0)
+
+    def test_rejects_out_of_domain_plaintext(self):
+        cipher = KCipher(domain=100, key=0)
+        with pytest.raises(ValueError):
+            cipher.encrypt(100)
+        with pytest.raises(ValueError):
+            cipher.encrypt(-1)
+        with pytest.raises(ValueError):
+            cipher.decrypt(100)
+
+    def test_diffusion_adjacent_inputs_scatter(self):
+        cipher = KCipher(domain=1 << 29, key=0x5EED)
+        outs = [cipher.encrypt(v) for v in range(256)]
+        # Adjacent inputs should not map to adjacent outputs.
+        adjacent = sum(1 for a, b in zip(outs, outs[1:]) if abs(a - b) < 64)
+        assert adjacent < 5
+
+
+class TestKCipherProperties:
+    @given(
+        key=st.integers(min_value=0, max_value=2**64 - 1),
+        value=st.integers(min_value=0, max_value=(1 << 29) - 1),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_round_trip_on_line_address_domain(self, key, value):
+        cipher = KCipher(domain=1 << 29, key=key)
+        assert cipher.decrypt(cipher.encrypt(value)) == value
+
+    @given(
+        domain=st.integers(min_value=2, max_value=5000),
+        key=st.integers(min_value=0, max_value=2**32),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_injective_on_arbitrary_domains(self, domain, key):
+        cipher = KCipher(domain=domain, key=key)
+        sample = range(min(domain, 256))
+        images = [cipher.encrypt(v) for v in sample]
+        assert len(set(images)) == len(images)
+        assert all(0 <= img < domain for img in images)

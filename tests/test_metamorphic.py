@@ -1,0 +1,102 @@
+"""Metamorphic properties of the simulator.
+
+These relations must hold for *any* correct memory-system simulator, so
+they catch structural bugs that calibrated benchmarks cannot: throughput
+stationarity, cost monotonicity, and symmetry under core relabeling.
+"""
+
+import pytest
+
+from repro.cpu.system import simulate
+from repro.mc.setup import MitigationSetup
+from tests.test_system import make_traces
+
+
+class TestStationarity:
+    def test_cycles_scale_linearly_with_work(self, small_config):
+        """Twice the requests take ~twice the cycles (steady state)."""
+        short = make_traces(small_config, n=700, seed=3)
+        long = make_traces(small_config, n=1400, seed=3)
+        a = simulate(short, MitigationSetup("none"), small_config, "zen")
+        b = simulate(long, MitigationSetup("none"), small_config, "zen")
+        ratio = b.stats.cycles / a.stats.cycles
+        assert 1.6 < ratio < 2.4
+
+
+class TestMonotonicity:
+    def test_rfm_never_helps(self, small_config):
+        traces = make_traces(small_config, n=1000)
+        base = simulate(traces, MitigationSetup("none"), small_config, "zen")
+        for th in (4, 8, 16):
+            rfm = simulate(
+                traces, MitigationSetup("rfm", threshold=th), small_config, "zen"
+            )
+            assert rfm.slowdown_vs(base) > -0.01, th
+
+    def test_tighter_rfm_costs_weakly_more(self, small_config):
+        traces = make_traces(small_config, n=1000)
+        base = simulate(traces, MitigationSetup("none"), small_config, "zen")
+        costs = [
+            simulate(
+                traces, MitigationSetup("rfm", threshold=th), small_config, "zen"
+            ).slowdown_vs(base)
+            for th in (4, 8, 16)
+        ]
+        assert costs[0] >= costs[1] - 0.02 >= costs[2] - 0.04
+
+    def test_autorfm_bounded_by_rfm(self, small_config):
+        """Transparent mitigation can never cost more than blocking the
+        whole bank for the same cadence (same mapping, same traces)."""
+        traces = make_traces(small_config, n=1000)
+        base = simulate(traces, MitigationSetup("none"), small_config, "zen")
+        rfm = simulate(
+            traces, MitigationSetup("rfm", threshold=4), small_config, "zen"
+        )
+        auto = simulate(
+            traces,
+            MitigationSetup("autorfm", threshold=4, policy="fractal"),
+            small_config,
+            "zen",
+        )
+        assert auto.slowdown_vs(base) < rfm.slowdown_vs(base) + 0.02
+
+
+class TestSymmetry:
+    def test_core_relabeling_preserves_aggregates(self, small_config):
+        """Swapping which core runs which trace must not change totals."""
+        traces = make_traces(small_config, n=800, seed=7)
+        forward = simulate(traces, MitigationSetup("none"), small_config, "zen")
+        swapped = simulate(
+            list(reversed(traces)), MitigationSetup("none"), small_config, "zen"
+        )
+        assert (
+            forward.stats.total_memory_requests
+            == swapped.stats.total_memory_requests
+        )
+        # Aggregate activations agree closely (scheduling interleave may
+        # shift a handful of row hits).
+        assert forward.stats.total_activations == pytest.approx(
+            swapped.stats.total_activations, rel=0.05
+        )
+        # Per-core finish times are exchanged, not changed, up to
+        # interleaving noise.
+        f = sorted(c.finish_cycle for c in forward.stats.cores)
+        s = sorted(c.finish_cycle for c in swapped.stats.cores)
+        for x, y in zip(f, s):
+            assert x == pytest.approx(y, rel=0.1)
+
+    def test_idle_cores_do_not_perturb(self, small_config):
+        """Adding an idle core must not change the busy core's progress."""
+        traces = make_traces(small_config, n=600, seed=9)
+        both = simulate(traces, MitigationSetup("none"), small_config, "zen")
+        solo = simulate(
+            [traces[0], traces[1].sliced(0)],
+            MitigationSetup("none"),
+            small_config,
+            "zen",
+        )
+        # Core 0 can only get faster with core 1 idle.
+        assert (
+            solo.stats.cores[0].finish_cycle
+            <= both.stats.cores[0].finish_cycle + 10
+        )

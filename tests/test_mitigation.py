@@ -1,0 +1,139 @@
+"""Tests for victim-refresh policies: blast-radius and Fractal Mitigation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mitigation import (
+    REFRESHES_PER_MITIGATION,
+    BlastRadiusMitigation,
+    FractalMitigation,
+)
+from repro.trackers.base import MitigationRequest
+
+ROWS = 4096
+
+
+def fractal(seed=0, rows=ROWS):
+    return FractalMitigation(rows_per_bank=rows, rng=np.random.default_rng(seed))
+
+
+class TestBlastRadius:
+    def test_level_one_refreshes_distance_1_and_2(self):
+        policy = BlastRadiusMitigation(ROWS)
+        victims = policy.victims(MitigationRequest(row=100, level=1))
+        assert sorted(victims) == [98, 99, 101, 102]
+
+    def test_level_two_shifts_outward(self):
+        # Fig. 9b: level-2 mitigation refreshes distances 3 and 4.
+        policy = BlastRadiusMitigation(ROWS)
+        victims = policy.victims(MitigationRequest(row=100, level=2))
+        assert sorted(victims) == [96, 97, 103, 104]
+
+    def test_level_l_distances(self):
+        policy = BlastRadiusMitigation(ROWS)
+        for level in range(1, 6):
+            victims = policy.victims(MitigationRequest(row=1000, level=level))
+            distances = sorted(abs(v - 1000) for v in victims)
+            assert distances == [2 * level - 1, 2 * level - 1, 2 * level, 2 * level]
+
+    def test_edge_clamping(self):
+        policy = BlastRadiusMitigation(ROWS)
+        assert sorted(policy.victims(MitigationRequest(row=0))) == [1, 2]
+        assert sorted(policy.victims(MitigationRequest(row=ROWS - 1))) == [
+            ROWS - 3,
+            ROWS - 2,
+        ]
+
+    def test_invalid_level(self):
+        policy = BlastRadiusMitigation(ROWS)
+        with pytest.raises(ValueError):
+            policy.victims(MitigationRequest(row=5, level=0))
+
+    def test_requires_recursive_tracking(self):
+        assert BlastRadiusMitigation(ROWS).requires_recursive_tracking
+        assert not fractal().requires_recursive_tracking
+
+    def test_busy_cycles_is_four_trc(self):
+        # Four victim refreshes keep the subarray busy ~200 ns.
+        policy = BlastRadiusMitigation(ROWS)
+        assert policy.busy_cycles(192) == REFRESHES_PER_MITIGATION * 192
+
+
+class TestFractalMitigation:
+    def test_always_refreshes_immediate_neighbours(self):
+        policy = fractal()
+        for _ in range(200):
+            victims = policy.victims(MitigationRequest(row=2000))
+            assert 1999 in victims
+            assert 2001 in victims
+            assert len(victims) == 4
+
+    def test_distant_pair_is_symmetric(self):
+        policy = fractal()
+        for _ in range(200):
+            victims = sorted(policy.victims(MitigationRequest(row=2000)))
+            near = [v for v in victims if abs(v - 2000) == 1]
+            far = [v for v in victims if abs(v - 2000) >= 2]
+            assert len(near) == 2 and len(far) == 2
+            assert far[0] + far[1] == 4000  # mirrored around the aggressor
+
+    def test_distance_two_or_more(self):
+        policy = fractal()
+        for _ in range(300):
+            distance = policy.draw_distance()
+            assert 2 <= distance <= 18
+
+    def test_distance_distribution_halves(self):
+        # Fig. 10: P(d) = 2^(1-d) -> d=2 ~50 %, d=3 ~25 %, d=4 ~12.5 %.
+        policy = fractal(seed=5)
+        draws = [policy.draw_distance() for _ in range(20000)]
+        total = len(draws)
+        assert 0.46 < draws.count(2) / total < 0.54
+        assert 0.22 < draws.count(3) / total < 0.28
+        assert 0.10 < draws.count(4) / total < 0.15
+
+    def test_leading_zero_implementation(self):
+        # Fig. 10b: d = 2 + leading zeros of a 16-bit random number.
+        assert FractalMitigation._leading_zeros(0b1000_0000_0000_0000) == 0
+        assert FractalMitigation._leading_zeros(0b0100_0000_0000_0000) == 1
+        assert FractalMitigation._leading_zeros(1) == 15
+        assert FractalMitigation._leading_zeros(0) == 16
+
+    def test_refresh_probability_formula(self):
+        assert FractalMitigation.refresh_probability(1) == 1.0
+        assert FractalMitigation.refresh_probability(2) == 0.5
+        assert FractalMitigation.refresh_probability(3) == 0.25
+        assert FractalMitigation.refresh_probability(10) == 2.0 ** -9
+        assert FractalMitigation.refresh_probability(18) == 2.0 ** -16
+        assert FractalMitigation.refresh_probability(19) == 0.0
+
+    def test_refresh_probability_rejects_bad_distance(self):
+        with pytest.raises(ValueError):
+            FractalMitigation.refresh_probability(0)
+
+    def test_edge_clamping(self):
+        policy = fractal()
+        victims = policy.victims(MitigationRequest(row=0))
+        assert all(0 <= v < ROWS for v in victims)
+
+    @given(row=st.integers(min_value=0, max_value=ROWS - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_victims_always_in_bank(self, row):
+        policy = fractal(seed=row)
+        victims = policy.victims(MitigationRequest(row=row))
+        assert all(0 <= v < ROWS for v in victims)
+        assert row not in victims  # never refresh the aggressor itself
+
+    def test_empirical_matches_refresh_probability(self):
+        policy = fractal(seed=9)
+        n = 40000
+        hits = {2: 0, 3: 0, 4: 0, 5: 0}
+        for _ in range(n):
+            d = policy.draw_distance()
+            if d in hits:
+                hits[d] += 1
+        for d, count in hits.items():
+            expected = FractalMitigation.refresh_probability(d)
+            assert count / n == pytest.approx(expected, rel=0.15)

@@ -1,0 +1,154 @@
+"""Tests for the Monte-Carlo attack harness and attack patterns."""
+
+import numpy as np
+import pytest
+
+from repro.core.mitigation import BlastRadiusMitigation, FractalMitigation
+from repro.security.montecarlo import run_attack
+from repro.trackers.mint import MintTracker
+from repro.workloads.attacks import (
+    double_sided,
+    half_double,
+    interleave,
+    round_robin_attack,
+    single_sided,
+)
+
+ROWS = 1 << 17
+
+
+def mint_fm(window=4, seed=0):
+    tracker = MintTracker(window=window, rng=np.random.default_rng(seed))
+    policy = FractalMitigation(ROWS, np.random.default_rng(seed + 1))
+    return tracker, policy
+
+
+def mint_rm(window=4, seed=0):
+    tracker = MintTracker(
+        window=window, rng=np.random.default_rng(seed), transitive_slot=True
+    )
+    policy = BlastRadiusMitigation(ROWS)
+    return tracker, policy
+
+
+class TestAttackPatterns:
+    def test_round_robin(self):
+        assert round_robin_attack([1, 2, 3], 7) == [1, 2, 3, 1, 2, 3, 1]
+
+    def test_single_sided(self):
+        assert single_sided(9, 3) == [9, 9, 9]
+
+    def test_double_sided_brackets_victim(self):
+        pattern = double_sided(100, 6)
+        assert set(pattern) == {99, 101}
+
+    def test_double_sided_needs_interior_victim(self):
+        with pytest.raises(ValueError):
+            double_sided(0, 4)
+
+    def test_half_double_rotates_decoys(self):
+        pattern = half_double(500, 20, decoys=3)
+        assert pattern.count(500) == 5
+        assert len(set(pattern)) == 4
+
+    def test_interleave(self):
+        out = interleave([[1], [2, 3]], 6)
+        assert out == [1, 2, 1, 3, 1, 2]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            round_robin_attack([], 5)
+        with pytest.raises(ValueError):
+            interleave([[1], []], 4)
+
+
+class TestRunAttack:
+    def test_pressure_accumulates_on_neighbours(self):
+        tracker, policy = mint_fm()
+        result = run_attack(single_sided(1000, 3), tracker, policy, window=100)
+        assert result.pressure[999] == 3.0
+        assert result.pressure[1001] == 3.0
+        assert result.pressure[998] == pytest.approx(0.3)  # d=2 damage
+
+    def test_no_mitigation_before_window(self):
+        tracker, policy = mint_fm(window=8)
+        result = run_attack(single_sided(1000, 7), tracker, policy, window=8)
+        assert result.mitigations == 0
+
+    def test_mitigation_resets_victim_pressure(self):
+        tracker, policy = mint_fm(window=4)
+        result = run_attack(single_sided(1000, 4000), tracker, policy, window=4)
+        assert result.mitigations == 1000
+        # Hammering one row: every mitigation refreshes its neighbours, so
+        # the surviving pressure is far below the activation count.
+        assert result.max_pressure < 200
+
+    def test_unmitigated_hammer_reaches_activation_count(self):
+        tracker, policy = mint_fm(window=1000)
+        # Window larger than the attack: no mitigation ever fires.
+        result = run_attack(single_sided(1000, 500), tracker, policy, window=1000)
+        assert result.max_pressure == 500.0
+        assert result.max_pressure_row in (999, 1001)
+
+    def test_refresh_interval_clears_pressure(self):
+        tracker, policy = mint_fm(window=1000)
+        result = run_attack(
+            single_sided(1000, 100),
+            tracker,
+            policy,
+            window=1000,
+            refresh_interval_acts=100,
+        )
+        assert result.pressure == {}
+
+    def test_mint_fm_bounds_round_robin_attack(self):
+        # The optimal anti-MINT pattern: max pressure stays far below the
+        # unmitigated count and in the vicinity of the analytical threshold.
+        tracker, policy = mint_fm(seed=11)
+        acts = 40_000
+        pattern = round_robin_attack([2000, 2010, 2020, 2030], acts)
+        result = run_attack(pattern, tracker, policy, window=4)
+        assert result.mitigations == acts // 4
+        assert result.max_pressure < 400  # each row got 10 000 activations
+
+    def test_transitive_attack_defended_by_fm(self):
+        """Half-Double: FM's probabilistic distant refreshes keep transitive
+        pressure bounded where plain blast-2 lets it grow."""
+        acts = 60_000
+
+        def worst_transitive(tracker, policy):
+            result = run_attack(
+                single_sided(3000, acts), tracker, policy, window=4
+            )
+            # Pressure on rows at distance >= 3 comes only from victim
+            # refreshes (transitive damage).
+            far = {
+                row: p
+                for row, p in result.pressure.items()
+                if abs(row - 3000) >= 3
+            }
+            return max(far.values(), default=0.0)
+
+        fm_pressure = worst_transitive(*mint_fm(seed=2))
+        blast2_tracker = MintTracker(window=4, rng=np.random.default_rng(2))
+        blast2 = BlastRadiusMitigation(ROWS)
+        blast2_pressure = worst_transitive(blast2_tracker, blast2)
+        # Plain blast-2 never refreshes d>=3, so transitive pressure grows
+        # with the attack; FM keeps it bounded.
+        assert blast2_pressure > 4 * fm_pressure
+
+    def test_recursive_mitigation_also_defends_transitive(self):
+        acts = 60_000
+        tracker, policy = mint_rm(seed=5)
+        result = run_attack(single_sided(3000, acts), tracker, policy, window=4)
+        far = {
+            row: p for row, p in result.pressure.items() if abs(row - 3000) >= 3
+        }
+        assert max(far.values(), default=0.0) < 2000
+
+    def test_rejects_bad_args(self):
+        tracker, policy = mint_fm()
+        with pytest.raises(ValueError):
+            run_attack([1], tracker, policy, window=0)
+        with pytest.raises(ValueError):
+            run_attack([-1], tracker, policy, window=4)

@@ -1,0 +1,84 @@
+"""Tests for the open-page row-buffer policy."""
+
+import dataclasses
+
+import pytest
+
+from repro.cpu.system import simulate
+from repro.dram.bank import NO_ROW, Bank
+from repro.mc.setup import MitigationSetup
+from repro.sim.stats import BankStats
+from tests.test_system import make_traces
+
+
+def open_config(small_config):
+    return dataclasses.replace(small_config, page_policy="open")
+
+
+class TestOpenPageBank:
+    def test_row_stays_open_past_tras(self, small_config):
+        bank = Bank(open_config(small_config), BankStats())
+        bank.activate(10, now=0)
+        assert bank.row_hits(10, now=100_000)
+
+    def test_conflict_precharge_closes(self, small_config):
+        config = open_config(small_config)
+        bank = Bank(config, BankStats())
+        bank.activate(10, now=0)
+        bank.precharge_for_conflict(now=500)
+        assert bank.open_row == NO_ROW
+        assert bank.ready_at == 500 + config.timing.trp
+
+    def test_early_conflict_waits_for_tras(self, small_config):
+        config = open_config(small_config)
+        bank = Bank(config, BankStats())
+        bank.activate(10, now=0)
+        bank.precharge_for_conflict(now=10)  # long before tRAS
+        assert bank.ready_at == config.timing.tras + config.timing.trp
+
+    def test_precharge_noop_when_closed(self, small_config):
+        bank = Bank(open_config(small_config), BankStats())
+        bank.precharge_for_conflict(now=10)
+        assert bank.ready_at == 0
+
+    def test_closed_page_unchanged(self, small_config):
+        bank = Bank(small_config, BankStats())
+        bank.activate(10, now=0)
+        assert not bank.row_hits(10, now=small_config.timing.tras + 1)
+
+
+class TestOpenPageSystem:
+    def test_simulation_completes(self, small_config):
+        config = open_config(small_config)
+        traces = make_traces(config, n=500)
+        result = simulate(traces, MitigationSetup("none"), config, "zen")
+        assert result.stats.cycles > 0
+
+    def test_open_page_gets_more_row_hits(self, small_config):
+        closed = small_config
+        opened = open_config(small_config)
+        traces = make_traces(closed, n=800)
+        closed_run = simulate(traces, MitigationSetup("none"), closed, "zen")
+        open_run = simulate(traces, MitigationSetup("none"), opened, "zen")
+        assert open_run.stats.row_hit_rate > closed_run.stats.row_hit_rate
+        assert open_run.stats.total_activations < closed_run.stats.total_activations
+
+    def test_autorfm_works_under_open_page(self, small_config):
+        config = open_config(small_config)
+        traces = make_traces(config, n=800)
+        setup = MitigationSetup("autorfm", threshold=4)
+        result = simulate(traces, setup, config, "rubix")
+        assert result.stats.total_mitigations > 0
+
+    def test_rfm_works_under_open_page(self, small_config):
+        config = open_config(small_config)
+        traces = make_traces(config, n=800)
+        result = simulate(
+            traces, MitigationSetup("rfm", threshold=4), config, "zen"
+        )
+        assert result.stats.total_rfm_commands > 0
+
+    def test_bad_policy_rejected(self, small_config):
+        config = dataclasses.replace(small_config, page_policy="adaptive")
+        with pytest.raises(ValueError, match="page_policy"):
+            config.validate()

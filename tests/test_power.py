@@ -1,0 +1,87 @@
+"""Tests for the DRAM power model (Fig. 12 shapes)."""
+
+import pytest
+
+from repro.power.model import DramPowerModel, PowerParams
+from repro.sim.config import SystemConfig
+from repro.sim.stats import SimStats
+
+
+def stats_with(acts=0, reads=0, writes=0, victim_refreshes=0, cycles=4_000_000):
+    stats = SimStats.with_shape(num_banks=2, num_cores=1)
+    stats.cycles = cycles
+    stats.banks[0].activations = acts
+    stats.banks[0].reads = reads
+    stats.banks[0].writes = writes
+    stats.banks[0].victim_refreshes = victim_refreshes
+    return stats
+
+
+class TestPowerModel:
+    def setup_method(self):
+        self.model = DramPowerModel(SystemConfig())
+
+    def test_idle_has_background_and_refresh_only(self):
+        breakdown = self.model.breakdown(stats_with())
+        assert breakdown.act_rw_mw == 0.0
+        assert breakdown.mitig_mw == 0.0
+        assert breakdown.other_mw > 0.0
+        assert breakdown.refresh_mw > 0.0
+
+    def test_act_power_scales_with_activations(self):
+        low = self.model.breakdown(stats_with(acts=1000, reads=1000))
+        high = self.model.breakdown(stats_with(acts=2000, reads=2000))
+        assert high.act_rw_mw == pytest.approx(2 * low.act_rw_mw)
+
+    def test_mitigation_power_scales_with_victim_refreshes(self):
+        # AutoRFM-4 does ~2x the mitigations of AutoRFM-8 (Fig. 12).
+        auto8 = self.model.breakdown(stats_with(acts=8000, victim_refreshes=4000))
+        auto4 = self.model.breakdown(stats_with(acts=8000, victim_refreshes=8000))
+        assert auto4.mitig_mw == pytest.approx(2 * auto8.mitig_mw)
+
+    def test_victim_refresh_cheaper_than_demand_act(self):
+        demand = self.model.breakdown(stats_with(acts=1000))
+        mitig = self.model.breakdown(stats_with(victim_refreshes=1000))
+        assert mitig.mitig_mw < demand.act_rw_mw
+
+    def test_total_is_sum_of_components(self):
+        b = self.model.breakdown(
+            stats_with(acts=500, reads=400, writes=100, victim_refreshes=250)
+        )
+        assert b.total_mw == pytest.approx(
+            b.act_rw_mw + b.other_mw + b.refresh_mw + b.mitig_mw
+        )
+
+    def test_mitigation_overhead_order_of_magnitude(self):
+        """Fig. 12: AutoRFM-4's mitigation component is tens of mW at
+        Table V activation rates (~28 ACT/tREFI/bank over 64 banks)."""
+        config = SystemConfig()
+        stats = SimStats.with_shape(config.num_banks, 8)
+        trefi_windows = 1000
+        stats.cycles = trefi_windows * config.timing.trefi
+        for bank in stats.banks:
+            bank.activations = 28 * trefi_windows
+            bank.victim_refreshes = 28 * trefi_windows  # AutoRFM-4: 4 per 4
+        breakdown = DramPowerModel(config).breakdown(stats)
+        assert 20 < breakdown.mitig_mw < 150  # paper: ~55 mW
+
+    def test_rubix_act_overhead_order_of_magnitude(self):
+        """Fig. 12: Rubix's +18 % activations cost ~36 mW."""
+        config = SystemConfig()
+
+        def acts(per_trefi):
+            stats = SimStats.with_shape(config.num_banks, 8)
+            stats.cycles = 1000 * config.timing.trefi
+            for bank in stats.banks:
+                bank.activations = int(per_trefi * 1000)
+            return DramPowerModel(config).breakdown(stats).act_rw_mw
+
+        delta = acts(28 * 1.18) - acts(28)
+        assert 15 < delta < 90  # paper: ~36 mW
+
+    def test_zero_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            self.model.breakdown(stats_with(cycles=0))
+
+    def test_act_energy_positive(self):
+        assert PowerParams().act_energy_nj > 0

@@ -1,0 +1,118 @@
+"""Tests for AQUA-style quarantine migration."""
+
+import numpy as np
+import pytest
+
+from repro.core.rowswap import QUARANTINE_MOVE_ROW_CYCLES, QuarantineMitigation
+from repro.cpu.system import simulate
+from repro.mc.setup import MitigationSetup
+from repro.security.montecarlo import run_attack
+from repro.trackers.base import MitigationRequest
+from repro.trackers.mint import MintTracker
+from repro.workloads.attacks import double_sided
+from tests.test_system import make_traces
+
+ROWS = 4096
+
+
+def make(slots_fraction=1 / 64, seed=0):
+    return QuarantineMitigation(
+        ROWS, np.random.default_rng(seed), quarantine_fraction=slots_fraction
+    )
+
+
+class TestQuarantine:
+    def test_identity_before_any_move(self):
+        policy = make()
+        assert policy.physical_row(100) == 100
+        assert policy.quarantined_rows() == 0
+
+    def test_relocate_moves_into_quarantine_area(self):
+        policy = make()
+        old, new = policy.relocate(MitigationRequest(row=100))
+        assert old == 100
+        assert new >= policy.quarantine_base
+        assert policy.physical_row(100) == new
+
+    def test_no_victim_refreshes(self):
+        policy = make()
+        assert policy.victims(MitigationRequest(row=5)) == []
+
+    def test_fifo_eviction_returns_row_home(self):
+        policy = QuarantineMitigation(
+            ROWS, np.random.default_rng(0), quarantine_fraction=2 / ROWS
+        )
+        assert policy.slots == 2
+        policy.relocate(MitigationRequest(row=10))
+        policy.relocate(MitigationRequest(row=20))
+        policy.relocate(MitigationRequest(row=30))  # evicts row 10
+        assert policy.physical_row(10) == 10
+        assert policy.evictions == 1
+        assert policy.quarantined_rows() == 2
+
+    def test_requarantine_same_row_keeps_mapping_consistent(self):
+        policy = QuarantineMitigation(
+            ROWS, np.random.default_rng(0), quarantine_fraction=4 / ROWS
+        )
+        policy.relocate(MitigationRequest(row=10))
+        policy.relocate(MitigationRequest(row=10))
+        assert policy.quarantined_rows() == 1
+        # Occupancy bookkeeping stays consistent: filling the remaining
+        # slots never evicts more rows than were quarantined.
+        for row in (20, 30, 40):
+            policy.relocate(MitigationRequest(row=row))
+        physicals = {policy.physical_row(r) for r in (10, 20, 30, 40)}
+        assert len(physicals) == 4  # no aliasing
+
+    def test_quarantine_area_rows_not_moved(self):
+        policy = make()
+        base = policy.quarantine_base
+        old, new = policy.relocate(MitigationRequest(row=base + 1))
+        assert old == new == base + 1
+        assert policy.moves == 0
+
+    def test_cheaper_than_full_swap(self):
+        policy = make()
+        assert policy.busy_cycles(192) == QUARANTINE_MOVE_ROW_CYCLES * 192
+
+    def test_rejects_full_bank_quarantine(self):
+        with pytest.raises(ValueError):
+            QuarantineMitigation(
+                ROWS, np.random.default_rng(0), quarantine_fraction=1.0
+            )
+
+
+class TestQuarantineSecurity:
+    def test_attack_pressure_bounded(self):
+        tracker = MintTracker(window=4, rng=np.random.default_rng(3))
+        policy = QuarantineMitigation(1 << 17, np.random.default_rng(4))
+        result = run_attack(
+            double_sided(50_000, 30_000), tracker, policy, window=4
+        )
+        assert result.mitigations > 1000
+        assert result.max_pressure < 500
+
+
+class TestQuarantineTiming:
+    def test_simulation_with_aqua_policy(self, small_config):
+        traces = make_traces(small_config, n=600)
+        setup = MitigationSetup("autorfm", threshold=4, policy="aqua")
+        result = simulate(traces, setup, small_config, "rubix")
+        assert result.stats.total_row_swaps > 0
+
+    def test_aqua_cheaper_than_rowswap(self, small_config):
+        traces = make_traces(small_config, n=1000)
+        base = simulate(traces, MitigationSetup("none"), small_config, "zen")
+        aqua = simulate(
+            traces,
+            MitigationSetup("autorfm", threshold=4, policy="aqua"),
+            small_config,
+            "zen",
+        )
+        swap = simulate(
+            traces,
+            MitigationSetup("autorfm", threshold=4, policy="rowswap"),
+            small_config,
+            "zen",
+        )
+        assert aqua.slowdown_vs(base) < swap.slowdown_vs(base)

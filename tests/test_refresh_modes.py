@@ -1,0 +1,84 @@
+"""Tests for all-bank vs same-bank (REFsb) refresh."""
+
+import dataclasses
+
+import pytest
+
+from repro.cpu.system import simulate
+from repro.mc.setup import MitigationSetup
+from repro.sim.cmdlog import REF, CommandLog
+from repro.sim.config import SystemConfig
+from tests.test_system import make_traces
+
+
+def sb_config(small_config):
+    return dataclasses.replace(small_config, refresh_mode="same_bank")
+
+
+class TestSameBankRefresh:
+    def test_timing_constants(self):
+        timing = SystemConfig().timing
+        assert timing.trfc_sb < timing.trfc
+        assert timing.trfc_sb == 520  # 130 ns at 4 GHz
+
+    def test_validation(self, small_config):
+        bad = dataclasses.replace(small_config, refresh_mode="rolling")
+        with pytest.raises(ValueError, match="refresh_mode"):
+            bad.validate()
+
+    def test_each_bank_refreshed_once_per_trefi(self, small_config):
+        config = sb_config(small_config)
+        log = CommandLog()
+        traces = make_traces(config, n=600)
+        result = simulate(
+            traces, MitigationSetup("none"), config, "zen", command_log=log
+        )
+        refs = log.of_kind(REF)
+        assert refs
+        # Per bank, consecutive REFsb commands are ~tREFI apart.
+        by_bank = {}
+        for r in refs:
+            by_bank.setdefault(r.bank, []).append(r.time)
+        for times in by_bank.values():
+            for a, b in zip(times, times[1:]):
+                assert abs((b - a) - config.timing.trefi) <= config.num_banks
+
+    def test_refsb_commands_are_staggered(self, small_config):
+        config = sb_config(small_config)
+        log = CommandLog()
+        traces = make_traces(config, n=400)
+        simulate(traces, MitigationSetup("none"), config, "zen", command_log=log)
+        refs = log.of_kind(REF)
+        times_sc0 = [r.time for r in refs if r.bank < 4][:4]
+        assert len(set(times_sc0)) == len(times_sc0)  # never simultaneous
+
+    def test_timing_audit_clean(self, small_config):
+        config = sb_config(small_config)
+        log = CommandLog()
+        traces = make_traces(config, n=600)
+        simulate(
+            traces,
+            MitigationSetup("autorfm", threshold=4),
+            config,
+            "rubix",
+            command_log=log,
+        )
+        assert log.verify(config) == []
+
+    def test_refsb_reduces_refresh_stall(self, small_config):
+        """The whole point of REFsb: banks are blocked for tRFCsb one at a
+        time rather than tRFC all at once, so throughput improves."""
+        traces = make_traces(small_config, n=1200)
+        ab = simulate(traces, MitigationSetup("none"), small_config, "zen")
+        sb = simulate(
+            traces, MitigationSetup("none"), sb_config(small_config), "zen"
+        )
+        assert sb.stats.weighted_speedup(ab.stats) > 1.0
+
+    def test_rfm_works_with_refsb(self, small_config):
+        config = sb_config(small_config)
+        traces = make_traces(config, n=800)
+        result = simulate(
+            traces, MitigationSetup("rfm", threshold=4), config, "zen"
+        )
+        assert result.stats.total_rfm_commands > 0

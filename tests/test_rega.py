@@ -1,0 +1,53 @@
+"""Tests for the REGA scaling model."""
+
+import pytest
+
+from repro.security.rega import (
+    rega_k_for_trhd,
+    rega_tolerated_trhd,
+    rega_trc_factor,
+)
+
+
+class TestRegaModel:
+    def test_v1_protects_hundreds(self):
+        # One refresh per ACT over 512-row subarrays: TRH-D ~256.
+        assert rega_tolerated_trhd(1) == 512
+        assert rega_tolerated_trhd(2) == 256
+
+    def test_threshold_scales_inversely_with_k(self):
+        assert rega_tolerated_trhd(4) == rega_tolerated_trhd(2) // 2
+
+    def test_trc_factor_base_case(self):
+        assert rega_trc_factor(1) == 1.0
+        assert rega_trc_factor(2) == pytest.approx(1.33)
+
+    def test_k_for_trhd_round_trip(self):
+        k = rega_k_for_trhd(100)
+        assert rega_tolerated_trhd(k) <= 100
+        assert rega_tolerated_trhd(k - 1) > 100
+
+    def test_sub_100_is_unaffordable(self):
+        """The paper's dismissal (Section VII-D): REGA at sub-100 TRH-D
+        needs enough refreshes per ACT that tRC grows beyond even PRAC's
+        +10 % by an order of magnitude."""
+        k = rega_k_for_trhd(74)
+        assert k >= 6
+        assert rega_trc_factor(k) > 2.0  # > +100 % tRC
+
+    def test_near_term_thresholds_are_fine(self):
+        # At TRH-D ~500, REGA-V1/V2 is cheap — consistent with its paper.
+        assert rega_k_for_trhd(512) == 1
+        assert rega_trc_factor(1) == 1.0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            rega_tolerated_trhd(0)
+        with pytest.raises(ValueError):
+            rega_trc_factor(0)
+        with pytest.raises(ValueError):
+            rega_k_for_trhd(0)
+
+    def test_unreachable_target(self):
+        with pytest.raises(ValueError):
+            rega_k_for_trhd(1, rows_per_subarray=4)

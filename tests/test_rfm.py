@@ -1,0 +1,138 @@
+"""Tests for the blocking-RFM controller (RAA accounting) and PRAC+ABO."""
+
+import pytest
+
+from repro.rfm.prac import (
+    ABO_SLACK_ACTS,
+    PRAC_TRC_FACTOR,
+    PracModel,
+    abo_threshold_for,
+    prac_timing,
+)
+from repro.rfm.rfm import RfmController
+from repro.sim.config import DramTiming
+
+
+class TestRfmController:
+    def test_raa_counts_activations(self):
+        rfm = RfmController(num_banks=2, rfm_th=4)
+        for _ in range(3):
+            rfm.on_activation(0)
+        assert rfm.raa == [3, 0]
+
+    def test_due_at_threshold(self):
+        rfm = RfmController(num_banks=1, rfm_th=4)
+        for _ in range(4):
+            assert not rfm.rfm_due(0) or rfm.raa[0] >= 4
+            rfm.on_activation(0)
+        assert rfm.rfm_due(0)
+
+    def test_hard_cap_above_due(self):
+        rfm = RfmController(num_banks=1, rfm_th=4, max_factor=1.5)
+        for _ in range(4):
+            rfm.on_activation(0)
+        assert rfm.rfm_due(0)
+        assert not rfm.rfm_needed(0)  # RAAMMT = 6
+        rfm.on_activation(0)
+        rfm.on_activation(0)
+        assert rfm.rfm_needed(0)
+
+    def test_rfm_decrements_by_threshold(self):
+        rfm = RfmController(num_banks=1, rfm_th=4)
+        for _ in range(5):
+            rfm.on_activation(0)
+        rfm.on_rfm(0)
+        assert rfm.raa[0] == 1
+        assert rfm.rfms_issued == 1
+
+    def test_rfm_floors_at_zero(self):
+        rfm = RfmController(num_banks=1, rfm_th=4)
+        rfm.on_activation(0)
+        rfm.on_rfm(0)
+        assert rfm.raa[0] == 0
+
+    def test_refresh_decrements(self):
+        rfm = RfmController(num_banks=1, rfm_th=4)
+        for _ in range(6):
+            rfm.on_activation(0)
+        rfm.on_refresh(0)
+        assert rfm.raa[0] == 2
+
+    def test_custom_ref_decrement(self):
+        rfm = RfmController(num_banks=1, rfm_th=4, ref_decrement=2)
+        for _ in range(4):
+            rfm.on_activation(0)
+        rfm.on_refresh(0)
+        assert rfm.raa[0] == 2
+
+    def test_banks_are_independent(self):
+        rfm = RfmController(num_banks=3, rfm_th=2)
+        rfm.on_activation(1)
+        rfm.on_activation(1)
+        assert rfm.rfm_due(1)
+        assert not rfm.rfm_due(0)
+        assert not rfm.rfm_due(2)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            RfmController(num_banks=1, rfm_th=0)
+        with pytest.raises(ValueError):
+            RfmController(num_banks=1, rfm_th=4, max_factor=0.5)
+
+
+class TestPracTiming:
+    def test_trc_scaled_ten_percent(self):
+        timing = prac_timing(DramTiming())
+        assert timing.trc_ns == pytest.approx(48.0 * PRAC_TRC_FACTOR)
+
+    def test_other_timings_unchanged(self):
+        timing = prac_timing(DramTiming())
+        assert timing.trefi_ns == 3900.0
+        assert timing.trfm_ns == 205.0
+
+
+class TestAboThreshold:
+    def test_leaves_slack(self):
+        assert abo_threshold_for(100) == 100 - ABO_SLACK_ACTS
+
+    def test_rejects_untenable_threshold(self):
+        # Section VII-A: PRAC+ABO is viable only above ~50.
+        with pytest.raises(ValueError):
+            abo_threshold_for(ABO_SLACK_ACTS)
+
+
+class TestPracModel:
+    def test_alert_fires_at_threshold(self):
+        prac = PracModel(num_banks=1, abo_threshold=3)
+        assert not prac.on_activation(0, row=7)
+        assert not prac.on_activation(0, row=7)
+        assert prac.on_activation(0, row=7)
+        assert prac.alerts == 1
+
+    def test_alert_resets_row_counter(self):
+        prac = PracModel(num_banks=1, abo_threshold=2)
+        prac.on_activation(0, 7)
+        prac.on_activation(0, 7)  # alert
+        assert prac.row_count(0, 7) == 0
+
+    def test_rows_counted_independently(self):
+        prac = PracModel(num_banks=1, abo_threshold=10)
+        prac.on_activation(0, 1)
+        prac.on_activation(0, 2)
+        assert prac.row_count(0, 1) == 1
+        assert prac.row_count(0, 2) == 1
+
+    def test_banks_counted_independently(self):
+        prac = PracModel(num_banks=2, abo_threshold=10)
+        prac.on_activation(0, 5)
+        assert prac.row_count(1, 5) == 0
+
+    def test_refresh_window_clears(self):
+        prac = PracModel(num_banks=1, abo_threshold=10)
+        prac.on_activation(0, 5)
+        prac.on_refresh_window()
+        assert prac.row_count(0, 5) == 0
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            PracModel(num_banks=1, abo_threshold=0)

@@ -1,0 +1,134 @@
+"""Tests for the RRS-style row-migration mitigation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rowswap import SWAP_ROW_CYCLES, RowSwapMitigation, RowSwapRemapper
+from repro.cpu.system import simulate
+from repro.mc.setup import MitigationSetup
+from repro.security.montecarlo import run_attack
+from repro.trackers.base import MitigationRequest
+from repro.trackers.mint import MintTracker
+from repro.workloads.attacks import double_sided
+from tests.test_system import make_traces
+
+ROWS = 4096
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestRemapper:
+    def test_identity_by_default(self):
+        remapper = RowSwapRemapper(ROWS, rng())
+        assert remapper.physical_row(100) == 100
+        assert remapper.logical_row(100) == 100
+        assert remapper.displaced_rows() == 0
+
+    def test_swap_relocates_both_parties(self):
+        remapper = RowSwapRemapper(ROWS, rng(1))
+        old, new = remapper.swap(100)
+        assert old == 100
+        assert remapper.physical_row(100) == new
+        assert remapper.logical_row(new) == 100
+        assert remapper.physical_row(remapper.logical_row(100)) == 100
+
+    def test_swap_never_self(self):
+        remapper = RowSwapRemapper(2, rng(0))
+        for _ in range(16):
+            remapper.swap(0)
+            assert remapper.physical_row(0) != remapper.physical_row(1)
+
+    def test_rejects_out_of_range(self):
+        remapper = RowSwapRemapper(ROWS, rng())
+        with pytest.raises(ValueError):
+            remapper.physical_row(ROWS)
+        with pytest.raises(ValueError):
+            remapper.swap(-1)
+
+    @given(st.lists(st.integers(min_value=0, max_value=63), max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_remains_a_permutation(self, swaps):
+        """Invariant: after any swap sequence the mapping is a bijection."""
+        remapper = RowSwapRemapper(64, rng(7))
+        for logical in swaps:
+            remapper.swap(logical)
+        images = [remapper.physical_row(r) for r in range(64)]
+        assert sorted(images) == list(range(64))
+        for r in range(64):
+            assert remapper.logical_row(remapper.physical_row(r)) == r
+
+    def test_storage_grows_with_displacement(self):
+        remapper = RowSwapRemapper(ROWS, rng(3))
+        assert remapper.storage_bits == 0
+        remapper.swap(5)
+        assert remapper.storage_bits > 0
+
+
+class TestRowSwapMitigation:
+    def test_no_victim_refreshes(self):
+        policy = RowSwapMitigation(ROWS, rng())
+        assert policy.victims(MitigationRequest(row=10)) == []
+
+    def test_busy_time_longer_than_refresh(self):
+        policy = RowSwapMitigation(ROWS, rng())
+        assert policy.busy_cycles(192) == SWAP_ROW_CYCLES * 192
+        assert policy.busy_cycles(192) > 4 * 192
+
+    def test_perform_swap_updates_remapper(self):
+        policy = RowSwapMitigation(ROWS, rng(2))
+        policy.perform_swap(MitigationRequest(row=42))
+        assert policy.remapper.swaps == 1
+
+
+class TestRowSwapSecurity:
+    def test_swaps_void_accumulated_pressure(self):
+        """The victim's neighbourhood changes before pressure can build:
+        max physical pressure stays far below the per-row activation count."""
+        tracker = MintTracker(window=4, rng=rng(5))
+        policy = RowSwapMitigation(1 << 17, rng(6))
+        acts = 40_000
+        result = run_attack(double_sided(50_000, acts), tracker, policy, window=4)
+        assert result.mitigations > 1_000
+        assert result.max_pressure < 500
+
+    def test_remapper_threaded_through_accounting(self):
+        tracker = MintTracker(window=2, rng=rng(0))
+        policy = RowSwapMitigation(1 << 17, rng(1))
+        # One mitigation guaranteed within the first window of 2.
+        run_attack([100, 100, 100, 100], tracker, policy, window=2)
+        assert policy.remapper.swaps >= 1
+
+
+class TestRowSwapTiming:
+    def test_simulation_completes_and_swaps(self, small_config):
+        traces = make_traces(small_config, n=600)
+        setup = MitigationSetup("autorfm", threshold=4, policy="rowswap")
+        result = simulate(traces, setup, small_config, "rubix")
+        assert result.stats.total_row_swaps > 0
+        assert result.stats.total_victim_refreshes == 0
+
+    def test_swaps_cost_more_than_fractal(self, small_config):
+        """A swap locks the subarray 4x longer than a victim refresh, so
+        row migration is the costlier mitigation under the same cadence."""
+        traces = make_traces(small_config, n=1000)
+        base = simulate(traces, MitigationSetup("none"), small_config, "zen")
+        fm = simulate(
+            traces,
+            MitigationSetup("autorfm", threshold=4, policy="fractal"),
+            small_config,
+            "zen",
+        )
+        swap = simulate(
+            traces,
+            MitigationSetup("autorfm", threshold=4, policy="rowswap"),
+            small_config,
+            "zen",
+        )
+        assert swap.slowdown_vs(base) > fm.slowdown_vs(base)
+        # Each swap locks the subarray 16 tRC vs 4 tRC per refresh; note
+        # the *rate* of ALERTs can be lower (relocation decorrelates the
+        # stream from the SAUM) — the cost is in the longer blocks.

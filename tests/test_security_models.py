@@ -1,0 +1,150 @@
+"""Tests for the analytical security models (Appendices A and B)."""
+
+import math
+
+import pytest
+
+from repro.security.fractal_model import (
+    ESCAPE_TARGET,
+    FM_SAFE_TRHD,
+    fm_damage,
+    fm_escape_probability,
+    fm_max_damage,
+    fm_safe_trhd,
+    mint_escape_probability,
+    mixed_attack_escape,
+)
+from repro.security.mint_model import (
+    mint_tolerated_trhd,
+    mint_tolerated_trhs,
+    mttf_years_for_threshold,
+)
+from repro.security.thresholds import TRH_HISTORY, halving_time_years, threshold_trend
+
+
+class TestMintModel:
+    def test_paper_operating_points_within_tolerance(self):
+        """Table III (RM) and Table VI (FM): model within ~10 % of paper."""
+        paper_rm = {4: 96, 8: 182, 16: 356, 32: 702}
+        for window, expected in paper_rm.items():
+            got = mint_tolerated_trhd(window, recursive=True)
+            assert abs(got - expected) / expected < 0.10
+        paper_fm = {4: 74, 5: 96, 6: 117, 8: 161}
+        for window, expected in paper_fm.items():
+            got = mint_tolerated_trhd(window, recursive=False)
+            assert abs(got - expected) / expected < 0.10
+
+    def test_fm_beats_rm_at_every_window(self):
+        # Selecting from W slots instead of W+1 lowers the threshold.
+        for window in (4, 5, 6, 8, 16, 32):
+            assert mint_tolerated_trhd(window) < mint_tolerated_trhd(
+                window, recursive=True
+            )
+
+    def test_threshold_grows_with_window(self):
+        thresholds = [mint_tolerated_trhd(w) for w in (4, 8, 16, 32)]
+        assert thresholds == sorted(thresholds)
+
+    def test_sub_100_at_window_four(self):
+        # The paper's headline: AutoRFM-4 + FM tolerates sub-100 TRH-D.
+        assert mint_tolerated_trhd(4, recursive=False) < 100
+
+    def test_trhd_is_half_trhs(self):
+        trhs = mint_tolerated_trhs(4)
+        assert mint_tolerated_trhd(4) == math.ceil(trhs / 2)
+
+    def test_longer_mttf_needs_lower_threshold(self):
+        strict = mint_tolerated_trhd(4, mttf_years=1e6)
+        lax = mint_tolerated_trhd(4, mttf_years=1.0)
+        assert strict > lax  # more escapes tolerated -> higher T needed
+
+    def test_inverse_model_round_trips(self):
+        trhd = mint_tolerated_trhd(4)
+        years = mttf_years_for_threshold(trhd, window=4)
+        assert years >= 10_000 * 0.5  # rounding up T only helps
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            mint_tolerated_trhd(1)
+        with pytest.raises(ValueError):
+            mint_tolerated_trhd(4, mttf_years=0)
+        with pytest.raises(ValueError):
+            mttf_years_for_threshold(0, window=4)
+
+
+class TestFractalModel:
+    def test_damage_formula(self):
+        # Eq. 8: Damage = 1.25 * p * N.
+        assert fm_damage(0.5, 100) == pytest.approx(62.5)
+
+    def test_escape_probability_eq9(self):
+        assert fm_escape_probability(0) == 1.0
+        assert fm_escape_probability(104) == pytest.approx(
+            math.exp(-104 / 2.5)
+        )
+
+    def test_max_damage_near_104(self):
+        # Eq. 10: escape 1e-18 -> damage ~104.
+        assert fm_max_damage() == pytest.approx(103.6, abs=0.5)
+
+    def test_safe_trhd_is_53(self):
+        assert fm_safe_trhd() == FM_SAFE_TRHD == 53
+
+    def test_autorfm_min_threshold_above_fm_bound(self):
+        # The design is consistent: AutoRFM's lowest TRH-D (74) exceeds the
+        # FM transitive-attack bound (53), so direct attacks dominate.
+        assert mint_tolerated_trhd(4) > FM_SAFE_TRHD
+
+    def test_mint_escape_decays_with_damage(self):
+        assert mint_escape_probability(0, 4) == 1.0
+        assert mint_escape_probability(100, 4) < mint_escape_probability(50, 4)
+
+    def test_mixed_attack_is_product(self):
+        combined = mixed_attack_escape(40, 80, window=4)
+        assert combined == pytest.approx(
+            fm_escape_probability(40) * mint_escape_probability(80, 4)
+        )
+
+    def test_mixed_attack_weaker_than_pure_direct(self):
+        """Appendix B's argument: splitting activations between FM-induced
+        and direct damage escapes with LOWER probability than pure direct,
+        so an attacker gains nothing from mixing."""
+        total = 120
+        pure = mint_escape_probability(total, 4)
+        mixed = mixed_attack_escape(40, total - 40, window=4)
+        assert mixed < pure
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            fm_damage(1.5, 10)
+        with pytest.raises(ValueError):
+            fm_escape_probability(-1)
+        with pytest.raises(ValueError):
+            fm_max_damage(escape_target=2.0)
+        with pytest.raises(ValueError):
+            mint_escape_probability(10, window=1)
+
+    def test_escape_target_is_mttf_consistent(self):
+        assert ESCAPE_TARGET == 1e-18
+
+
+class TestThresholdHistory:
+    def test_table2_entries(self):
+        generations = [e.generation for e in TRH_HISTORY]
+        assert generations == ["DDR3-old", "DDR3-new", "DDR4", "LPDDR4"]
+
+    def test_monotonically_decreasing(self):
+        values = [e.representative for e in TRH_HISTORY]
+        assert values == sorted(values, reverse=True)
+
+    def test_ddr3_and_lpddr4_paper_values(self):
+        assert TRH_HISTORY[0].representative == 139_000
+        assert TRH_HISTORY[-1].representative == 4_800
+
+    def test_trend_pairs(self):
+        trend = threshold_trend()
+        assert trend[0] == (2014, 139_000)
+        assert trend[-1] == (2020, 4_800)
+
+    def test_halving_time_is_about_a_year(self):
+        assert 0.5 < halving_time_years() < 3.0

@@ -1,0 +1,133 @@
+"""Tests for the PARA tracker, region-granularity engine, and SMD mode."""
+
+import numpy as np
+import pytest
+
+from repro.core.autorfm import AutoRfmEngine
+from repro.core.mitigation import BlastRadiusMitigation
+from repro.mc.setup import MitigationSetup
+from repro.cpu.system import simulate
+from repro.trackers.para import ParaTracker
+from tests.test_system import make_traces
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestParaTracker:
+    def test_samples_at_configured_rate(self):
+        para = ParaTracker(probability=0.2, rng=rng(1))
+        harvested = 0
+        for i in range(10_000):
+            para.on_activation(i)
+            if para.select_for_mitigation() is not None:
+                harvested += 1
+        assert 0.17 < harvested / 10_000 < 0.23
+
+    def test_pending_cleared_after_select(self):
+        para = ParaTracker(probability=1.0, rng=rng(0))
+        para.on_activation(5)
+        assert para.select_for_mitigation().row == 5
+        assert para.select_for_mitigation() is None
+
+    def test_new_sample_overwrites_pending(self):
+        para = ParaTracker(probability=1.0, rng=rng(0))
+        para.on_activation(5)
+        para.on_activation(6)
+        assert para.select_for_mitigation().row == 6
+        assert para.overwritten == 1
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            ParaTracker(probability=0.0, rng=rng(0))
+
+
+class TestRegionGranularity:
+    def test_default_region_is_subarray(self, small_config):
+        engine = AutoRfmEngine(
+            small_config,
+            ParaTracker(1.0, rng(0)),
+            BlastRadiusMitigation(small_config.rows_per_bank),
+            autorfm_th=1,
+        )
+        assert engine.regions_per_bank == small_config.subarrays_per_bank
+        assert engine.region_of_row(0) == small_config.subarray_of_row(0)
+
+    def test_coarse_regions_widen_conflicts(self, small_config):
+        engine = AutoRfmEngine(
+            small_config,
+            ParaTracker(1.0, rng(0)),
+            BlastRadiusMitigation(small_config.rows_per_bank),
+            autorfm_th=1,
+            regions_per_bank=4,
+        )
+        rows_per_region = small_config.rows_per_bank // 4
+        # Mitigate a row in region 1; anything in region 1 now conflicts.
+        engine.on_activation(rows_per_region + 5, now=0)
+        engine.on_precharge(now=144)
+        t = engine.saum_busy_until - 1
+        assert engine.conflicts(rows_per_region, t)
+        assert engine.conflicts(2 * rows_per_region - 1, t)
+        assert not engine.conflicts(0, t)
+        assert not engine.conflicts(2 * rows_per_region, t)
+
+    def test_rejects_bad_region_count(self, small_config):
+        with pytest.raises(ValueError):
+            AutoRfmEngine(
+                small_config,
+                ParaTracker(1.0, rng(0)),
+                BlastRadiusMitigation(small_config.rows_per_bank),
+                autorfm_th=1,
+                regions_per_bank=small_config.rows_per_bank * 2,
+            )
+        with pytest.raises(ValueError):
+            AutoRfmEngine(
+                small_config,
+                ParaTracker(1.0, rng(0)),
+                BlastRadiusMitigation(small_config.rows_per_bank),
+                autorfm_th=1,
+                regions_per_bank=3,  # does not divide rows evenly
+            )
+
+
+class TestSmdMechanism:
+    def test_smd_setup_describe(self):
+        setup = MitigationSetup("smd", threshold=5)
+        assert "PARA p=1/5" in setup.describe()
+        assert setup.uses_tracker
+
+    def test_smd_simulation_completes(self, small_config):
+        traces = make_traces(small_config, n=500)
+        result = simulate(
+            traces, MitigationSetup("smd", threshold=5), small_config, "zen"
+        )
+        assert result.stats.cycles > 0
+        assert result.stats.total_mitigations > 0
+
+    def test_smd_conflicts_more_than_autorfm(self, small_config):
+        """Coarse region locks + conventional mapping: SMD sees far more
+        NACK/ALERT conflicts than subarray-granular AutoRFM on Rubix."""
+        traces = make_traces(small_config, n=800)
+        smd = simulate(
+            traces,
+            MitigationSetup("smd", threshold=4, smd_regions_per_bank=4),
+            small_config,
+            "zen",
+        )
+        auto = simulate(
+            traces,
+            MitigationSetup("autorfm", threshold=4, policy="fractal"),
+            small_config,
+            "rubix",
+        )
+        assert smd.stats.alerts_per_act > auto.stats.alerts_per_act
+
+    def test_smd_mitigation_rate_tracks_probability(self, small_config):
+        traces = make_traces(small_config, n=800)
+        result = simulate(
+            traces, MitigationSetup("smd", threshold=5), small_config, "zen"
+        )
+        acts = result.stats.total_activations
+        rate = result.stats.total_mitigations / acts
+        assert 0.15 < rate < 0.25  # p = 1/5

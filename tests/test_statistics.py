@@ -1,0 +1,105 @@
+"""Tests for the multi-seed statistics helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.statistics import (
+    MetricSummary,
+    seed_study,
+    summarize,
+    t_quantile_95,
+)
+
+
+class TestTQuantile:
+    def test_known_values(self):
+        assert t_quantile_95(1) == pytest.approx(12.706)
+        assert t_quantile_95(10) == pytest.approx(2.228)
+
+    def test_large_dof_approaches_normal(self):
+        assert t_quantile_95(1000) == pytest.approx(1.96)
+
+    def test_interpolates_conservatively(self):
+        # Gaps take the next tabulated (larger) quantile.
+        assert t_quantile_95(22) == pytest.approx(2.060)
+
+    def test_rejects_zero_dof(self):
+        with pytest.raises(ValueError):
+            t_quantile_95(0)
+
+
+class TestSummarize:
+    def test_constant_values(self):
+        s = summarize([5.0, 5.0, 5.0])
+        assert s.mean == 5.0
+        assert s.stdev == 0.0
+        assert s.ci95 == 0.0
+
+    def test_known_interval(self):
+        # mean 2, stdev 1, n=4: ci = 3.182 * 1 / 2.
+        s = summarize([1.0, 2.0, 2.0, 3.0])
+        assert s.mean == 2.0
+        assert s.ci95 == pytest.approx(3.182 * s.stdev / 2.0)
+        assert s.low < 2.0 < s.high
+
+    def test_single_value_infinite_interval(self):
+        s = summarize([7.0])
+        assert math.isinf(s.ci95)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_overlap(self):
+        a = MetricSummary(1.0, 0.1, 0.3, 4, (1.0,))
+        b = MetricSummary(1.5, 0.1, 0.3, 4, (1.5,))
+        c = MetricSummary(3.0, 0.1, 0.3, 4, (3.0,))
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_str(self):
+        assert "n=3" in str(summarize([1.0, 2.0, 3.0]))
+
+
+class TestSeedStudy:
+    def test_runs_metric_per_seed(self):
+        seen = []
+
+        def metric(seed):
+            seen.append(seed)
+            return float(seed)
+
+        s = seed_study(metric, [1, 2, 3])
+        assert seen == [1, 2, 3]
+        assert s.mean == 2.0
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            seed_study(lambda s: 0.0, [])
+
+    def test_simulation_slowdown_stable_across_seeds(self, small_config):
+        """The headline comparison holds for every seed, and the replica
+        spread on the slowdown is small."""
+        from repro.cpu.system import simulate
+        from repro.mc.setup import MitigationSetup
+        from tests.test_system import make_traces
+
+        def slowdown(seed):
+            traces = make_traces(small_config, n=600, seed=seed)
+            base = simulate(
+                traces, MitigationSetup("none"), small_config, "zen", seed=seed
+            )
+            rfm = simulate(
+                traces,
+                MitigationSetup("rfm", threshold=4),
+                small_config,
+                "zen",
+                seed=seed,
+            )
+            return rfm.slowdown_vs(base)
+
+        summary = seed_study(slowdown, seeds=[1, 2, 3])
+        assert summary.mean > 0.0
+        assert all(v > 0 for v in summary.values)
+        assert summary.stdev < 0.5 * max(summary.mean, 1e-9) + 0.02

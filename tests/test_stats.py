@@ -1,0 +1,110 @@
+"""Tests for statistics aggregation and the paper's metrics."""
+
+import pytest
+
+from repro.sim.stats import BankStats, CoreStats, SimStats
+
+
+def make_stats(num_banks=2, num_cores=2) -> SimStats:
+    return SimStats.with_shape(num_banks, num_cores)
+
+
+class TestBankStats:
+    def test_merge_adds_all_fields(self):
+        a = BankStats(activations=3, alerts=1)
+        b = BankStats(activations=2, mitigations=4)
+        a.merge(b)
+        assert a.activations == 5
+        assert a.alerts == 1
+        assert a.mitigations == 4
+
+
+class TestCoreStats:
+    def test_ipc(self):
+        core = CoreStats(instructions=1000, finish_cycle=500)
+        assert core.ipc == 2.0
+
+    def test_ipc_zero_when_unfinished(self):
+        assert CoreStats(instructions=10).ipc == 0.0
+
+    def test_avg_read_latency(self):
+        core = CoreStats(read_latency_sum=300, reads_completed=3)
+        assert core.avg_read_latency == 100.0
+
+
+class TestSimStatsMetrics:
+    def test_act_pki(self):
+        stats = make_stats()
+        stats.banks[0].activations = 30
+        stats.banks[1].activations = 20
+        stats.cores[0].instructions = 500
+        stats.cores[1].instructions = 500
+        assert stats.act_pki == 50.0
+
+    def test_act_per_trefi(self):
+        stats = make_stats(num_banks=2)
+        stats.cycles = 31_200  # two tREFI at 15600 cycles
+        stats.banks[0].activations = 40
+        stats.banks[1].activations = 40
+        assert stats.act_per_trefi(15_600) == pytest.approx(20.0)
+
+    def test_alerts_per_act(self):
+        stats = make_stats()
+        stats.banks[0].activations = 90
+        stats.banks[1].activations = 10
+        stats.banks[0].alerts = 5
+        assert stats.alerts_per_act == pytest.approx(0.05)
+
+    def test_alerts_per_act_no_acts(self):
+        assert make_stats().alerts_per_act == 0.0
+
+    def test_row_hit_rate(self):
+        stats = make_stats()
+        stats.banks[0].activations = 60
+        stats.banks[0].row_hits = 40
+        assert stats.row_hit_rate == pytest.approx(0.4)
+
+
+class TestWeightedSpeedup:
+    def test_identical_runs_give_one(self):
+        a = make_stats()
+        for core in a.cores:
+            core.instructions, core.finish_cycle = 1000, 2000
+        assert a.weighted_speedup(a) == pytest.approx(1.0)
+
+    def test_uniform_slowdown(self):
+        base, slow = make_stats(), make_stats()
+        for core in base.cores:
+            core.instructions, core.finish_cycle = 1000, 1000
+        for core in slow.cores:
+            core.instructions, core.finish_cycle = 1000, 1250
+        assert slow.slowdown_vs(base) == pytest.approx(0.2)
+
+    def test_mixed_per_core_speedups_average(self):
+        base, other = make_stats(), make_stats()
+        for core in base.cores:
+            core.instructions, core.finish_cycle = 1000, 1000
+        other.cores[0].instructions, other.cores[0].finish_cycle = 1000, 500
+        other.cores[1].instructions, other.cores[1].finish_cycle = 1000, 2000
+        # speedups 2.0 and 0.5 -> mean 1.25
+        assert other.weighted_speedup(base) == pytest.approx(1.25)
+
+    def test_mismatched_core_counts_raise(self):
+        with pytest.raises(ValueError):
+            make_stats(num_cores=2).weighted_speedup(make_stats(num_cores=3))
+
+    def test_zero_baseline_ipc_raises(self):
+        base, run = make_stats(), make_stats()
+        for core in run.cores:
+            core.instructions, core.finish_cycle = 1, 1
+        with pytest.raises(ValueError):
+            run.weighted_speedup(base)
+
+
+class TestSummary:
+    def test_summary_keys(self):
+        stats = make_stats()
+        stats.cycles = 100
+        summary = stats.summary(trefi_cycles=15_600)
+        for key in ("cycles", "act_pki", "alerts_per_act", "act_per_trefi"):
+            assert key in summary

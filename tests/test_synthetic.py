@@ -1,0 +1,169 @@
+"""Tests for synthetic trace generation and the workload catalog."""
+
+import numpy as np
+import pytest
+
+from repro.sim.config import SystemConfig
+from repro.workloads.catalog import WORKLOADS, workload_names, workloads_by_suite
+from repro.workloads.rate import make_rate_traces
+from repro.workloads.synthetic import generate_trace
+
+
+def gen(pattern, n=2000, **kwargs):
+    defaults = dict(
+        mpki=20.0,
+        region_start=1000,
+        region_lines=100_000,
+        rng=np.random.default_rng(7),
+    )
+    defaults.update(kwargs)
+    return generate_trace(pattern, n, **defaults)
+
+
+class TestGenerateTrace:
+    def test_request_count(self):
+        assert len(gen("stream", n=500)) == 500
+
+    def test_addresses_inside_region(self):
+        for pattern in ("stream", "random", "mixed", "strided"):
+            trace = gen(pattern, revisit_probability=0.3)
+            assert all(1000 <= a < 101_000 for a in trace.addrs)
+
+    def test_mpki_calibration(self):
+        trace = gen("random", n=20_000, mpki=25.0)
+        assert trace.mpki == pytest.approx(25.0, rel=0.1)
+
+    def test_write_fraction(self):
+        trace = gen("stream", n=10_000, write_fraction=0.4)
+        frac = sum(trace.writes) / len(trace)
+        assert 0.35 < frac < 0.45
+
+    def test_stream_is_mostly_sequential(self):
+        trace = gen("stream", streams=1, chunk=1, revisit_probability=0.0)
+        sequential = sum(
+            1 for a, b in zip(trace.addrs, trace.addrs[1:]) if b == a + 1
+        )
+        assert sequential / len(trace.addrs) > 0.9
+
+    def test_chunked_streams_emit_runs(self):
+        trace = gen("stream", streams=4, chunk=4, revisit_probability=0.0)
+        sequential = sum(
+            1 for a, b in zip(trace.addrs, trace.addrs[1:]) if b == a + 1
+        )
+        # Three of every four transitions are within a chunk.
+        assert sequential / len(trace.addrs) > 0.6
+
+    def test_random_is_not_sequential(self):
+        trace = gen("random")
+        sequential = sum(
+            1 for a, b in zip(trace.addrs, trace.addrs[1:]) if b == a + 1
+        )
+        assert sequential / len(trace.addrs) < 0.05
+
+    def test_strided_uses_stride(self):
+        trace = gen("strided", streams=1, stride=8, chunk=1,
+                    revisit_probability=0.0)
+        strided = sum(
+            1 for a, b in zip(trace.addrs, trace.addrs[1:]) if b == a + 8
+        )
+        assert strided / len(trace.addrs) > 0.9
+
+    def test_mixed_fraction_controls_sequentiality(self):
+        seq_high = gen("mixed", sequential_fraction=0.9, revisit_probability=0.0)
+        seq_low = gen("mixed", sequential_fraction=0.1, revisit_probability=0.0)
+
+        def seq_rate(trace):
+            return sum(
+                1 for a, b in zip(trace.addrs, trace.addrs[1:]) if b == a + 1
+            ) / len(trace.addrs)
+
+        assert seq_rate(seq_high) > seq_rate(seq_low) + 0.3
+
+    def test_revisits_create_neighbourhood_reuse(self):
+        trace = gen("random", revisit_probability=0.5, n=5000)
+        # Many addresses should be a pair/sibling of a recent address.
+        reuse = 0
+        recent = []
+        for addr in trace.addrs:
+            if any(addr in (r ^ 1, r + 128, r - 128, r + 256, r - 256)
+                   for r in recent[-64:]):
+                reuse += 1
+            recent.append(addr)
+        assert reuse / len(trace.addrs) > 0.2
+
+    def test_deterministic_given_rng_seed(self):
+        a = gen("mixed", rng=np.random.default_rng(42))
+        b = gen("mixed", rng=np.random.default_rng(42))
+        assert a.addrs == b.addrs and a.gaps == b.gaps
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            gen("bogus")
+        with pytest.raises(ValueError):
+            gen("stream", mpki=0.0)
+        with pytest.raises(ValueError):
+            gen("stream", region_lines=0)
+        with pytest.raises(ValueError):
+            gen("mixed", sequential_fraction=1.5)
+
+
+class TestCatalog:
+    def test_twenty_one_workloads(self):
+        assert len(WORKLOADS) == 21
+
+    def test_suites(self):
+        assert len(workloads_by_suite("SPEC2K17")) == 11
+        assert len(workloads_by_suite("GAP")) == 6
+        assert len(workloads_by_suite("Stream")) == 4
+
+    def test_unknown_suite_raises(self):
+        with pytest.raises(ValueError):
+            workloads_by_suite("nope")
+
+    def test_names_match_paper_table5(self):
+        for name in ("bwaves", "mcf", "ConnComp", "PageRank", "add", "triad"):
+            assert name in workload_names()
+
+    def test_mpki_at_least_act_pki(self):
+        # Request rate must exceed the ACT rate (hits only remove ACTs).
+        for workload in WORKLOADS.values():
+            assert workload.mpki >= workload.paper_act_pki
+
+    def test_trace_generation_for_every_workload(self):
+        config = SystemConfig()
+        for workload in WORKLOADS.values():
+            trace = workload.trace(
+                num_requests=64,
+                config=config,
+                core_id=0,
+                rng=np.random.default_rng(0),
+            )
+            assert len(trace) == 64
+            assert trace.name == workload.name
+
+
+class TestRateTraces:
+    def test_one_trace_per_core(self):
+        config = SystemConfig()
+        traces = make_rate_traces(WORKLOADS["roms"], config, requests=32)
+        assert len(traces) == config.num_cores
+
+    def test_cores_use_disjoint_regions(self):
+        config = SystemConfig()
+        traces = make_rate_traces(WORKLOADS["mcf"], config, requests=200)
+        region = config.total_lines // config.num_cores
+        for core, trace in enumerate(traces):
+            assert all(
+                core * region <= a < (core + 1) * region for a in trace.addrs
+            )
+
+    def test_cores_get_different_streams(self):
+        config = SystemConfig()
+        traces = make_rate_traces(WORKLOADS["mcf"], config, requests=100)
+        assert traces[0].addrs != traces[1].addrs
+
+    def test_seed_reproducibility(self):
+        config = SystemConfig()
+        a = make_rate_traces(WORKLOADS["xz"], config, requests=50, seed=3)
+        b = make_rate_traces(WORKLOADS["xz"], config, requests=50, seed=3)
+        assert all(x.addrs == y.addrs for x, y in zip(a, b))

@@ -1,0 +1,50 @@
+"""Tests for the tFAW four-activate-window constraint."""
+
+import dataclasses
+
+from repro.cpu.system import simulate
+from repro.mc.setup import MitigationSetup
+from repro.sim.cmdlog import ACT, CommandLog
+from repro.sim.config import DramTiming
+from tests.test_system import make_traces
+
+
+class TestTfaw:
+    def test_timing_constant(self):
+        assert DramTiming().tfaw == 40  # 10 ns at 4 GHz
+
+    def test_never_five_acts_in_window(self, small_config):
+        log = CommandLog()
+        traces = make_traces(small_config, n=1000)
+        simulate(traces, MitigationSetup("none"), small_config, "zen",
+                 command_log=log)
+        acts = sorted(
+            (r.time, r.bank) for r in log.of_kind(ACT)
+        )
+        per_sc = {}
+        banks_per_sc = small_config.banks_per_subchannel
+        for t, bank in acts:
+            per_sc.setdefault(bank // banks_per_sc, []).append(t)
+        tfaw = small_config.timing.tfaw
+        for times in per_sc.values():
+            for i in range(4, len(times)):
+                assert times[i] - times[i - 4] >= tfaw
+
+    def test_tight_tfaw_throttles_bandwidth(self, small_config):
+        """A much larger tFAW visibly reduces achievable ACT rate."""
+        traces = make_traces(small_config, n=1200)
+        fast = simulate(traces, MitigationSetup("none"), small_config, "zen")
+        slow_config = dataclasses.replace(
+            small_config,
+            timing=dataclasses.replace(small_config.timing, tfaw_ns=100.0),
+        )
+        slow = simulate(traces, MitigationSetup("none"), slow_config, "zen")
+        assert slow.stats.cycles > fast.stats.cycles
+
+    def test_audit_includes_tfaw_rule(self, small_config):
+        log = CommandLog()
+        # Five ACTs to subchannel 0 within 32 cycles (< tFAW = 40).
+        for i in range(5):
+            log.record(i * 8, ACT, bank=i % 4, row=i)
+        violations = log.verify(small_config)
+        assert any(v.rule == "tFAW" for v in violations)

@@ -1,0 +1,113 @@
+"""Tests for trace file save/load."""
+
+import pytest
+
+from repro.workloads.trace import Trace
+from repro.workloads.traceio import load_trace, save_trace
+
+
+def sample_trace():
+    return Trace(
+        gaps=[0, 5, 100],
+        addrs=[1, 0x2000, 77],
+        writes=[False, True, False],
+        tail_instructions=42,
+        name="sample",
+    )
+
+
+class TestRoundTrip:
+    def test_plain_text(self, tmp_path):
+        path = str(tmp_path / "t.trace")
+        original = sample_trace()
+        save_trace(original, path)
+        loaded = load_trace(path)
+        assert loaded.gaps == original.gaps
+        assert loaded.addrs == original.addrs
+        assert loaded.writes == original.writes
+        assert loaded.tail_instructions == 42
+
+    def test_gzip(self, tmp_path):
+        path = str(tmp_path / "t.trace.gz")
+        save_trace(sample_trace(), path)
+        loaded = load_trace(path)
+        assert loaded.addrs == [1, 0x2000, 77]
+        with open(path, "rb") as f:
+            assert f.read(2) == b"\x1f\x8b"  # actually gzip on disk
+
+    def test_name_from_filename(self, tmp_path):
+        path = str(tmp_path / "bwaves_slice.trace.gz")
+        save_trace(sample_trace(), path)
+        assert load_trace(path).name == "bwaves_slice"
+
+    def test_empty_trace(self, tmp_path):
+        path = str(tmp_path / "empty.trace")
+        save_trace(Trace(), path)
+        assert len(load_trace(path)) == 0
+
+
+class TestParsing:
+    def write(self, tmp_path, text):
+        path = tmp_path / "in.trace"
+        path.write_text(text)
+        return str(path)
+
+    def test_comments_and_blanks_ignored(self, tmp_path):
+        path = self.write(tmp_path, "# hi\n\n0 1 R\n  \n# bye\n")
+        assert len(load_trace(path)) == 1
+
+    def test_hex_addresses(self, tmp_path):
+        path = self.write(tmp_path, "0 0xff R\n")
+        assert load_trace(path).addrs == [255]
+
+    def test_lowercase_op(self, tmp_path):
+        path = self.write(tmp_path, "0 1 w\n")
+        assert load_trace(path).writes == [True]
+
+    def test_bad_field_count(self, tmp_path):
+        path = self.write(tmp_path, "0 1\n")
+        with pytest.raises(ValueError, match="line 1"):
+            load_trace(path)
+
+    def test_bad_integer(self, tmp_path):
+        path = self.write(tmp_path, "x 1 R\n")
+        with pytest.raises(ValueError, match="bad integer"):
+            load_trace(path)
+
+    def test_bad_op(self, tmp_path):
+        path = self.write(tmp_path, "0 1 X\n")
+        with pytest.raises(ValueError, match="R or W"):
+            load_trace(path)
+
+    def test_negative_values(self, tmp_path):
+        path = self.write(tmp_path, "-1 1 R\n")
+        with pytest.raises(ValueError, match="negative"):
+            load_trace(path)
+
+    def test_bad_tail(self, tmp_path):
+        path = self.write(tmp_path, "0 1 R\n#tail nope\n")
+        with pytest.raises(ValueError, match="tail"):
+            load_trace(path)
+
+    def test_error_reports_correct_line(self, tmp_path):
+        path = self.write(tmp_path, "0 1 R\n0 2 R\nbroken\n")
+        with pytest.raises(ValueError, match="line 3"):
+            load_trace(path)
+
+
+class TestLoadedTracesSimulate:
+    def test_loaded_trace_runs(self, tmp_path, small_config):
+        from repro.cpu.system import simulate
+        from repro.mc.setup import MitigationSetup
+        from tests.test_system import make_traces
+
+        traces = make_traces(small_config, n=200)
+        paths = []
+        for i, trace in enumerate(traces):
+            path = str(tmp_path / f"core{i}.trace.gz")
+            save_trace(trace, path)
+            paths.append(path)
+        reloaded = [load_trace(p) for p in paths]
+        a = simulate(traces, MitigationSetup("none"), small_config, "zen")
+        b = simulate(reloaded, MitigationSetup("none"), small_config, "zen")
+        assert a.stats.cycles == b.stats.cycles

@@ -1,0 +1,118 @@
+"""Tests for the MINT tracker."""
+
+import numpy as np
+import pytest
+
+from repro.trackers.mint import MintTracker
+
+
+def make(window=4, transitive=False, strict=True, seed=0):
+    return MintTracker(
+        window=window,
+        rng=np.random.default_rng(seed),
+        transitive_slot=transitive,
+        strict=strict,
+    )
+
+
+class TestMintBasics:
+    def test_selects_exactly_one_row_per_window(self):
+        mint = make(window=4)
+        for start in range(0, 400, 4):
+            for offset in range(4):
+                mint.on_activation(1000 + start + offset)
+            request = mint.select_for_mitigation()
+            assert request is not None
+            assert request.level == 1
+            assert 1000 + start <= request.row < 1000 + start + 4
+
+    def test_selection_is_uniform_over_slots(self):
+        mint = make(window=4, seed=7)
+        counts = [0, 0, 0, 0]
+        for _ in range(4000):
+            for slot in range(4):
+                mint.on_activation(slot)
+            counts[mint.select_for_mitigation().row] += 1
+        for count in counts:
+            assert 800 < count < 1200  # ~1000 each, generous tolerance
+
+    def test_window_one(self):
+        mint = make(window=1)
+        mint.on_activation(5)
+        assert mint.select_for_mitigation().row == 5
+
+    def test_strict_overrun_raises(self):
+        mint = make(window=2, strict=True)
+        mint.on_activation(1)
+        mint.on_activation(2)
+        with pytest.raises(RuntimeError, match="overran"):
+            mint.on_activation(3)
+
+    def test_non_strict_overrun_wraps(self):
+        mint = make(window=2, strict=False)
+        for row in range(10):
+            mint.on_activation(row)  # never harvested: windows re-roll
+        request = mint.select_for_mitigation()
+        # May or may not have captured depending on slot; must not raise.
+        assert request is None or request.row < 10
+
+    def test_window_complete(self):
+        mint = make(window=3)
+        assert not mint.window_complete()
+        for row in range(3):
+            mint.on_activation(row)
+        assert mint.window_complete()
+        mint.select_for_mitigation()
+        assert not mint.window_complete()
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            make(window=0)
+
+    def test_selection_probability(self):
+        assert make(window=4).selection_probability == 0.25
+        assert make(window=4, transitive=True).selection_probability == 0.2
+
+    def test_storage_is_minimal(self):
+        assert make().storage_bits <= 64  # a few bytes (Section VI-C)
+
+
+class TestMintTransitiveSlot:
+    def test_transitive_slot_escalates_level(self):
+        mint = make(window=2, transitive=True, seed=3)
+        levels = []
+        for burst in range(600):
+            mint.on_activation(40)
+            mint.on_activation(41)
+            request = mint.select_for_mitigation()
+            if request is not None:
+                levels.append(request.level)
+        assert 1 in levels
+        assert any(level >= 2 for level in levels)  # transitive re-mitigation
+
+    def test_transitive_share_is_one_over_w_plus_one(self):
+        mint = make(window=4, transitive=True, seed=11)
+        transitive = total = 0
+        for _ in range(4000):
+            for row in range(4):
+                mint.on_activation(row)
+            request = mint.select_for_mitigation()
+            if request is None:
+                continue
+            total += 1
+            if request.level > 1:
+                transitive += 1
+        assert 0.13 < transitive / total < 0.27  # expect ~1/5
+
+    def test_no_transitive_before_first_mitigation(self):
+        mint = make(window=1, transitive=True, seed=0)
+        # Force the transitive slot by searching seeds: with window=1 the
+        # chosen slot is 1 or 2; slot 2 with no history yields None.
+        saw_none = False
+        for _ in range(50):
+            mint._last_mitigation = None
+            mint._chosen_slot = 2  # the transitive slot
+            mint.on_activation(9)
+            if mint.select_for_mitigation() is None:
+                saw_none = True
+        assert saw_none

@@ -1,0 +1,124 @@
+"""Tests for PrIDE, PARFM, and Mithril trackers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trackers.mithril import MithrilTracker
+from repro.trackers.parfm import ParfmTracker
+from repro.trackers.pride import PrideTracker
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestPride:
+    def test_sampling_rate(self):
+        pride = PrideTracker(sample_probability=0.25, rng=rng(1))
+        inserted = 0
+        for i in range(8000):
+            pride.on_activation(i)
+            request = pride.select_for_mitigation()
+            if request is not None:
+                inserted += 1
+        assert 0.2 < inserted / 8000 < 0.3
+
+    def test_fifo_order(self):
+        pride = PrideTracker(sample_probability=1.0, rng=rng(0), fifo_entries=4)
+        for row in (10, 11, 12):
+            pride.on_activation(row)
+        assert pride.select_for_mitigation().row == 10
+        assert pride.select_for_mitigation().row == 11
+
+    def test_full_fifo_drops_samples(self):
+        pride = PrideTracker(sample_probability=1.0, rng=rng(0), fifo_entries=2)
+        for row in range(5):
+            pride.on_activation(row)
+        assert pride.occupancy == 2
+        assert pride.samples_dropped == 3
+
+    def test_empty_fifo_returns_none(self):
+        pride = PrideTracker(sample_probability=0.5, rng=rng(0))
+        assert pride.select_for_mitigation() is None
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            PrideTracker(sample_probability=0.0, rng=rng(0))
+        with pytest.raises(ValueError):
+            PrideTracker(sample_probability=1.5, rng=rng(0))
+
+
+class TestParfm:
+    def test_selects_from_buffered_window(self):
+        parfm = ParfmTracker(window=4, rng=rng(2))
+        for _ in range(100):
+            rows = [200, 201, 202, 203]
+            for row in rows:
+                parfm.on_activation(row)
+            assert parfm.select_for_mitigation().row in rows
+
+    def test_empty_window_returns_none(self):
+        assert ParfmTracker(window=4, rng=rng(0)).select_for_mitigation() is None
+
+    def test_strict_overrun_raises(self):
+        parfm = ParfmTracker(window=2, rng=rng(0))
+        parfm.on_activation(1)
+        parfm.on_activation(2)
+        with pytest.raises(RuntimeError):
+            parfm.on_activation(3)
+
+    def test_non_strict_slides(self):
+        parfm = ParfmTracker(window=2, rng=rng(0), strict=False)
+        for row in range(10):
+            parfm.on_activation(row)
+        assert parfm.select_for_mitigation().row in (8, 9)
+
+
+class TestMithril:
+    def test_tracks_heaviest_hitter(self):
+        mithril = MithrilTracker(entries=4, rng=rng(0))
+        for _ in range(50):
+            mithril.on_activation(7)
+        for row in (1, 2, 3):
+            mithril.on_activation(row)
+        assert mithril.select_for_mitigation().row == 7
+
+    def test_mitigation_resets_count(self):
+        mithril = MithrilTracker(entries=4, rng=rng(0))
+        for _ in range(10):
+            mithril.on_activation(5)
+        mithril.select_for_mitigation()
+        assert mithril.effective_count(5) == 0
+
+    def test_empty_returns_none(self):
+        assert MithrilTracker(entries=4, rng=rng(0)).select_for_mitigation() is None
+
+    def test_decrement_when_full(self):
+        mithril = MithrilTracker(entries=2, rng=rng(0))
+        mithril.on_activation(1)
+        mithril.on_activation(2)
+        mithril.on_activation(3)  # full: global decrement, no insert
+        assert mithril.effective_count(1) == 0
+        assert mithril.effective_count(3) == 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=400))
+    @settings(max_examples=60, deadline=None)
+    def test_misra_gries_undercount_bound(self, rows):
+        """The estimate undercounts by at most total/entries (MG invariant)."""
+        entries = 4
+        mithril = MithrilTracker(entries=entries, rng=rng(0))
+        true_counts = {}
+        for row in rows:
+            mithril.on_activation(row)
+            true_counts[row] = true_counts.get(row, 0) + 1
+        for row, true in true_counts.items():
+            estimate = mithril.effective_count(row)
+            assert estimate <= true
+            assert true - estimate <= len(rows) / entries
+
+    def test_storage_scales_with_entries(self):
+        small = MithrilTracker(entries=16, rng=rng(0)).storage_bits
+        large = MithrilTracker(entries=32, rng=rng(0)).storage_bits
+        assert large == 2 * small

@@ -1,0 +1,61 @@
+"""Tests for the tracker storage-vs-threshold design-space analysis."""
+
+import pytest
+
+from repro.analysis.tradeoffs import (
+    TrackerPoint,
+    cheapest_tracker_for,
+    tracker_tradeoffs,
+)
+
+
+class TestTrackerTradeoffs:
+    def test_covers_the_zoo(self):
+        names = {p.name for p in tracker_tradeoffs()}
+        assert {"MINT", "PrIDE", "PARFM", "Mithril-32K", "Graphene-2K",
+                "Hydra"} <= names
+
+    def test_mint_is_the_smallest(self):
+        points = tracker_tradeoffs()
+        mint = next(p for p in points if p.name == "MINT")
+        assert all(mint.storage_bits_per_bank <= p.storage_bits_per_bank
+                   for p in points)
+        assert mint.storage_bytes_per_bank <= 8  # a few bytes (Sec. VI-C)
+
+    def test_mint_beats_pride_on_both_axes(self):
+        # Section II-D / Appendix D: lower threshold AND lower storage.
+        points = {p.name: p for p in tracker_tradeoffs()}
+        assert points["MINT"].tolerated_trhd < points["PrIDE"].tolerated_trhd
+        assert (
+            points["MINT"].storage_bits_per_bank
+            < points["PrIDE"].storage_bits_per_bank
+        )
+
+    def test_deterministic_trackers_pay_storage(self):
+        points = {p.name: p for p in tracker_tradeoffs()}
+        assert points["Mithril-32K"].storage_bits_per_bank > 100_000
+        assert points["Mithril-32K"].deterministic
+
+    def test_deterministic_floor_is_fm_bound(self):
+        points = {p.name: p for p in tracker_tradeoffs()}
+        assert points["Mithril-32K"].tolerated_trhd == 53
+
+    def test_window_scales_probabilistic_thresholds(self):
+        at4 = {p.name: p for p in tracker_tradeoffs(window=4)}
+        at8 = {p.name: p for p in tracker_tradeoffs(window=8)}
+        assert at8["MINT"].tolerated_trhd > at4["MINT"].tolerated_trhd
+
+    def test_cheapest_for_sub100_is_mint(self):
+        assert cheapest_tracker_for(100).name == "MINT"
+
+    def test_cheapest_for_ultra_low_needs_counters(self):
+        point = cheapest_tracker_for(60)
+        assert point.deterministic
+
+    def test_unreachable_target_raises(self):
+        with pytest.raises(ValueError):
+            cheapest_tracker_for(10)
+
+    def test_point_bytes_property(self):
+        point = TrackerPoint("x", 32, 100, False)
+        assert point.storage_bytes_per_bank == 4.0

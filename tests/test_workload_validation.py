@@ -1,0 +1,115 @@
+"""Tests for trace diagnostics — and calibration checks of the catalog."""
+
+import numpy as np
+import pytest
+
+from repro.mapping import RubixMapping, ZenMapping
+from repro.sim.config import SystemConfig
+from repro.workloads.catalog import WORKLOADS
+from repro.workloads.trace import Trace
+from repro.workloads.validation import (
+    bank_spread,
+    profile_table,
+    reuse_distance_histogram,
+    sequentiality,
+    trace_profile,
+)
+
+CONFIG = SystemConfig()
+
+
+def make_trace(addrs, writes=None):
+    return Trace(
+        gaps=[0] * len(addrs),
+        addrs=list(addrs),
+        writes=writes or [False] * len(addrs),
+    )
+
+
+class TestMetrics:
+    def test_sequentiality_extremes(self):
+        assert sequentiality(make_trace(range(100))) == 1.0
+        assert sequentiality(make_trace([0, 500, 3, 9000])) == 0.0
+        assert sequentiality(make_trace([7])) == 0.0
+
+    def test_reuse_histogram_immediate_revisit(self):
+        zen = ZenMapping(CONFIG)
+        # Pair mates share a bank row: every second request revisits at
+        # distance 1.
+        trace = make_trace([0, 1, 0, 1, 0, 1])
+        hist = reuse_distance_histogram(trace, zen)
+        assert hist["<=4"] > 0.8
+
+    def test_reuse_histogram_no_reuse(self):
+        zen = ZenMapping(CONFIG)
+        stride = 64 * CONFIG.lines_per_row * 64  # new row group each time
+        trace = make_trace([i * stride for i in range(8)])
+        hist = reuse_distance_histogram(trace, zen)
+        assert hist["inf"] == 1.0
+
+    def test_bank_spread_uniform_vs_camped(self):
+        zen = ZenMapping(CONFIG)
+        uniform = make_trace(range(0, 4096, 2))  # walks all banks
+        camped = make_trace([0] * 100)  # one bank
+        assert bank_spread(uniform, zen) > 0.9
+        assert bank_spread(camped, zen) == 0.0
+
+    def test_profile_bundle(self):
+        zen = ZenMapping(CONFIG)
+        profile = trace_profile(make_trace(range(64)), zen)
+        for key in ("mpki", "sequentiality", "bank_spread", "reuse"):
+            assert key in profile
+
+    def test_profile_table_shape(self):
+        zen = ZenMapping(CONFIG)
+        rows = profile_table([make_trace(range(8))] * 3, zen)
+        assert len(rows) == 3
+
+    def test_empty_trace(self):
+        zen = ZenMapping(CONFIG)
+        assert reuse_distance_histogram(make_trace([]), zen) == {}
+        assert bank_spread(make_trace([]), zen) == 0.0
+
+
+class TestCatalogCalibration:
+    """The load-bearing properties of the generator calibration."""
+
+    def _trace(self, name, n=4000):
+        return WORKLOADS[name].trace(
+            num_requests=n,
+            config=CONFIG,
+            core_id=0,
+            rng=np.random.default_rng(5),
+        )
+
+    def test_streaming_has_short_reuse_under_zen(self):
+        zen = ZenMapping(CONFIG)
+        hist = reuse_distance_histogram(self._trace("bwaves"), zen)
+        # Pairs + neighbourhood revisits: a solid short-distance mass —
+        # the source of both row hits and SAUM conflicts.
+        short = hist["<=4"] + hist["<=16"] + hist["<=64"]
+        assert short > 0.3
+
+    def test_rubix_destroys_row_reuse(self):
+        trace = self._trace("bwaves")
+        zen_hist = reuse_distance_histogram(trace, ZenMapping(CONFIG))
+        rub_hist = reuse_distance_histogram(
+            trace, RubixMapping(CONFIG, key=1)
+        )
+        zen_short = zen_hist["<=4"] + zen_hist["<=16"]
+        rub_short = rub_hist["<=4"] + rub_hist["<=16"]
+        assert rub_short < 0.5 * zen_short
+
+    def test_random_workload_spreads_banks(self):
+        zen = ZenMapping(CONFIG)
+        assert bank_spread(self._trace("omnetpp"), zen) > 0.9
+
+    def test_stream_more_sequential_than_graph(self):
+        assert sequentiality(self._trace("add")) > sequentiality(
+            self._trace("ConnComp")
+        )
+
+    @pytest.mark.parametrize("name", ["bwaves", "mcf", "ConnComp", "add"])
+    def test_mpki_matches_recipe(self, name):
+        trace = self._trace(name, n=8000)
+        assert trace.mpki == pytest.approx(WORKLOADS[name].mpki, rel=0.15)

@@ -1,0 +1,69 @@
+"""Tests for the optional write-buffer/drain mode."""
+
+import dataclasses
+
+from repro.cpu.system import simulate
+from repro.mc.setup import MitigationSetup
+from repro.sim.cmdlog import CommandLog
+from repro.workloads.trace import Trace
+from tests.test_system import make_traces
+
+
+def drain_config(small_config, buffer_size=32):
+    return dataclasses.replace(
+        small_config, write_drain=True, write_buffer_size=buffer_size
+    )
+
+
+class TestWriteDrain:
+    def test_all_writes_eventually_serviced(self, small_config):
+        config = drain_config(small_config)
+        traces = make_traces(config, n=900)
+        result = simulate(traces, MitigationSetup("none"), config, "zen")
+        serviced = sum(b.reads + b.writes for b in result.stats.banks)
+        assert serviced == sum(len(t) for t in traces)
+
+    def test_write_only_trace_drains_at_end(self, small_config):
+        config = drain_config(small_config, buffer_size=64)
+        # Fewer writes than the watermark: only the end-of-run flush (and
+        # REF drains) can service them.
+        n = 10
+        trace = Trace(gaps=[50] * n, addrs=list(range(0, 4 * n, 4)),
+                      writes=[True] * n)
+        idle = trace.sliced(0)
+        result = simulate([trace, idle], MitigationSetup("none"), config, "zen")
+        assert sum(b.writes for b in result.stats.banks) == n
+
+    def test_timing_audit_still_clean(self, small_config):
+        config = drain_config(small_config)
+        log = CommandLog()
+        traces = make_traces(config, n=700)
+        simulate(
+            traces,
+            MitigationSetup("autorfm", threshold=4),
+            config,
+            "rubix",
+            command_log=log,
+        )
+        assert log.verify(config) == []
+
+    def test_reads_prioritized_over_buffered_writes(self, small_config):
+        """With drain mode on, read latency improves (writes step aside)."""
+        traces = make_traces(small_config, n=1200)
+        plain = simulate(traces, MitigationSetup("none"), small_config, "zen")
+        drained = simulate(
+            traces, MitigationSetup("none"), drain_config(small_config), "zen"
+        )
+
+        def avg_lat(result):
+            cores = result.stats.cores
+            return sum(c.avg_read_latency for c in cores) / len(cores)
+
+        assert avg_lat(drained) <= avg_lat(plain) * 1.05
+
+    def test_determinism_preserved(self, small_config):
+        config = drain_config(small_config)
+        traces = make_traces(config, n=600)
+        a = simulate(traces, MitigationSetup("rfm", threshold=4), config, "zen")
+        b = simulate(traces, MitigationSetup("rfm", threshold=4), config, "zen")
+        assert a.stats.cycles == b.stats.cycles
