@@ -1,15 +1,18 @@
 # Convenience targets for the AutoRFM reproduction.
 
-.PHONY: install test bench examples audit clean
+.PHONY: install test bench bench-smoke examples audit clean
 
 install:
 	pip install -e . || python setup.py develop
 
 test:
-	pytest tests/
+	PYTHONPATH=src python -m pytest -x -q
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+bench-smoke:
+	PYTHONPATH=src python benchmarks/bench_perf_smoke.py
 
 examples:
 	python examples/quickstart.py

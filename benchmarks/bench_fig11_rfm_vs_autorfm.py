@@ -6,24 +6,26 @@ Paper averages: RFM-4 33 % / RFM-8 12.9 % vs AutoRFM-4 3.1 % / AutoRFM-8
 
 from _common import PAPER, pct, report
 
-from repro.analysis.experiments import average, slowdown, workload_rows
+from repro.analysis.experiments import average, slowdown_matrix
 from repro.analysis.tables import render_table
 from repro.mc.setup import MitigationSetup
 from repro.workloads.catalog import WORKLOADS
 
 
 def compute():
-    table = {}
+    # One batched submission: all runs plus the shared Zen baselines fan
+    # out across REPRO_JOBS workers and the persistent result cache.
+    specs = []
     for th in (4, 8):
-        rfm = MitigationSetup("rfm", threshold=th)
-        auto = MitigationSetup("autorfm", threshold=th, policy="fractal")
-        table[f"rfm{th}"] = dict(
-            workload_rows(lambda wl, s=rfm: slowdown(wl, s, "zen"))
+        specs.append((f"rfm{th}", MitigationSetup("rfm", threshold=th), "zen"))
+        specs.append(
+            (
+                f"auto{th}",
+                MitigationSetup("autorfm", threshold=th, policy="fractal"),
+                "rubix",
+            )
         )
-        table[f"auto{th}"] = dict(
-            workload_rows(lambda wl, s=auto: slowdown(wl, s, "rubix"))
-        )
-    return table
+    return slowdown_matrix(WORKLOADS, specs)
 
 
 def test_fig11_rfm_vs_autorfm(benchmark):

@@ -9,38 +9,44 @@ Each mechanism's x-coordinate is the TRH-D its parameter tolerates
 from _common import pct, report
 
 from repro.analysis.charts import render_linechart
-from repro.analysis.experiments import average, slowdown, workload_rows
+from repro.analysis.experiments import average, slowdown_matrix
 from repro.analysis.tables import render_table
 from repro.mc.setup import MitigationSetup
 from repro.security.mint_model import mint_tolerated_trhd
+from repro.workloads.catalog import WORKLOADS
 
 RFM_WINDOWS = (4, 8, 16, 32)
 AUTORFM_WINDOWS = (4, 6, 8)
 PRAC_TARGETS = (74, 180, 700)
 
 
-def avg_slowdown(setup, mapping, baseline="zen"):
-    return average(
-        workload_rows(
-            lambda wl: slowdown(wl, setup, mapping, baseline_mapping=baseline)
-        )
-    )
-
-
 def compute():
+    # Batch the whole mechanism x threshold x workload sweep through the
+    # shared runner (parallel workers + persistent cache), then reduce
+    # each configuration to its per-workload average.
+    specs = []
+    for th in RFM_WINDOWS:
+        specs.append((f"rfm{th}", MitigationSetup("rfm", threshold=th), "zen"))
+    for th in AUTORFM_WINDOWS:
+        setup = MitigationSetup("autorfm", threshold=th, policy="fractal")
+        specs.append((f"autorfm{th}", setup, "rubix"))
+    for trhd in PRAC_TARGETS:
+        setup = MitigationSetup("prac", prac_trh_d=trhd)
+        specs.append((f"prac{trhd}", setup, "zen"))
+    matrix = slowdown_matrix(WORKLOADS, specs)
+
+    def avg(label):
+        return average(list(matrix[label].items()))
+
     series = {"rfm": [], "autorfm": [], "prac": []}
     for th in RFM_WINDOWS:
         trhd = mint_tolerated_trhd(th, recursive=True)
-        series["rfm"].append(
-            (trhd, avg_slowdown(MitigationSetup("rfm", threshold=th), "zen"))
-        )
+        series["rfm"].append((trhd, avg(f"rfm{th}")))
     for th in AUTORFM_WINDOWS:
         trhd = mint_tolerated_trhd(th, recursive=False)
-        setup = MitigationSetup("autorfm", threshold=th, policy="fractal")
-        series["autorfm"].append((trhd, avg_slowdown(setup, "rubix")))
+        series["autorfm"].append((trhd, avg(f"autorfm{th}")))
     for trhd in PRAC_TARGETS:
-        setup = MitigationSetup("prac", prac_trh_d=trhd)
-        series["prac"].append((trhd, avg_slowdown(setup, "zen")))
+        series["prac"].append((trhd, avg(f"prac{trhd}")))
     return series
 
 

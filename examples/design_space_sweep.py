@@ -6,59 +6,89 @@ example sweeps RFM and AutoRFM windows plus PRAC on two contrasting
 workloads (streaming `add`, pointer-chasing `mcf`) and prints the
 cost-vs-protection frontier.
 
+The whole sweep goes through :class:`repro.analysis.runner.ExperimentRunner`
+as one batch: independent simulations fan out across ``REPRO_JOBS`` worker
+processes, and completed runs land in the persistent result cache, so a
+second invocation prints the tables instantly.
+
 Run:  python examples/design_space_sweep.py
 """
 
-from repro import MitigationSetup, SystemConfig, WORKLOADS, make_rate_traces, simulate
+from repro import MitigationSetup, SystemConfig
+from repro.analysis.runner import ExperimentRunner, Job
 from repro.analysis.tables import render_table
 from repro.security import mint_tolerated_trhd
 
 WORKLOAD_NAMES = ("add", "mcf")
 REQUESTS = 3000
+SEED = 0
+
+RFM_WINDOWS = (4, 8, 16)
+AUTORFM_WINDOWS = (4, 8, 16)
+PRAC_TRHD = 74
 
 
-def sweep_workload(name: str):
-    config = SystemConfig()
-    traces = make_rate_traces(WORKLOADS[name], config, requests=REQUESTS)
-    baseline = simulate(traces, MitigationSetup("none"), config, "zen")
+def build_jobs(name: str):
+    """(description, job) pairs for one workload; the baseline comes first."""
+    jobs = [("baseline", Job(name, MitigationSetup("none"), "zen", REQUESTS, SEED))]
+    for th in RFM_WINDOWS:
+        jobs.append(
+            (f"RFM-{th}",
+             Job(name, MitigationSetup("rfm", threshold=th), "zen", REQUESTS, SEED))
+        )
+    for th in AUTORFM_WINDOWS:
+        setup = MitigationSetup("autorfm", threshold=th, policy="fractal")
+        jobs.append((f"AutoRFM-{th}", Job(name, setup, "rubix", REQUESTS, SEED)))
+    jobs.append(
+        ("PRAC+ABO",
+         Job(name, MitigationSetup("prac", prac_trh_d=PRAC_TRHD), "zen",
+             REQUESTS, SEED))
+    )
+    return jobs
 
+
+def rows_for(labelled, results):
+    baseline = results[0]
     rows = []
-    for th in (4, 8, 16):
-        trhd = mint_tolerated_trhd(th, recursive=True)
-        run = simulate(traces, MitigationSetup("rfm", threshold=th), config, "zen")
-        rows.append([f"RFM-{th}", trhd, f"{run.slowdown_vs(baseline):.1%}", "-"])
-    for th in (4, 8, 16):
-        trhd = mint_tolerated_trhd(th, recursive=False)
-        run = simulate(
-            traces,
-            MitigationSetup("autorfm", threshold=th, policy="fractal"),
-            config,
-            "rubix",
-        )
-        rows.append(
-            [
-                f"AutoRFM-{th}",
-                trhd,
-                f"{run.slowdown_vs(baseline):.1%}",
-                f"{run.stats.alerts_per_act:.2%}",
-            ]
-        )
-    prac = simulate(traces, MitigationSetup("prac", prac_trh_d=74), config, "zen")
-    rows.append(["PRAC+ABO", 74, f"{prac.slowdown_vs(baseline):.1%}", "-"])
+    for (label, job), run in zip(labelled[1:], results[1:]):
+        setup = job.setup
+        if setup.mechanism == "rfm":
+            trhd = mint_tolerated_trhd(setup.threshold, recursive=True)
+            alert = "-"
+        elif setup.mechanism == "autorfm":
+            trhd = mint_tolerated_trhd(setup.threshold, recursive=False)
+            alert = f"{run.stats.alerts_per_act:.2%}"
+        else:  # prac
+            trhd = setup.prac_trh_d
+            alert = "-"
+        rows.append([label, trhd, f"{run.slowdown_vs(baseline):.1%}", alert])
     return rows
 
 
 def main() -> None:
+    runner = ExperimentRunner(config=SystemConfig())
+    labelled = {name: build_jobs(name) for name in WORKLOAD_NAMES}
+    # One flat batch over both workloads: maximum pool utilization.
+    flat = [job for jobs in labelled.values() for _, job in jobs]
+    flat_results = runner.run_many(flat)
+
+    cursor = 0
     for name in WORKLOAD_NAMES:
-        rows = sweep_workload(name)
+        jobs = labelled[name]
+        results = flat_results[cursor:cursor + len(jobs)]
+        cursor += len(jobs)
         print(
             render_table(
                 ["mechanism", "tolerated TRH-D", "slowdown", "ALERT/ACT"],
-                rows,
+                rows_for(jobs, results),
                 title=f"--- design space for {name} ---",
             )
         )
         print()
+    print(
+        f"({runner.simulations_run} simulations run, "
+        f"{runner.cache_hits} answered from cache)\n"
+    )
     print(
         "Reading the frontier: RFM is cheap only while its window is long\n"
         "(high thresholds); PRAC pays a flat tRC tax everywhere; AutoRFM\n"

@@ -5,9 +5,17 @@ from repro.analysis.charts import render_barchart, render_linechart
 from repro.analysis.experiments import (
     DEFAULT_REQUESTS,
     average,
+    run_many,
     run_workload,
     slowdown,
+    slowdown_matrix,
     workload_rows,
+)
+from repro.analysis.runner import (
+    CACHE_SCHEMA_VERSION,
+    ExperimentRunner,
+    Job,
+    ResultCache,
 )
 from repro.analysis.export import result_record, to_csv, to_json, write_records
 from repro.analysis.model import (
@@ -22,10 +30,16 @@ from repro.analysis.tables import render_series, render_table
 from repro.analysis.tradeoffs import cheapest_tracker_for, tracker_tradeoffs
 
 __all__ = [
+    "CACHE_SCHEMA_VERSION",
     "DEFAULT_REQUESTS",
+    "ExperimentRunner",
+    "Job",
+    "ResultCache",
     "average",
+    "run_many",
     "run_workload",
     "slowdown",
+    "slowdown_matrix",
     "workload_rows",
     "storage_overheads",
     "render_series",

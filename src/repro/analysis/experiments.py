@@ -1,31 +1,35 @@
 """Shared experiment harness for the benchmark suite.
 
-Runs are memoized per process on (workload, setup, mapping, requests, seed),
-so benchmark files that share baselines (every slowdown needs the Zen
-baseline of its workload) do not recompute them.
+Runs are memoized per process on (workload, setup, mapping, requests, seed)
+and, underneath that, in the persistent on-disk cache of
+:mod:`repro.analysis.runner` — so benchmark files that share baselines
+(every slowdown needs the Zen baseline of its workload) do not recompute
+them, and a re-run of the whole suite answers straight from disk.
 
 The slice length defaults to ``REPRO_REQUESTS`` requests per core (env var,
 default 2500). Slowdowns are stationary, so short slices reproduce the
-paper's relative numbers; raise the env var for tighter estimates.
+paper's relative numbers; raise the env var for tighter estimates. Set
+``REPRO_JOBS`` to fan batch submissions (:func:`run_many`,
+:func:`slowdown_matrix`) out across worker processes.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Callable, Dict, Iterable, List, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.cpu.system import SimulationResult, simulate
+from repro.analysis.runner import ExperimentRunner, Job, SetupSpec
+from repro.cpu.system import SimulationResult
 from repro.mc.setup import MitigationSetup
 from repro.sim.config import SystemConfig
 from repro.workloads.catalog import WORKLOADS
-from repro.workloads.rate import make_rate_traces
 
 DEFAULT_REQUESTS = int(os.environ.get("REPRO_REQUESTS", "2500"))
 DEFAULT_SEED = 1
 
 _CONFIG = SystemConfig()
 _run_cache: Dict[Tuple, SimulationResult] = {}
-_trace_cache: Dict[Tuple, list] = {}
+_runner: Optional[ExperimentRunner] = None
 
 
 def system_config() -> SystemConfig:
@@ -33,13 +37,12 @@ def system_config() -> SystemConfig:
     return _CONFIG
 
 
-def _traces(workload: str, requests: int, seed: int):
-    key = (workload, requests, seed)
-    if key not in _trace_cache:
-        _trace_cache[key] = make_rate_traces(
-            WORKLOADS[workload], _CONFIG, requests=requests, seed=seed
-        )
-    return _trace_cache[key]
+def runner() -> ExperimentRunner:
+    """The shared :class:`ExperimentRunner` behind this module's helpers."""
+    global _runner
+    if _runner is None:
+        _runner = ExperimentRunner(config=_CONFIG)
+    return _runner
 
 
 def run_workload(
@@ -53,14 +56,41 @@ def run_workload(
     requests = DEFAULT_REQUESTS if requests is None else requests
     key = (workload, setup, mapping, requests, seed)
     if key not in _run_cache:
-        _run_cache[key] = simulate(
-            _traces(workload, requests, seed),
-            setup,
-            _CONFIG,
-            mapping=mapping,
-            seed=seed,
+        _run_cache[key] = runner().run(
+            Job(workload, setup, mapping, requests, seed)
         )
     return _run_cache[key]
+
+
+def run_many(jobs: Sequence[Job]) -> List[SimulationResult]:
+    """Run a batch of jobs (parallel across ``REPRO_JOBS`` workers).
+
+    Results come back in job order and land in the same memoization the
+    scalar helpers use, so a bench can batch its sweep up front and keep
+    calling :func:`slowdown` for the bookkeeping afterwards for free.
+    """
+    results = runner().run_many(jobs)
+    for job, result in zip(jobs, results):
+        requests = DEFAULT_REQUESTS if job.requests is None else job.requests
+        key = (job.workload, job.setup, job.mapping, requests, job.seed)
+        _run_cache[key] = result
+    return results
+
+
+def slowdown_matrix(
+    workloads: Iterable[str],
+    setups: Iterable[SetupSpec],
+    requests: int = None,
+    seed: int = DEFAULT_SEED,
+) -> Dict[str, Dict[str, float]]:
+    """Batched :func:`slowdown` over workloads x setups; see the runner.
+
+    ``setups`` rows are ``(label, setup, mapping[, baseline_mapping])``;
+    returns ``{label: {workload: slowdown}}``.
+    """
+    return runner().slowdown_matrix(
+        workloads, setups, requests=requests, seed=seed
+    )
 
 
 def slowdown(
@@ -100,7 +130,12 @@ def average(rows: Iterable[Tuple[str, float]]) -> float:
     return sum(values) / len(values)
 
 
-def clear_caches() -> None:
-    """Drop memoized runs/traces (tests use this to control memory)."""
+def clear_caches(disk: bool = False) -> None:
+    """Drop memoized runs (tests use this to control memory).
+
+    The persistent disk cache survives by default; pass ``disk=True`` to
+    wipe it too (forcing every subsequent run to re-simulate).
+    """
     _run_cache.clear()
-    _trace_cache.clear()
+    if disk and _runner is not None and _runner.cache is not None:
+        _runner.cache.clear()

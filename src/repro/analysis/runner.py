@@ -1,0 +1,436 @@
+"""Parallel experiment runner with a persistent on-disk result cache.
+
+Every paper figure is an average over many independent ``(workload, setup,
+mapping, seed)`` simulations. This module gives the benchmark suite, the
+examples, and the CLI one shared way to run those sweeps:
+
+* **Parallel fan-out** — :meth:`ExperimentRunner.run_many` distributes
+  independent simulations across a :class:`~concurrent.futures.\
+ProcessPoolExecutor`. The worker count comes from ``REPRO_JOBS`` (default
+  ``os.cpu_count()``); ``REPRO_JOBS=1`` keeps everything in-process, which
+  is the right mode for debugging and for pdb/profiling sessions.
+* **Persistent caching** — results are stored as JSON under
+  ``benchmarks/results/.cache/`` (override with ``REPRO_CACHE_DIR``,
+  disable with ``REPRO_CACHE=0``), keyed by a stable SHA-256 hash of the
+  workload, :class:`~repro.mc.setup.MitigationSetup`,
+  :class:`~repro.sim.config.SystemConfig`, mapping, request count, seed,
+  and a schema version. Bumping :data:`CACHE_SCHEMA_VERSION` invalidates
+  every stale entry at once.
+
+Determinism: a simulation is a pure function of its job description — each
+worker builds its own :class:`~repro.sim.engine.Engine` and
+:class:`~repro.sim.rng.RngStreams` from the job seed — so parallel results
+are bit-identical to serial results, and ``run_many`` preserves job order.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.cpu.system import MAPPINGS, SimulationResult, simulate
+from repro.mc.setup import MitigationSetup
+from repro.sim.config import SystemConfig
+from repro.sim.stats import BankStats, CoreStats, SimStats
+from repro.workloads.catalog import WORKLOADS
+from repro.workloads.rate import make_rate_traces
+
+#: Bump when the simulator's observable behaviour changes (new stats
+#: fields, timing fixes, ...): every existing cache entry self-invalidates
+#: because the version participates in the cache key.
+CACHE_SCHEMA_VERSION = 1
+
+DEFAULT_SEED = 1
+
+
+def default_jobs() -> int:
+    """Worker count: ``REPRO_JOBS`` env var, default ``os.cpu_count()``."""
+    raw = os.environ.get("REPRO_JOBS")
+    if raw is None:
+        return os.cpu_count() or 1
+    try:
+        jobs = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_JOBS must be an integer >= 1, got {raw!r}"
+        ) from None
+    if jobs < 1:
+        raise ValueError(f"REPRO_JOBS must be >= 1, got {jobs}")
+    return jobs
+
+
+def default_requests() -> int:
+    """Per-core request-slice length: ``REPRO_REQUESTS``, default 2500."""
+    return int(os.environ.get("REPRO_REQUESTS", "2500"))
+
+
+def default_cache_dir() -> str:
+    """Resolve the cache directory.
+
+    ``REPRO_CACHE_DIR`` wins; otherwise ``benchmarks/results/.cache``
+    relative to the source checkout (the layout this repo ships), falling
+    back to ``~/.cache/repro-autorfm`` for installed-package use.
+    """
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return override
+    here = os.path.dirname(os.path.abspath(__file__))
+    repo_root = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+    bench_dir = os.path.join(repo_root, "benchmarks")
+    if os.path.isdir(bench_dir):
+        return os.path.join(bench_dir, "results", ".cache")
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro-autorfm")
+
+
+def cache_enabled() -> bool:
+    """False when ``REPRO_CACHE`` is 0/false/off."""
+    return os.environ.get("REPRO_CACHE", "1").lower() not in ("0", "false", "off")
+
+
+@dataclass(frozen=True)
+class Job:
+    """One independent simulation: what to run, not how to run it."""
+
+    workload: str
+    setup: MitigationSetup = MitigationSetup("none")
+    mapping: str = "zen"
+    requests: Optional[int] = None  # None -> the runner's default slice
+    seed: int = DEFAULT_SEED
+
+    def __post_init__(self):
+        if self.workload not in WORKLOADS:
+            raise ValueError(f"unknown workload {self.workload!r}")
+        if self.mapping not in MAPPINGS:
+            raise ValueError(
+                f"unknown mapping {self.mapping!r}; expected one of {MAPPINGS}"
+            )
+
+
+# ----------------------------------------------------------------------
+# Result (de)serialization — all stats fields are integers, so a JSON
+# round-trip reproduces the result bit-for-bit.
+# ----------------------------------------------------------------------
+def result_to_dict(result: SimulationResult) -> dict:
+    """Plain-JSON form of a :class:`SimulationResult`."""
+    stats = result.stats
+    return {
+        "setup": dataclasses.asdict(result.setup),
+        "mapping": result.mapping,
+        "seed": result.seed,
+        "stats": {
+            "cycles": stats.cycles,
+            "refresh_windows": stats.refresh_windows,
+            "max_request_alerts": stats.max_request_alerts,
+            "banks": [dataclasses.asdict(b) for b in stats.banks],
+            "cores": [dataclasses.asdict(c) for c in stats.cores],
+        },
+    }
+
+
+def result_from_dict(data: dict) -> SimulationResult:
+    """Inverse of :func:`result_to_dict`."""
+    raw = data["stats"]
+    stats = SimStats(
+        cycles=raw["cycles"],
+        refresh_windows=raw["refresh_windows"],
+        max_request_alerts=raw["max_request_alerts"],
+        banks=[BankStats(**b) for b in raw["banks"]],
+        cores=[CoreStats(**c) for c in raw["cores"]],
+    )
+    return SimulationResult(
+        stats=stats,
+        setup=MitigationSetup(**data["setup"]),
+        mapping=data["mapping"],
+        seed=data["seed"],
+    )
+
+
+def job_key(
+    job: Job,
+    config: SystemConfig,
+    requests: int,
+    schema_version: int = CACHE_SCHEMA_VERSION,
+) -> str:
+    """Stable content hash identifying one simulation's full input."""
+    payload = {
+        "schema": schema_version,
+        "workload": job.workload,
+        "setup": dataclasses.asdict(job.setup),
+        "config": dataclasses.asdict(config),
+        "mapping": job.mapping,
+        "requests": requests,
+        "seed": job.seed,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Directory of ``<key>.json`` files, one per completed simulation.
+
+    Writes are atomic (tempfile + rename), so concurrent benchmark
+    processes sharing one cache directory can never observe a torn entry;
+    a corrupt or schema-mismatched file is treated as a miss.
+    """
+
+    def __init__(self, directory: str, schema_version: int = CACHE_SCHEMA_VERSION):
+        self.directory = directory
+        self.schema_version = schema_version
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.json")
+
+    def get(self, key: str) -> Optional[SimulationResult]:
+        """Look up one result; None (a miss) if absent, corrupt, or stale."""
+        try:
+            with open(self._path(key)) as f:
+                data = json.load(f)
+            if data.get("schema") != self.schema_version:
+                raise ValueError("schema mismatch")
+            result = result_from_dict(data["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: SimulationResult) -> None:
+        """Store one result under ``key`` (atomic rename, crash-safe)."""
+        os.makedirs(self.directory, exist_ok=True)
+        payload = {"schema": self.schema_version, "result": result_to_dict(result)}
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as f:
+                json.dump(payload, f, separators=(",", ":"))
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    def __len__(self) -> int:
+        try:
+            return sum(
+                1 for n in os.listdir(self.directory) if n.endswith(".json")
+            )
+        except OSError:
+            return 0
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return 0
+        for name in names:
+            if name.endswith(".json"):
+                try:
+                    os.unlink(os.path.join(self.directory, name))
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+
+# Worker entry point: must be a module-level function so the process pool
+# can pickle it. The payload carries everything a simulation needs; traces
+# are regenerated inside the worker from the seed (cheaper than pickling
+# them, and identical by construction).
+def _execute(payload: Tuple[str, MitigationSetup, str, int, int, SystemConfig]):
+    workload, setup, mapping, requests, seed, config = payload
+    traces = make_rate_traces(
+        WORKLOADS[workload], config, requests=requests, seed=seed
+    )
+    return simulate(traces, setup, config, mapping=mapping, seed=seed)
+
+
+#: A setup row for :meth:`ExperimentRunner.slowdown_matrix`:
+#: ``(label, setup, mapping)`` or ``(label, setup, mapping, baseline_mapping)``.
+SetupSpec = Union[
+    Tuple[str, MitigationSetup, str],
+    Tuple[str, MitigationSetup, str, str],
+]
+
+
+class ExperimentRunner:
+    """Batch-run simulations with caching and optional parallelism.
+
+    ``jobs=None`` re-reads ``REPRO_JOBS`` on every batch, so tests and
+    benchmark drivers can flip the env var without rebuilding the runner.
+    """
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        jobs: Optional[int] = None,
+        cache_dir: Optional[str] = None,
+        use_cache: Optional[bool] = None,
+        schema_version: int = CACHE_SCHEMA_VERSION,
+        requests: Optional[int] = None,
+    ):
+        self.config = config if config is not None else SystemConfig()
+        if jobs is not None and jobs < 1:
+            raise ValueError(f"jobs must be >= 1 (1 = serial), got {jobs}")
+        self._jobs = jobs
+        self._requests = requests
+        self.schema_version = schema_version
+        if use_cache is None:
+            use_cache = cache_enabled()
+        self.cache: Optional[ResultCache] = (
+            ResultCache(cache_dir or default_cache_dir(), schema_version)
+            if use_cache
+            else None
+        )
+        #: Simulations actually executed (not answered from cache).
+        self.simulations_run = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def jobs(self) -> int:
+        return self._jobs if self._jobs is not None else default_jobs()
+
+    @property
+    def requests(self) -> int:
+        return (
+            self._requests if self._requests is not None else default_requests()
+        )
+
+    @property
+    def cache_hits(self) -> int:
+        return self.cache.hits if self.cache is not None else 0
+
+    @property
+    def cache_misses(self) -> int:
+        return self.cache.misses if self.cache is not None else 0
+
+    def key_for(self, job: Job) -> str:
+        """This runner's cache key for ``job`` (resolving default requests)."""
+        return job_key(
+            job,
+            self.config,
+            job.requests if job.requests is not None else self.requests,
+            self.schema_version,
+        )
+
+    # ------------------------------------------------------------------
+    def run(self, job: Job) -> SimulationResult:
+        """Run (or fetch) a single job."""
+        return self.run_many([job])[0]
+
+    def run_many(self, jobs: Sequence[Job]) -> List[SimulationResult]:
+        """Run a batch of jobs; returns results in job order.
+
+        Duplicate jobs (every slowdown shares its workload's baseline) are
+        simulated once; cache hits never reach the pool. Misses fan out
+        across ``self.jobs`` worker processes.
+        """
+        jobs = list(jobs)
+        results: List[Optional[SimulationResult]] = [None] * len(jobs)
+
+        # Deduplicate by cache key, then answer what the cache can.
+        order: List[str] = []  # unique keys, first-seen order
+        indices: Dict[str, List[int]] = {}
+        payloads: Dict[str, tuple] = {}
+        for i, job in enumerate(jobs):
+            key = self.key_for(job)
+            if key not in indices:
+                order.append(key)
+                indices[key] = []
+                payloads[key] = self._payload(job)
+            indices[key].append(i)
+
+        pending: List[str] = []
+        for key in order:
+            cached = self.cache.get(key) if self.cache is not None else None
+            if cached is not None:
+                for i in indices[key]:
+                    results[i] = cached
+            else:
+                pending.append(key)
+
+        for key, result in zip(pending, self._execute_batch(
+            [payloads[key] for key in pending]
+        )):
+            if self.cache is not None:
+                self.cache.put(key, result)
+            for i in indices[key]:
+                results[i] = result
+
+        return results  # type: ignore[return-value]
+
+    def _payload(self, job: Job) -> tuple:
+        requests = job.requests if job.requests is not None else self.requests
+        return (
+            job.workload,
+            job.setup,
+            job.mapping,
+            requests,
+            job.seed,
+            self.config,
+        )
+
+    def _execute_batch(self, payloads: List[tuple]) -> List[SimulationResult]:
+        if not payloads:
+            return []
+        self.simulations_run += len(payloads)
+        workers = min(self.jobs, len(payloads))
+        if workers <= 1:
+            return [_execute(p) for p in payloads]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_execute, payloads))
+
+    # ------------------------------------------------------------------
+    def slowdown_matrix(
+        self,
+        workloads: Iterable[str],
+        setups: Iterable[SetupSpec],
+        requests: Optional[int] = None,
+        seed: int = DEFAULT_SEED,
+    ) -> Dict[str, Dict[str, float]]:
+        """Slowdown of every (setup, workload) pair vs its baseline.
+
+        Each spec is ``(label, setup, mapping[, baseline_mapping])``; the
+        baseline is an unmitigated run of the same traces under
+        ``baseline_mapping`` (default "zen", the paper's normalization).
+        Returns ``{label: {workload: slowdown}}``. All runs and baselines
+        are submitted as one batch, so they share the pool and the cache.
+        """
+        names = list(workloads)
+        specs = []
+        for spec in setups:
+            if len(spec) == 3:
+                label, setup, mapping = spec  # type: ignore[misc]
+                baseline_mapping = "zen"
+            else:
+                label, setup, mapping, baseline_mapping = spec  # type: ignore[misc]
+            specs.append((label, setup, mapping, baseline_mapping))
+
+        batch: List[Job] = []
+        for name in names:
+            for _, setup, mapping, baseline_mapping in specs:
+                batch.append(Job(name, setup, mapping, requests, seed))
+                batch.append(
+                    Job(name, MitigationSetup("none"), baseline_mapping,
+                        requests, seed)
+                )
+        flat = self.run_many(batch)
+
+        table: Dict[str, Dict[str, float]] = {
+            label: {} for label, _, _, _ in specs
+        }
+        cursor = 0
+        for name in names:
+            for label, _, _, _ in specs:
+                run, base = flat[cursor], flat[cursor + 1]
+                cursor += 2
+                table[label][name] = run.slowdown_vs(base)
+        return table

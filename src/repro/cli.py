@@ -20,6 +20,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.analysis.runner import ExperimentRunner, Job
 from repro.analysis.storage import storage_overheads
 from repro.analysis.tables import render_table
 from repro.cpu.system import simulate
@@ -43,17 +44,21 @@ def _setup_from_args(args: argparse.Namespace) -> MitigationSetup:
     )
 
 
+def _runner_from_args(args: argparse.Namespace) -> ExperimentRunner:
+    """Build the batch runner honouring ``--jobs`` (default: REPRO_JOBS)."""
+    return ExperimentRunner(config=SystemConfig(), jobs=getattr(args, "jobs", None))
+
+
 def _simulate_pair(workload: str, setup: MitigationSetup, args):
-    config = SystemConfig()
-    traces = make_rate_traces(
-        WORKLOADS[workload], config, requests=args.requests, seed=args.seed
+    runner = _runner_from_args(args)
+    baseline, run = runner.run_many(
+        [
+            Job(workload, MitigationSetup("none"), "zen",
+                args.requests, args.seed),
+            Job(workload, setup, args.mapping, args.requests, args.seed),
+        ]
     )
-    baseline = simulate(
-        traces, MitigationSetup("none"), config, "zen", seed=args.seed
-    )
-    mapping = args.mapping
-    run = simulate(traces, setup, config, mapping, seed=args.seed)
-    return config, baseline, run
+    return runner.config, baseline, run
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -96,20 +101,14 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             "rubix",
         ),
     ]
-    config = SystemConfig()
-    rows = []
-    for name in names:
-        traces = make_rate_traces(
-            WORKLOADS[name], config, requests=args.requests, seed=args.seed
-        )
-        baseline = simulate(
-            traces, MitigationSetup("none"), config, "zen", seed=args.seed
-        )
-        row = [name]
-        for _, setup, mapping in setups:
-            run = simulate(traces, setup, config, mapping, seed=args.seed)
-            row.append(f"{run.slowdown_vs(baseline):.1%}")
-        rows.append(row)
+    runner = _runner_from_args(args)
+    matrix = runner.slowdown_matrix(
+        names, setups, requests=args.requests, seed=args.seed
+    )
+    rows = [
+        [name] + [f"{matrix[tag][name]:.1%}" for tag, _, _ in setups]
+        for name in names
+    ]
     headers = ["workload"] + [
         f"{tag}-{args.threshold}" for tag, _, _ in setups
     ]
@@ -298,6 +297,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--mapping", choices=("zen", "rubix"), default="rubix")
     run.add_argument("--requests", type=int, default=2500)
     run.add_argument("--seed", type=int, default=1)
+    run.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: REPRO_JOBS or all cores; 1 = serial)",
+    )
     run.set_defaults(func=cmd_run)
 
     sweep = sub.add_parser("sweep", help="RFM vs AutoRFM across workloads")
@@ -306,6 +309,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--policy", choices=POLICIES, default="fractal")
     sweep.add_argument("--requests", type=int, default=2500)
     sweep.add_argument("--seed", type=int, default=1)
+    sweep.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: REPRO_JOBS or all cores; 1 = serial)",
+    )
     sweep.set_defaults(func=cmd_sweep)
 
     security = sub.add_parser("security", help="analytical threshold models")

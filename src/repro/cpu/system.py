@@ -98,7 +98,10 @@ def simulate(
     for core in cores:
         core.start()
 
-    engine.run(max_events=max_events)
+    if max_events is None:
+        engine.run_until_empty()
+    else:
+        engine.run(max_events=max_events)
     if controller.buffered_writes():
         # Write-drain mode: flush the stragglers and let them complete.
         controller.drain_writes()

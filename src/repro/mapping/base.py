@@ -41,6 +41,12 @@ class MemoryMapping(abc.ABC):
     def __init__(self, config: SystemConfig):
         config.validate()
         self.config = config
+        # locate() runs once per memory request; resolve the geometry
+        # constants out of the config's computed properties up front.
+        self._total_lines = config.total_lines
+        self._lines_per_row = config.lines_per_row
+        self._banks_per_sc = config.banks_per_subchannel
+        self._num_subchannels = config.num_subchannels
 
     @abc.abstractmethod
     def locate(self, line_addr: int) -> LineLocation:
@@ -62,10 +68,10 @@ class MemoryMapping(abc.ABC):
         return self.config.subarray_of_row(location.row)
 
     def _check_range(self, line_addr: int) -> None:
-        if not 0 <= line_addr < self.config.total_lines:
+        if not 0 <= line_addr < self._total_lines:
             raise ValueError(
                 f"line address {line_addr} outside "
-                f"[0, {self.config.total_lines})"
+                f"[0, {self._total_lines})"
             )
 
     def _decompose(self, scrambled: int) -> LineLocation:
@@ -80,18 +86,18 @@ class MemoryMapping(abc.ABC):
         count per page is a multiple of the bank count (``validate``
         enforces this).
         """
-        cfg = self.config
-        offset = scrambled % cfg.lines_per_row
-        page = scrambled // cfg.lines_per_row
+        lines_per_row = self._lines_per_row
+        offset = scrambled % lines_per_row
+        page = scrambled // lines_per_row
 
         col_low = offset & 1
         pair = offset >> 1
-        banks = cfg.banks_per_subchannel
+        banks = self._banks_per_sc
         bank = pair % banks
         leftover = pair // banks  # extra pairs of this page in the same bank
 
-        subchannel = page % cfg.num_subchannels
-        page //= cfg.num_subchannels
+        subchannel = page % self._num_subchannels
+        page //= self._num_subchannels
 
         page_group = page % banks
         row = page // banks

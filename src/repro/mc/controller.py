@@ -73,6 +73,20 @@ class MemoryController:
         self.command_log = command_log
 
         self._open_page = config.page_policy == "open"
+        # Hot-path constants, pre-resolved once: the scheduler consults these
+        # on every request, and the timing values live behind computed
+        # properties on the (frozen) config objects.
+        timing = self.timing
+        self._banks_per_sc = config.banks_per_subchannel
+        self._trp = timing.trp
+        self._tras = timing.tras
+        self._trcd = timing.trcd
+        self._tfaw = timing.tfaw
+        self._cas_latency = timing.cas_latency
+        self._burst = timing.burst
+        self._completion_tail = (
+            timing.burst + config.static_mem_latency + mapping.extra_latency
+        )
         n_banks = config.num_banks
         self.queues: List[List[Request]] = [[] for _ in range(n_banks)]
         # tFAW: timestamps of the last four ACTs per subchannel.
@@ -187,11 +201,11 @@ class MemoryController:
         """Accept a request at the current cycle."""
         location = self.mapping.locate(request.line_addr)
         request.location = location
-        request.flat_bank = location.flat_bank(self.config.banks_per_subchannel)
+        request.flat_bank = location.flat_bank(self._banks_per_sc)
         request._order = self._order
         self._order += 1
         if request.is_write and self.config.write_drain:
-            sc = request.flat_bank // self.config.banks_per_subchannel
+            sc = request.flat_bank // self._banks_per_sc
             buffer = self._write_buffers[sc]
             buffer.append(request)
             watermark = (3 * self.config.write_buffer_size) // 4
@@ -239,23 +253,30 @@ class MemoryController:
     def _try_service(self, flat: int, now: int) -> None:
         queue = self.queues[flat]
         bank = self.banks[flat]
-        sc = flat // self.config.banks_per_subchannel
+        sc = flat // self._banks_per_sc
 
         while queue:
             # 1) Row-buffer hits first (FR-FCFS within the tRAS window).
-            if bank.is_open(now):
-                hits = [r for r in queue if r.location.row == bank.open_row]
-                if hits:
-                    for request in hits:
+            # One pass serves every hit in queue order and compacts the
+            # queue in place (no per-hit O(n) remove, no re-filtering).
+            open_row = bank.open_row
+            if open_row != NO_ROW and now <= bank.open_until:
+                kept = []
+                for request in queue:
+                    if request.location.row == open_row:
                         bank.record_hit()
                         self._serve(request, bank, sc, now, hit=True)
-                        queue.remove(request)
+                    else:
+                        kept.append(request)
+                if len(kept) != len(queue):
+                    queue[:] = kept
                     continue
 
             # 2) Pick the ACT candidate.
-            request = self._pick_candidate(flat, queue, now)
-            if request is None:
+            idx = self._pick_candidate(flat, queue, now)
+            if idx is None:
                 return
+            request = queue[idx]
 
             # 3) RFM gating: RAA at the cap means RFM before any ACT.
             if self.rfm is not None and self.rfm.rfm_needed(flat):
@@ -283,8 +304,8 @@ class MemoryController:
 
             # 4a) tFAW: at most four ACTs per rolling window per subchannel.
             recent = self._recent_acts[sc]
-            if len(recent) == 4 and now - recent[0] < self.timing.tfaw:
-                self._wakeup(flat, recent[0] + self.timing.tfaw)
+            if len(recent) == 4 and now - recent[0] < self._tfaw:
+                self._wakeup(flat, recent[0] + self._tfaw)
                 return
 
             row = request.location.row
@@ -322,27 +343,32 @@ class MemoryController:
             if self.blockhammer is not None:
                 self.blockhammer.observe(flat, row, now)
             self._serve(request, bank, sc, now, hit=False)
-            queue.remove(request)
+            del queue[idx]
             # Loop: younger queued requests may now hit the open row.
 
     def _pick_candidate(
         self, flat: int, queue: List[Request], now: int
-    ) -> Optional[Request]:
+    ) -> Optional[int]:
+        """Index of the next ACT candidate in ``queue``, or None to defer."""
         if self.setup.per_request_retry:
-            eligible = [r for r in queue if r.retry_at <= now]
-            if not eligible:
-                self._wakeup(flat, min(r.retry_at for r in queue))
-                return None
-            return eligible[0]
+            earliest = queue[0].retry_at
+            for i, request in enumerate(queue):
+                retry_at = request.retry_at
+                if retry_at <= now:
+                    return i
+                if retry_at < earliest:
+                    earliest = retry_at
+            self._wakeup(flat, earliest)
+            return None
         if self.busy_table.is_busy(flat, now):
             self._wakeup(flat, self.busy_table.busy_until(flat))
             return None
         if self.config.write_drain:
             # Read priority: drained writes yield to demand reads.
-            for request in queue:
+            for i, request in enumerate(queue):
                 if not request.is_write:
-                    return request
-        return queue[0]
+                    return i
+        return 0
 
     def _handle_alert(
         self, request: Request, bank: Bank, flat: int, now: int
@@ -357,7 +383,7 @@ class MemoryController:
         retry_time = now + tm
         # The MC precharges the bank so every chip holds the conflicted row
         # closed (footnote 1 of the paper).
-        bank.stall_until(now + self.timing.trp)
+        bank.stall_until(now + self._trp)
         if self.setup.per_request_retry:
             request.retry_at = retry_time
         else:
@@ -368,17 +394,13 @@ class MemoryController:
         self, request: Request, bank: Bank, sc: int, now: int, hit: bool
     ) -> None:
         if hit:
-            data_ready = max(now, bank.act_time + self.timing.trcd)
+            data_ready = max(now, bank.act_time + self._trcd)
         else:
-            data_ready = now + self.timing.trcd
-        data_start = max(data_ready + self.timing.cas_latency, self.bus_free_at[sc])
-        self.bus_free_at[sc] = data_start + self.timing.burst
-        completion = (
-            data_start
-            + self.timing.burst
-            + self.config.static_mem_latency
-            + self.mapping.extra_latency
-        )
+            data_ready = now + self._trcd
+        data_start = max(data_ready + self._cas_latency, self.bus_free_at[sc])
+        self.bus_free_at[sc] = data_start + self._burst
+        # _completion_tail = burst + static latency + mapping extra latency.
+        completion = data_start + self._completion_tail
         if request.is_write:
             bank.stats.writes += 1
         else:

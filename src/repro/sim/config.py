@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
+from functools import cached_property
 
 CPU_FREQ_GHZ = 4
 CYCLES_PER_NS = CPU_FREQ_GHZ  # 4 GHz -> 4 cycles per nanosecond
@@ -53,51 +54,51 @@ class DramTiming:
     #: this data rate; 10 ns models an x4/x16 mid-point.
     tfaw_ns: float = 10.0
 
-    @property
+    @cached_property
     def trcd(self) -> int:
         return ns_to_cycles(self.trcd_ns)
 
-    @property
+    @cached_property
     def trp(self) -> int:
         return ns_to_cycles(self.trp_ns)
 
-    @property
+    @cached_property
     def tras(self) -> int:
         return ns_to_cycles(self.tras_ns)
 
-    @property
+    @cached_property
     def trc(self) -> int:
         return ns_to_cycles(self.trc_ns)
 
-    @property
+    @cached_property
     def trefw(self) -> int:
         return ns_to_cycles(self.trefw_ns)
 
-    @property
+    @cached_property
     def trefi(self) -> int:
         return ns_to_cycles(self.trefi_ns)
 
-    @property
+    @cached_property
     def trfc(self) -> int:
         return ns_to_cycles(self.trfc_ns)
 
-    @property
+    @cached_property
     def trfc_sb(self) -> int:
         return ns_to_cycles(self.trfc_sb_ns)
 
-    @property
+    @cached_property
     def trfm(self) -> int:
         return ns_to_cycles(self.trfm_ns)
 
-    @property
+    @cached_property
     def cas_latency(self) -> int:
         return ns_to_cycles(self.cas_latency_ns)
 
-    @property
+    @cached_property
     def burst(self) -> int:
         return ns_to_cycles(self.burst_ns)
 
-    @property
+    @cached_property
     def tfaw(self) -> int:
         return ns_to_cycles(self.tfaw_ns)
 

@@ -8,7 +8,7 @@ deterministic. Callbacks receive the current time.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Tuple
+from typing import Callable, List, Optional, Tuple
 
 EventCallback = Callable[[int], None]
 
@@ -36,19 +36,39 @@ class Engine:
     def pending(self) -> int:
         return len(self._heap)
 
-    def run(self, until: int = None, max_events: int = None) -> int:
+    def run_until_empty(self) -> int:
+        """Drain the heap with no bounds checking; return the final time.
+
+        The common case (:func:`repro.cpu.system.simulate` with no event
+        budget) spends its whole life in this loop, so it keeps only the
+        work that must happen per event: pop, advance time, call back.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            time, _, callback = pop(heap)
+            self.now = time
+            callback(time)
+        return self.now
+
+    def run(
+        self, until: Optional[int] = None, max_events: Optional[int] = None
+    ) -> int:
         """Run until the heap drains (or a bound is hit); return final time.
 
         ``until`` stops the loop once the next event would be later than the
         bound; ``max_events`` guards against runaway simulations.
         """
+        if until is None and max_events is None:
+            return self.run_until_empty()
         processed = 0
         heap = self._heap
+        pop = heapq.heappop
         while heap:
-            time, _, callback = heap[0]
+            time = heap[0][0]
             if until is not None and time > until:
                 break
-            heapq.heappop(heap)
+            time, _, callback = pop(heap)
             self.now = time
             callback(time)
             processed += 1

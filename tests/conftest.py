@@ -2,11 +2,24 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.sim.config import SystemConfig
 from repro.sim.rng import RngStreams
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_result_cache(tmp_path_factory):
+    """Point the persistent experiment cache at a per-session tmp dir.
+
+    Tests must neither read stale entries from nor pollute the repo's
+    ``benchmarks/results/.cache`` directory.
+    """
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
+    yield
 
 
 @pytest.fixture

@@ -6,6 +6,7 @@ runs the fastest example end to end.
 """
 
 import importlib.util
+import os
 import pathlib
 import subprocess
 import sys
@@ -40,12 +41,19 @@ def test_expected_example_set():
 
 def test_fastest_example_runs_end_to_end(tmp_path):
     # custom_tracker is pure Monte Carlo (no timing sim): a few seconds.
+    # The subprocess runs from tmp_path, so any relative PYTHONPATH entry
+    # (e.g. the "src" the suite itself was launched with) would no longer
+    # resolve — rebuild it around the absolute src directory.
+    env = dict(os.environ)
+    src = str(EXAMPLES_DIR.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
     result = subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / "custom_tracker.py")],
         capture_output=True,
         text=True,
         timeout=300,
         cwd=tmp_path,
+        env=env,
     )
     assert result.returncode == 0, result.stderr
     assert "broken" in result.stdout

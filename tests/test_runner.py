@@ -1,0 +1,158 @@
+"""Experiment runner: parallel determinism and the persistent result cache.
+
+The contract under test is the one the benchmarks rely on: fanning a batch
+across worker processes changes wall-clock only — results are bit-identical
+to the serial path, in submission order — and a warm cache answers repeat
+jobs without running a single simulation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.runner import (
+    CACHE_SCHEMA_VERSION,
+    ExperimentRunner,
+    Job,
+    ResultCache,
+    job_key,
+)
+from repro.mc.setup import MitigationSetup
+
+REQUESTS = 200  # tiny slices: this file tests plumbing, not the paper
+
+
+def make_runner(small_config, tmp_path, **kwargs):
+    kwargs.setdefault("cache_dir", str(tmp_path / "cache"))
+    kwargs.setdefault("requests", REQUESTS)
+    return ExperimentRunner(config=small_config, **kwargs)
+
+
+def sample_jobs():
+    return [
+        Job("add", MitigationSetup("none"), "zen", REQUESTS, 1),
+        Job("add", MitigationSetup("rfm", threshold=8), "zen", REQUESTS, 1),
+        Job("mcf", MitigationSetup("autorfm", threshold=4, policy="fractal"),
+            "rubix", REQUESTS, 1),
+    ]
+
+
+class TestParallelDeterminism:
+    def test_parallel_matches_serial_bit_for_bit(self, small_config, tmp_path):
+        serial = make_runner(small_config, tmp_path / "s", jobs=1,
+                             use_cache=False)
+        parallel = make_runner(small_config, tmp_path / "p", jobs=4,
+                               use_cache=False)
+        jobs = sample_jobs()
+        serial_results = serial.run_many(jobs)
+        parallel_results = parallel.run_many(jobs)
+        assert serial.simulations_run == len(jobs)
+        assert parallel.simulations_run == len(jobs)
+        for ours, theirs in zip(serial_results, parallel_results):
+            # SimStats is a plain dataclass tree of ints: == is bit-exact.
+            assert ours.stats == theirs.stats
+            assert ours.mapping == theirs.mapping
+
+    def test_jobs_env_var_drives_worker_count(self, small_config, tmp_path,
+                                              monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        runner = make_runner(small_config, tmp_path, use_cache=False)
+        assert runner.jobs == 4
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        assert runner.jobs == 1  # re-read per batch, not frozen at init
+
+    def test_run_many_preserves_order_and_dedups(self, small_config, tmp_path):
+        runner = make_runner(small_config, tmp_path, jobs=1)
+        jobs = sample_jobs()
+        batch = [jobs[0], jobs[1], jobs[0], jobs[2], jobs[1]]
+        results = runner.run_many(batch)
+        assert len(results) == len(batch)
+        # Duplicates simulate once but every slot gets its answer.
+        assert runner.simulations_run == len(jobs)
+        assert results[0].stats == results[2].stats
+        assert results[1].stats == results[4].stats
+
+
+class TestResultCache:
+    def test_warm_cache_runs_zero_simulations(self, small_config, tmp_path):
+        first = make_runner(small_config, tmp_path, jobs=1)
+        jobs = sample_jobs()
+        cold = first.run_many(jobs)
+        assert first.simulations_run == len(jobs)
+
+        second = make_runner(small_config, tmp_path, jobs=1)
+        warm = second.run_many(jobs)
+        assert second.simulations_run == 0
+        assert second.cache_hits == len(jobs)
+        for a, b in zip(cold, warm):
+            assert a.stats == b.stats
+            assert a.setup == b.setup
+            assert a.seed == b.seed
+
+    def test_schema_version_bump_invalidates(self, small_config, tmp_path):
+        job = sample_jobs()[0]
+        v1 = make_runner(small_config, tmp_path, jobs=1)
+        v1.run(job)
+        assert v1.simulations_run == 1
+
+        v2 = make_runner(small_config, tmp_path, jobs=1,
+                         schema_version=CACHE_SCHEMA_VERSION + 1)
+        v2.run(job)
+        assert v2.cache_hits == 0
+        assert v2.simulations_run == 1  # stale entry ignored, re-simulated
+
+    def test_cache_key_separates_every_knob(self, small_config):
+        base = Job("add", MitigationSetup("none"), "zen", REQUESTS, 1)
+        variants = [
+            Job("mcf", MitigationSetup("none"), "zen", REQUESTS, 1),
+            Job("add", MitigationSetup("rfm", threshold=8), "zen", REQUESTS, 1),
+            Job("add", MitigationSetup("none"), "rubix", REQUESTS, 1),
+            Job("add", MitigationSetup("none"), "zen", REQUESTS + 1, 1),
+            Job("add", MitigationSetup("none"), "zen", REQUESTS, 2),
+        ]
+        keys = {job_key(j, small_config, j.requests) for j in [base] + variants}
+        assert len(keys) == len(variants) + 1
+        # ... and the key is stable across processes/runs for equal inputs.
+        assert job_key(base, small_config, REQUESTS) == job_key(
+            Job("add", MitigationSetup("none"), "zen", REQUESTS, 1),
+            small_config,
+            REQUESTS,
+        )
+
+    def test_corrupt_entry_is_a_miss(self, small_config, tmp_path):
+        runner = make_runner(small_config, tmp_path, jobs=1)
+        job = sample_jobs()[0]
+        reference = runner.run(job)
+        key = runner.key_for(job)
+        path = runner.cache._path(key)
+        with open(path, "w") as f:
+            f.write("{ not json")
+        again = runner.run(job)
+        assert runner.simulations_run == 2  # corrupt file did not poison it
+        assert again.stats == reference.stats
+
+    def test_disabled_cache_always_simulates(self, small_config, tmp_path):
+        runner = make_runner(small_config, tmp_path, jobs=1, use_cache=False)
+        assert runner.cache is None
+        job = sample_jobs()[0]
+        runner.run(job)
+        runner.run(job)
+        assert runner.simulations_run == 2
+
+    def test_clear_empties_the_directory(self, small_config, tmp_path):
+        runner = make_runner(small_config, tmp_path, jobs=1)
+        runner.run_many(sample_jobs())
+        assert len(runner.cache) == len(sample_jobs())
+        removed = runner.cache.clear()
+        assert removed == len(sample_jobs())
+        assert len(runner.cache) == 0
+
+
+class TestJobValidation:
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError, match="workload"):
+            Job("definitely-not-a-workload")
+
+    def test_unknown_mapping_rejected(self):
+        with pytest.raises(ValueError, match="mapping"):
+            Job("add", mapping="striped")
