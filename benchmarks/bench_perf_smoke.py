@@ -18,6 +18,7 @@ import time
 
 import repro.cpu.system as system
 from repro.mc.setup import MitigationSetup
+from repro.obs import ObsConfig, Observability
 from repro.sim.config import SystemConfig
 from repro.sim.engine import Engine
 from repro.workloads.catalog import WORKLOADS
@@ -45,8 +46,14 @@ class _CountingEngine(Engine):
         _CountingEngine.last = self
 
 
-def run_smoke() -> dict:
-    """Time the fixed simulation once; return the metrics dict."""
+def time_simulation(repeats: int = REPEATS, observed: bool = False):
+    """min-of-``repeats`` wall time of the fixed simulation.
+
+    Returns ``(wall_seconds, events, result)``. With ``observed`` the run
+    carries a full Observability (metrics + trace) so the report can state
+    what the instrumentation costs when it is actually on; the headline
+    ``events_per_second`` number always comes from the disabled path.
+    """
     config = SystemConfig()
     setup = MitigationSetup(**SETUP)
     traces = make_rate_traces(
@@ -56,16 +63,28 @@ def run_smoke() -> dict:
     system.Engine = _CountingEngine
     try:
         wall = None
-        for _ in range(REPEATS):
+        for _ in range(repeats):
+            obs = (
+                Observability(ObsConfig(metrics=True, trace=True))
+                if observed
+                else None
+            )
             start = time.perf_counter()
             result = system.simulate(
-                traces, setup, config, mapping=MAPPING, seed=SEED
+                traces, setup, config, mapping=MAPPING, seed=SEED, obs=obs
             )
             elapsed = time.perf_counter() - start
             wall = elapsed if wall is None else min(wall, elapsed)
         events = _CountingEngine.last._seq
     finally:
         system.Engine = original
+    return wall, events, result
+
+
+def run_smoke() -> dict:
+    """Time the fixed simulation once; return the metrics dict."""
+    wall, events, result = time_simulation()
+    obs_wall, obs_events, _ = time_simulation(observed=True)
     return {
         "workload": WORKLOAD,
         "setup": SETUP,
@@ -75,6 +94,8 @@ def run_smoke() -> dict:
         "events": events,
         "wall_seconds": round(wall, 4),
         "events_per_second": round(events / wall, 1),
+        "obs_events_per_second": round(obs_events / obs_wall, 1),
+        "obs_overhead_pct": round(100.0 * (obs_wall - wall) / wall, 1),
         "sim_cycles": result.stats.cycles,
     }
 

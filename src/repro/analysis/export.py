@@ -18,13 +18,45 @@ from repro.cpu.system import SimulationResult
 from repro.sim.config import SystemConfig
 
 
+def flatten_metrics(
+    snapshot: Dict[str, Dict[str, object]], prefix: str = "obs."
+) -> Dict[str, object]:
+    """Flatten a :meth:`~repro.obs.MetricsRegistry.snapshot` into scalar
+    CSV-friendly columns.
+
+    Counters and gauges map straight through (``obs.mc.act{bank=0}``);
+    histograms contribute their ``count``/``mean``/``max`` so distribution
+    shape survives flattening without exploding the column set.
+    """
+    flat: Dict[str, object] = {}
+    for series, value in snapshot.get("counters", {}).items():
+        flat[f"{prefix}{series}"] = value
+    for series, value in snapshot.get("gauges", {}).items():
+        flat[f"{prefix}{series}"] = value
+    for series, hist in snapshot.get("histograms", {}).items():
+        count = hist["count"]
+        flat[f"{prefix}{series}.count"] = count
+        flat[f"{prefix}{series}.mean"] = (
+            round(hist["sum"] / count, 4) if count else 0.0
+        )
+        flat[f"{prefix}{series}.max"] = hist["max"]
+    return flat
+
+
 def result_record(
     result: SimulationResult,
     workload: str = "",
     config: Optional[SystemConfig] = None,
     baseline: Optional[SimulationResult] = None,
+    include_metrics: bool = True,
 ) -> Dict[str, object]:
-    """Flatten one simulation result into a JSON/CSV-friendly dict."""
+    """Flatten one simulation result into a JSON/CSV-friendly dict.
+
+    When the result carries observability metrics (``result.obs``), they
+    land in the same record as ``obs.``-prefixed columns — one accounting
+    path for tables and machine-readable exports alike. Set
+    ``include_metrics=False`` to keep the classic column set.
+    """
     stats = result.stats
     record: Dict[str, object] = {
         "workload": workload,
@@ -55,6 +87,9 @@ def result_record(
         )
     if baseline is not None:
         record["slowdown"] = round(result.slowdown_vs(baseline), 6)
+    obs = getattr(result, "obs", None)
+    if include_metrics and obs is not None and obs.metrics is not None:
+        record.update(flatten_metrics(obs.metrics))
     return record
 
 

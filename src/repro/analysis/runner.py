@@ -36,6 +36,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.cpu.system import MAPPINGS, SimulationResult, simulate
 from repro.mc.setup import MitigationSetup
+from repro.obs import ObsConfig, ObsResult, Observability, PhaseProfiler
 from repro.sim.config import SystemConfig
 from repro.sim.stats import BankStats, CoreStats, SimStats
 from repro.workloads.catalog import WORKLOADS
@@ -95,13 +96,20 @@ def cache_enabled() -> bool:
 
 @dataclass(frozen=True)
 class Job:
-    """One independent simulation: what to run, not how to run it."""
+    """One independent simulation: what to run, not how to run it.
+
+    ``obs`` opts the run into observability (metrics and/or tracing); the
+    collected outputs come back on ``result.obs`` even when the simulation
+    executed in a worker process, and participate in the cache key (an
+    observed result is a different artifact than a bare one).
+    """
 
     workload: str
     setup: MitigationSetup = MitigationSetup("none")
     mapping: str = "zen"
     requests: Optional[int] = None  # None -> the runner's default slice
     seed: int = DEFAULT_SEED
+    obs: Optional[ObsConfig] = None
 
     def __post_init__(self):
         if self.workload not in WORKLOADS:
@@ -119,7 +127,7 @@ class Job:
 def result_to_dict(result: SimulationResult) -> dict:
     """Plain-JSON form of a :class:`SimulationResult`."""
     stats = result.stats
-    return {
+    out = {
         "setup": dataclasses.asdict(result.setup),
         "mapping": result.mapping,
         "seed": result.seed,
@@ -131,6 +139,15 @@ def result_to_dict(result: SimulationResult) -> dict:
             "cores": [dataclasses.asdict(c) for c in stats.cores],
         },
     }
+    if result.obs is not None:
+        obs = dataclasses.asdict(result.obs)
+        # The wall-clock profile is quarantined out of the cache entry: it
+        # differs between hosts and runs (and would report the *original*
+        # run's timing on a cache hit), while cache files must be
+        # byte-identical for identical simulations.
+        obs["profile"] = {}
+        out["obs"] = obs
+    return out
 
 
 def result_from_dict(data: dict) -> SimulationResult:
@@ -143,11 +160,13 @@ def result_from_dict(data: dict) -> SimulationResult:
         banks=[BankStats(**b) for b in raw["banks"]],
         cores=[CoreStats(**c) for c in raw["cores"]],
     )
+    obs = data.get("obs")
     return SimulationResult(
         stats=stats,
         setup=MitigationSetup(**data["setup"]),
         mapping=data["mapping"],
         seed=data["seed"],
+        obs=ObsResult(**obs) if obs is not None else None,
     )
 
 
@@ -167,6 +186,10 @@ def job_key(
         "requests": requests,
         "seed": job.seed,
     }
+    if job.obs is not None:
+        # Only observed jobs carry the extra key, so every pre-observability
+        # cache entry stays addressable under its original hash.
+        payload["obs"] = dataclasses.asdict(job.obs)
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
@@ -244,13 +267,20 @@ class ResultCache:
 # Worker entry point: must be a module-level function so the process pool
 # can pickle it. The payload carries everything a simulation needs; traces
 # are regenerated inside the worker from the seed (cheaper than pickling
-# them, and identical by construction).
-def _execute(payload: Tuple[str, MitigationSetup, str, int, int, SystemConfig]):
-    workload, setup, mapping, requests, seed, config = payload
+# them, and identical by construction). Observability travels as the
+# (picklable) ObsConfig; the live Observability object is built in the
+# worker and its deterministic outputs return on ``result.obs``.
+def _execute(
+    payload: Tuple[
+        str, MitigationSetup, str, int, int, SystemConfig, Optional[ObsConfig]
+    ]
+):
+    workload, setup, mapping, requests, seed, config, obs_config = payload
     traces = make_rate_traces(
         WORKLOADS[workload], config, requests=requests, seed=seed
     )
-    return simulate(traces, setup, config, mapping=mapping, seed=seed)
+    obs = Observability(obs_config) if obs_config is not None else None
+    return simulate(traces, setup, config, mapping=mapping, seed=seed, obs=obs)
 
 
 #: A setup row for :meth:`ExperimentRunner.slowdown_matrix`:
@@ -292,6 +322,11 @@ class ExperimentRunner:
         )
         #: Simulations actually executed (not answered from cache).
         self.simulations_run = 0
+        #: Wall-clock profile of every batch this runner served: phase
+        #: timings ("plan" = dedup + cache lookup, "execute" = simulation
+        #: fan-out) plus cumulative job/cache counts. Informational only —
+        #: see :meth:`profile_snapshot` for the exported form.
+        self.profile = PhaseProfiler()
 
     # ------------------------------------------------------------------
     @property
@@ -321,6 +356,24 @@ class ExperimentRunner:
             self.schema_version,
         )
 
+    def profile_snapshot(self) -> dict:
+        """Wall-clock profile of this runner's batches, with provenance
+        (schema version, worker count, config hash) so exported numbers
+        can always be traced back to what produced them."""
+        config_json = json.dumps(
+            dataclasses.asdict(self.config), sort_keys=True,
+            separators=(",", ":"),
+        )
+        return self.profile.snapshot(provenance={
+            "cache_schema_version": self.schema_version,
+            "jobs": self.jobs,
+            "requests": self.requests,
+            "config_sha256": hashlib.sha256(
+                config_json.encode("utf-8")
+            ).hexdigest(),
+            "cache_enabled": self.cache is not None,
+        })
+
     # ------------------------------------------------------------------
     def run(self, job: Job) -> SimulationResult:
         """Run (or fetch) a single job."""
@@ -336,34 +389,43 @@ class ExperimentRunner:
         jobs = list(jobs)
         results: List[Optional[SimulationResult]] = [None] * len(jobs)
 
-        # Deduplicate by cache key, then answer what the cache can.
-        order: List[str] = []  # unique keys, first-seen order
-        indices: Dict[str, List[int]] = {}
-        payloads: Dict[str, tuple] = {}
-        for i, job in enumerate(jobs):
-            key = self.key_for(job)
-            if key not in indices:
-                order.append(key)
-                indices[key] = []
-                payloads[key] = self._payload(job)
-            indices[key].append(i)
+        with self.profile.phase("plan"):
+            # Deduplicate by cache key, then answer what the cache can.
+            order: List[str] = []  # unique keys, first-seen order
+            indices: Dict[str, List[int]] = {}
+            payloads: Dict[str, tuple] = {}
+            for i, job in enumerate(jobs):
+                key = self.key_for(job)
+                if key not in indices:
+                    order.append(key)
+                    indices[key] = []
+                    payloads[key] = self._payload(job)
+                indices[key].append(i)
 
-        pending: List[str] = []
-        for key in order:
-            cached = self.cache.get(key) if self.cache is not None else None
-            if cached is not None:
-                for i in indices[key]:
-                    results[i] = cached
-            else:
-                pending.append(key)
+            pending: List[str] = []
+            for key in order:
+                cached = self.cache.get(key) if self.cache is not None else None
+                if cached is not None:
+                    for i in indices[key]:
+                        results[i] = cached
+                else:
+                    pending.append(key)
 
-        for key, result in zip(pending, self._execute_batch(
-            [payloads[key] for key in pending]
-        )):
+        with self.profile.phase("execute"):
+            executed = self._execute_batch(
+                [payloads[key] for key in pending]
+            )
+        for key, result in zip(pending, executed):
             if self.cache is not None:
                 self.cache.put(key, result)
             for i in indices[key]:
                 results[i] = result
+
+        self.profile.count("jobs", len(jobs))
+        self.profile.count("unique_jobs", len(order))
+        self.profile.count("executed", len(pending))
+        self.profile.set_count("cache_hits", self.cache_hits)
+        self.profile.set_count("cache_misses", self.cache_misses)
 
         return results  # type: ignore[return-value]
 
@@ -376,6 +438,7 @@ class ExperimentRunner:
             requests,
             job.seed,
             self.config,
+            job.obs,
         )
 
     def _execute_batch(self, payloads: List[tuple]) -> List[SimulationResult]:

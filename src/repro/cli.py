@@ -49,16 +49,61 @@ def _runner_from_args(args: argparse.Namespace) -> ExperimentRunner:
     return ExperimentRunner(config=SystemConfig(), jobs=getattr(args, "jobs", None))
 
 
+def _obs_config_from_args(args: argparse.Namespace):
+    """An ObsConfig when ``--trace``/``--metrics-out`` ask for one."""
+    trace = getattr(args, "trace", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if not trace and not metrics_out:
+        return None
+    from repro.obs import ObsConfig
+
+    return ObsConfig(metrics=True, trace=bool(trace))
+
+
 def _simulate_pair(workload: str, setup: MitigationSetup, args):
     runner = _runner_from_args(args)
     baseline, run = runner.run_many(
         [
             Job(workload, MitigationSetup("none"), "zen",
                 args.requests, args.seed),
-            Job(workload, setup, args.mapping, args.requests, args.seed),
+            Job(workload, setup, args.mapping, args.requests, args.seed,
+                obs=_obs_config_from_args(args)),
         ]
     )
-    return runner.config, baseline, run
+    return runner, baseline, run
+
+
+def _write_obs_outputs(args: argparse.Namespace, runner, baseline, run) -> None:
+    """Handle ``--trace`` / ``--metrics-out`` for an observed run."""
+    import json
+
+    from repro.analysis.export import config_record, result_record
+
+    if args.trace:
+        with open(args.trace, "w") as handle:
+            handle.write(run.obs.trace_jsonl or "")
+        dropped = f" ({run.obs.trace_dropped} evicted)" if run.obs.trace_dropped else ""
+        print(f"wrote {run.obs.trace_events - run.obs.trace_dropped} trace "
+              f"events to {args.trace}{dropped}")
+    if args.metrics_out:
+        payload = {
+            "record": result_record(
+                run, args.workload, runner.config, baseline
+            ),
+            "metrics": run.obs.metrics,
+            "profile": {
+                "simulation": run.obs.profile,
+                "runner": runner.profile_snapshot(),
+            },
+            "provenance": {
+                "obs_schema": run.obs.schema,
+                "config": config_record(runner.config),
+            },
+        }
+        with open(args.metrics_out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote metrics to {args.metrics_out}")
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -67,7 +112,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"unknown workload {args.workload!r}", file=sys.stderr)
         return 2
     setup = _setup_from_args(args)
-    config, baseline, run = _simulate_pair(args.workload, setup, args)
+    runner, baseline, run = _simulate_pair(args.workload, setup, args)
+    config = runner.config
     power = DramPowerModel(config).breakdown(run.stats)
     rows = [
         ["configuration", setup.describe() + f" on {args.mapping}"],
@@ -82,6 +128,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     ]
     print(render_table(["metric", "value"], rows,
                        title=f"workload: {args.workload}"))
+    if run.obs is not None:
+        _write_obs_outputs(args, runner, baseline, run)
     return 0
 
 
@@ -300,6 +348,16 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--jobs", type=int, default=None,
         help="worker processes (default: REPRO_JOBS or all cores; 1 = serial)",
+    )
+    run.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write a cycle-stamped JSONL event timeline (ACT/ALERT/SAUM/"
+             "RFM/REF) of the mitigated run to PATH",
+    )
+    run.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write the observability metrics snapshot, profiling data, and "
+             "flattened result record as JSON to PATH",
     )
     run.set_defaults(func=cmd_run)
 

@@ -23,6 +23,36 @@ from repro.sim.stats import BankStats
 from repro.trackers.base import Tracker
 
 
+class _EngineObsHooks:
+    """Pre-resolved observability hooks for one AutoRFM engine.
+
+    A single slotted bundle so the engine's instance dict grows by one key
+    at most; metric fields stay None when the registry is disabled (e.g.
+    trace-only observability).
+    """
+
+    __slots__ = ("tracer", "bank", "m_mitigations", "m_victims",
+                 "m_selects", "m_empty_selects")
+
+    def __init__(self, obs, bank: int, labels):
+        self.tracer = obs.tracer
+        self.bank = bank
+        self.m_mitigations = None
+        self.m_victims = None
+        self.m_selects = None
+        self.m_empty_selects = None
+        metrics = obs.metrics
+        if metrics is not None:
+            self.m_mitigations = metrics.counter("core.mitigations",
+                                                 bank=bank)
+            self.m_victims = metrics.counter("core.victim_refreshes",
+                                             bank=bank)
+            self.m_selects = metrics.counter("tracker.selects", **labels)
+            self.m_empty_selects = metrics.counter(
+                "tracker.empty_selects", **labels
+            )
+
+
 class AutoRfmEngine:
     """Per-bank transparent mitigation engine."""
 
@@ -69,6 +99,36 @@ class AutoRfmEngine:
         self.mitigation_listener: Optional[Callable[[int], None]] = None
         #: Optional observer fired per victim refresh: (now, victim_row).
         self.victim_listener: Optional[Callable[[int, int], None]] = None
+        # Observability hooks (pre-resolved by attach_obs into one slotted
+        # bundle); None — and therefore free — when observability is off.
+        self._obs: Optional[_EngineObsHooks] = None
+
+    def attach_obs(self, obs, bank: int) -> None:
+        """Wire this engine into an :class:`repro.obs.Observability`.
+
+        Called once at construction by the memory controller, which knows
+        the flat bank index; metric objects are resolved here so the
+        per-mitigation cost is a few attribute increments.
+        """
+        self._obs = _EngineObsHooks(obs, bank,
+                                    dict(self.tracker.metric_labels))
+
+    def _obs_on_mitigation(self, now: int, row: int, victims: int) -> None:
+        """Publish one mitigation: SAUM busy span plus counters."""
+        obs = self._obs
+        if obs.m_mitigations is not None:
+            obs.m_mitigations.inc()
+            obs.m_victims.inc(victims)
+        if obs.tracer is not None:
+            obs.tracer.span(
+                now,
+                self.saum_busy_until,
+                "SAUM",
+                bank=obs.bank,
+                region=self.saum if self.saum is not None else -1,
+                row=row,
+                victims=victims,
+            )
 
     # ------------------------------------------------------------------
     # Hooks called by the bank / memory controller
@@ -111,9 +171,14 @@ class AutoRfmEngine:
         return self.policy.busy_cycles(self.config.timing.trc)
 
     def _start_mitigation(self, now: int) -> None:
+        obs = self._obs
         request = self.tracker.select_for_mitigation()
         if request is None:
+            if obs is not None and obs.m_empty_selects is not None:
+                obs.m_empty_selects.inc()
             return
+        if obs is not None and obs.m_selects is not None:
+            obs.m_selects.inc()
 
         if isinstance(self.policy, MigrationMitigation):
             # Row migration: relocate the aggressor instead of refreshing
@@ -127,6 +192,8 @@ class AutoRfmEngine:
             self._last_saum = self.saum
             if self.mitigation_listener is not None:
                 self.mitigation_listener(now)
+            if obs is not None:
+                self._obs_on_mitigation(now, request.row, victims=0)
             return
 
         victims = self.policy.victims(request)
@@ -144,6 +211,8 @@ class AutoRfmEngine:
         self._last_saum = subarray
         if self.mitigation_listener is not None:
             self.mitigation_listener(now)
+        if obs is not None:
+            self._obs_on_mitigation(now, request.row, victims=len(victims))
 
         for victim in victims:
             self.tracker.on_victim_refresh(victim, request.level)

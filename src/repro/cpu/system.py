@@ -13,6 +13,7 @@ from typing import List, Optional, Sequence
 from repro.mapping import MemoryMapping, RubixMapping, ZenMapping
 from repro.mc.controller import MemoryController
 from repro.mc.setup import MitigationSetup
+from repro.obs import Observability, ObsResult
 from repro.sim.config import SystemConfig
 from repro.sim.engine import Engine
 from repro.sim.rng import RngStreams
@@ -34,12 +35,18 @@ def build_mapping(name: str, config: SystemConfig, seed: int = 0) -> MemoryMappi
 
 @dataclass
 class SimulationResult:
-    """Statistics plus the knobs that produced them."""
+    """Statistics plus the knobs that produced them.
+
+    ``obs`` carries the observability outputs (metrics snapshot, JSONL
+    trace, wall-clock profile) when the run was observed; it is ``None``
+    for plain runs and is excluded from stats-equality comparisons.
+    """
 
     stats: SimStats
     setup: MitigationSetup
     mapping: str
     seed: int
+    obs: Optional[ObsResult] = None
 
     def slowdown_vs(self, baseline: "SimulationResult") -> float:
         """Fractional slowdown vs. ``baseline`` (0.04 = 4 % slower)."""
@@ -54,12 +61,17 @@ def simulate(
     seed: int = 0,
     max_events: Optional[int] = None,
     command_log=None,
+    obs: Optional[Observability] = None,
 ) -> SimulationResult:
     """Run one full simulation and return its result.
 
     ``traces`` supplies one post-LLC trace per core (rate mode passes the
     same workload, independently generated, to every core). The simulation
     ends when every core has retired its full trace.
+
+    ``obs`` attaches a :class:`repro.obs.Observability` for the run; the
+    collected outputs land on ``result.obs``. ``None`` (the default) keeps
+    every instrumentation point on its no-op path.
     """
     config = config or SystemConfig()
     setup = setup or MitigationSetup(mechanism="none")
@@ -70,6 +82,8 @@ def simulate(
         )
 
     engine = Engine()
+    if obs is not None and obs.enabled:
+        engine.obs = obs
     streams = RngStreams(seed)
     stats = SimStats.with_shape(config.num_banks, config.num_cores)
     mapping_obj = build_mapping(mapping, config, seed)
@@ -84,6 +98,7 @@ def simulate(
         stats=stats,
         keep_running=lambda: any(not c.finished for c in cores),
         command_log=command_log,
+        obs=obs,
     )
     for core_id, trace in enumerate(traces):
         core = Core(
@@ -111,4 +126,9 @@ def simulate(
     if unfinished:
         raise RuntimeError(f"cores {unfinished} never finished (deadlock?)")
     stats.cycles = max(c.stats.finish_cycle for c in cores)
-    return SimulationResult(stats=stats, setup=setup, mapping=mapping, seed=seed)
+    result = SimulationResult(
+        stats=stats, setup=setup, mapping=mapping, seed=seed
+    )
+    if obs is not None and obs.enabled:
+        result.obs = obs.result()
+    return result

@@ -26,6 +26,25 @@ from repro.trackers.base import Tracker
 NO_ROW = -1
 
 
+class _BankObsHooks:
+    """Pre-resolved metric objects for the RFM-mode mitigation path.
+
+    One slotted bundle keeps the bank's instance dict at its original
+    size when observability is off; see :class:`repro.obs.Observability`.
+    """
+
+    __slots__ = ("m_mitigations", "m_victims", "m_selects",
+                 "m_empty_selects")
+
+    def __init__(self, metrics, flat: int, labels):
+        self.m_mitigations = metrics.counter("core.mitigations", bank=flat)
+        self.m_victims = metrics.counter("core.victim_refreshes", bank=flat)
+        self.m_selects = metrics.counter("tracker.selects", **labels)
+        self.m_empty_selects = metrics.counter(
+            "tracker.empty_selects", **labels
+        )
+
+
 class Bank:
     """Timing and mitigation state of one DRAM bank."""
 
@@ -50,6 +69,20 @@ class Bank:
         self.open_row = NO_ROW
         self.act_time = -(10**9)  # when the open row was activated
         self.open_until = -1  # end of the row-hit window (act + tRAS)
+
+        # Observability hooks for the RFM-mode mitigation path (AutoRFM
+        # mode publishes through its engine instead); one slot, None — and
+        # therefore free — until attach_obs is called.
+        self._obs: Optional[_BankObsHooks] = None
+
+    def attach_obs(self, obs, flat: int) -> None:
+        """Publish RFM-mode mitigations into ``repro.obs`` metric series
+        (no-op for banks without a tracker, or when metrics are off)."""
+        if obs.metrics is None or self.rfm_tracker is None:
+            return
+        self._obs = _BankObsHooks(
+            obs.metrics, flat, dict(self.rfm_tracker.metric_labels)
+        )
 
     # ------------------------------------------------------------------
     # Demand path
@@ -150,14 +183,22 @@ class Bank:
         self.ready_at = max(self.ready_at, time)
 
     def _perform_rfm_mitigation(self) -> None:
+        obs = self._obs
         request = self.rfm_tracker.select_for_mitigation()
         if request is None:
+            if obs is not None:
+                obs.m_empty_selects.inc()
             return
+        if obs is not None:
+            obs.m_selects.inc()
         victims = self.rfm_policy.victims(request)
         if not victims:
             return
         self.stats.mitigations += 1
         self.stats.victim_refreshes += len(victims)
+        if obs is not None:
+            obs.m_mitigations.inc()
+            obs.m_victims.inc(len(victims))
         if request.level > 1:
             self.stats.recursive_rounds += 1
         for victim in victims:

@@ -29,6 +29,7 @@ from repro.mc.blockhammer import BlockHammerLimiter
 from repro.mc.busy_table import BankBusyTable
 from repro.mc.request import Request
 from repro.mc.setup import MitigationSetup, build_policy, build_tracker
+from repro.obs import DEPTH_EDGES, LATENCY_EDGES, Observability
 from repro.rfm.prac import PracModel, abo_threshold_for, prac_timing
 from repro.rfm.rfm import RfmController
 from repro.sim.cmdlog import (
@@ -46,6 +47,56 @@ from repro.sim.rng import RngStreams
 from repro.sim.stats import SimStats
 
 
+class _ObsHooks:
+    """Pre-resolved observability hook points for one controller.
+
+    Bundled into a single slotted object so the controller's instance dict
+    grows by exactly one key (``_obs``) when observability is enabled and
+    disabled runs keep their original attribute layout: each hook site pays
+    one ``is None`` load-and-branch, nothing more. ``tracer``/``metrics``
+    mirror :class:`~repro.obs.Observability` so the bank/engine
+    ``attach_obs`` hooks accept either object.
+    """
+
+    __slots__ = (
+        "tracer", "metrics", "m_acts", "m_alerts", "m_rfm_cmds", "m_refs",
+        "h_queue_depth", "h_retry_wait",
+    )
+
+    def __init__(self, obs: Observability, config: SystemConfig,
+                 n_banks: int):
+        self.tracer = obs.tracer
+        metrics = obs.metrics
+        self.metrics = metrics
+        self.m_acts = None
+        self.m_alerts = None
+        self.m_rfm_cmds = None
+        self.m_refs = None
+        self.h_queue_depth = None
+        self.h_retry_wait = None
+        if metrics is not None:
+            self.m_acts = [
+                metrics.counter("mc.act", bank=i) for i in range(n_banks)
+            ]
+            self.m_alerts = [
+                metrics.counter("mc.alert", bank=i) for i in range(n_banks)
+            ]
+            self.m_rfm_cmds = [
+                metrics.counter("mc.rfm", bank=i) for i in range(n_banks)
+            ]
+            self.m_refs = [
+                metrics.counter("mc.ref", bank=i) for i in range(n_banks)
+            ]
+            self.h_queue_depth = [
+                metrics.histogram("mc.queue_depth", DEPTH_EDGES,
+                                  subchannel=sc)
+                for sc in range(config.num_subchannels)
+            ]
+            self.h_retry_wait = metrics.histogram(
+                "mc.retry_wait", LATENCY_EDGES
+            )
+
+
 class MemoryController:
     """Request queues, per-bank schedulers, and maintenance commands."""
 
@@ -59,6 +110,7 @@ class MemoryController:
         stats: SimStats,
         keep_running: Optional[Callable[[], bool]] = None,
         command_log: Optional[CommandLog] = None,
+        obs: Optional[Observability] = None,
     ):
         config.validate()
         if setup.mechanism == "prac":
@@ -115,6 +167,15 @@ class MemoryController:
                 config, trh=setup.blockhammer_trh
             )
 
+        # Observability: one pre-resolved hook bundle (see _ObsHooks) or
+        # None; when observability is off the per-event cost is a single
+        # is-None branch next to the existing command_log check.
+        self._obs: Optional[_ObsHooks] = None
+        if obs is not None and obs.enabled:
+            self._obs = _ObsHooks(obs, config, n_banks)
+            if self.rfm is not None:
+                self.rfm.attach_obs(self._obs)
+
         self._streams = streams
         self.banks: List[Bank] = [
             self._build_bank(flat) for flat in range(n_banks)
@@ -156,6 +217,8 @@ class MemoryController:
         elif setup.mechanism == "rfm":
             rfm_tracker = build_tracker(setup, self._streams, flat)
             rfm_policy = build_policy(setup, config, self._streams, flat)
+        if autorfm is not None and self._obs is not None:
+            autorfm.attach_obs(self._obs, flat)
         if autorfm is not None and self.command_log is not None:
             autorfm.mitigation_listener = (
                 lambda t, f=flat: self.command_log.record(t, MITIGATION, f)
@@ -165,13 +228,16 @@ class MemoryController:
                     t, VICTIM_REFRESH, f, victim
                 )
             )
-        return Bank(
+        bank = Bank(
             config=config,
             stats=bank_stats,
             autorfm=autorfm,
             rfm_tracker=rfm_tracker,
             rfm_policy=rfm_policy,
         )
+        if self._obs is not None:
+            bank.attach_obs(self._obs, flat)
+        return bank
 
     def _schedule_refreshes(self) -> None:
         trefi = self.timing.trefi
@@ -213,6 +279,10 @@ class MemoryController:
                 self.drain_writes(sc)
             return
         self.queues[request.flat_bank].append(request)
+        obs = self._obs
+        if obs is not None and obs.h_queue_depth is not None:
+            sc = request.flat_bank // self._banks_per_sc
+            obs.h_queue_depth[sc].observe(len(self.queues[request.flat_bank]))
         self._try_service(request.flat_bank, self.engine.now)
 
     def drain_writes(self, sc: Optional[int] = None) -> int:
@@ -289,6 +359,8 @@ class MemoryController:
                         self.command_log.record(
                             free_at - self.timing.trfm, RFM, flat
                         )
+                    if self._obs is not None:
+                        self._obs_on_rfm(flat, free_at)
                     self._wakeup(flat, free_at)
                 else:
                     self._wakeup(flat, bank.ready_at)
@@ -331,6 +403,12 @@ class MemoryController:
                 recent.pop(0)
             if self.command_log is not None:
                 self.command_log.record(now, ACT, flat, row)
+            obs = self._obs
+            if obs is not None:
+                if obs.m_acts is not None:
+                    obs.m_acts[flat].inc()
+                if obs.tracer is not None:
+                    obs.tracer.event(now, "ACT", bank=flat, row=row)
             if not self._open_page:
                 self.engine.schedule(
                     now + self.timing.tras,
@@ -381,6 +459,19 @@ class MemoryController:
             self.stats.max_request_alerts = request.alerts
         tm = self.setup.tm_retry_cycles or bank.autorfm.mitigation_busy_cycles
         retry_time = now + tm
+        obs = self._obs
+        if obs is not None:
+            if obs.m_alerts is not None:
+                obs.m_alerts[flat].inc()
+                obs.h_retry_wait.observe(tm)
+            if obs.tracer is not None:
+                # One record carries the whole ACT->ALERT->retry link: the
+                # declined row, how many ALERTs this request has eaten, and
+                # when the MC will retry.
+                obs.tracer.event(
+                    now, "ALERT", bank=flat, row=request.location.row,
+                    alerts=request.alerts, retry_at=retry_time,
+                )
         # The MC precharges the bank so every chip holds the conflicted row
         # closed (footnote 1 of the paper).
         bank.stall_until(now + self._trp)
@@ -425,6 +516,8 @@ class MemoryController:
                     self.command_log.record(
                         free_at - self.timing.trfm, RFM, flat
                     )
+                if self._obs is not None:
+                    self._obs_on_rfm(flat, free_at)
                 if self.queues[flat]:
                     self._wakeup(flat, free_at)
                 return
@@ -433,6 +526,7 @@ class MemoryController:
 
     def _refresh(self, sc: int, now: int) -> None:
         base = sc * self.config.banks_per_subchannel
+        obs = self._obs
         for local in range(self.config.banks_per_subchannel):
             flat = base + local
             self.banks[flat].start_refresh(now)
@@ -440,8 +534,14 @@ class MemoryController:
                 self.rfm.on_refresh(flat)
             if self.command_log is not None:
                 self.command_log.record(now, REF, flat)
+            if obs is not None and obs.m_refs is not None:
+                obs.m_refs[flat].inc()
             if self.queues[flat]:
                 self._wakeup(flat, self.banks[flat].ready_at)
+        if obs is not None and obs.tracer is not None:
+            obs.tracer.span(
+                now, now + self.timing.trfc, "REF", subchannel=sc
+            )
         self.stats.refresh_windows += 1
         if self.config.write_drain:
             self.drain_writes(sc)  # REF is a natural drain point
@@ -460,6 +560,15 @@ class MemoryController:
             self.rfm.on_refresh(flat)
         if self.command_log is not None:
             self.command_log.record(now, REF, flat)
+        obs = self._obs
+        if obs is not None:
+            if obs.m_refs is not None:
+                obs.m_refs[flat].inc()
+            if obs.tracer is not None:
+                obs.tracer.span(
+                    now, now + self.timing.trfc_sb, "REF", bank=flat,
+                    subchannel=sc,
+                )
         if self.queues[flat]:
             self._wakeup(flat, self.banks[flat].ready_at)
         if local == self.config.banks_per_subchannel - 1:
@@ -489,6 +598,27 @@ class MemoryController:
         alerting.alerts += 1
         alerting.mitigations += 1
         alerting.victim_refreshes += 4
+        obs = self._obs
+        if obs is not None:
+            if obs.m_alerts is not None:
+                obs.m_alerts[flat].inc()
+            if obs.tracer is not None:
+                obs.tracer.span(
+                    now, until, "ABO", bank=flat, subchannel=sc
+                )
+
+    # ------------------------------------------------------------------
+    # Observability hook points
+    # ------------------------------------------------------------------
+    def _obs_on_rfm(self, flat: int, free_at: int) -> None:
+        """Publish one blocking RFM command: counter plus stall span."""
+        obs = self._obs
+        if obs.m_rfm_cmds is not None:
+            obs.m_rfm_cmds[flat].inc()
+        if obs.tracer is not None:
+            obs.tracer.span(
+                free_at - self.timing.trfm, free_at, "RFM", bank=flat
+            )
 
     # ------------------------------------------------------------------
     # Wakeup bookkeeping

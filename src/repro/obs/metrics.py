@@ -1,0 +1,292 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+Every metric is identified by a ``name`` plus an optional set of labels
+(``bank=3``, ``subchannel=0``, ``tracker="MintTracker"``); the registry
+hands out one shared instance per ``(name, labels)`` pair, so two
+instrumentation points that name the same series accumulate into the same
+object. Publishers pre-resolve their metric objects once (at construction
+time) and pay only an attribute increment per event on the hot path.
+
+Determinism contract: metric values are derived exclusively from simulated
+quantities — integer engine cycles, counts, queue depths. Nothing in this
+module may read the wall clock; wall-clock profiling lives in
+:mod:`repro.obs.profile` and is kept out of the deterministic snapshot.
+
+Snapshots (:meth:`MetricsRegistry.snapshot`) are plain nested dicts with
+stable, sorted keys, so ``json.dumps(snapshot, sort_keys=True)`` is
+byte-identical for identical simulations regardless of worker count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+LabelItems = Tuple[Tuple[str, Union[int, str]], ...]
+
+#: Default bucket edges (cycles) for latency-ish histograms: powers of two
+#: covering a tRP-sized stall up to several tREFI.
+LATENCY_EDGES: Tuple[int, ...] = (
+    64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536,
+)
+
+#: Default bucket edges for queue-depth/occupancy histograms.
+DEPTH_EDGES: Tuple[int, ...] = (0, 1, 2, 4, 8, 16, 32, 64, 128)
+
+
+def _label_items(labels: Dict[str, Union[int, str]]) -> LabelItems:
+    return tuple(sorted(labels.items()))
+
+
+def _series_name(name: str, labels: LabelItems) -> str:
+    """Stable flat key: ``name`` or ``name{k=v,k2=v2}`` (sorted)."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotonically non-decreasing event count. Never negative."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (>= 0) events to the count."""
+        if n < 0:
+            raise ValueError(f"counters only count up, got {n}")
+        self.value += n
+
+    def merge(self, other: "Counter") -> None:
+        """Accumulate another counter (shard merge); order-insensitive."""
+        self.inc(other.value)
+
+
+class Gauge:
+    """A point-in-time value (heap depth, final cycle count)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def set(self, value: Union[int, float]) -> None:
+        """Record the current value of the observed quantity."""
+        self.value = value
+
+    def inc(self, n: Union[int, float] = 1) -> None:
+        """Move the gauge up by ``n``."""
+        self.value += n
+
+    def dec(self, n: Union[int, float] = 1) -> None:
+        """Move the gauge down by ``n``."""
+        self.value -= n
+
+    def merge(self, other: "Gauge") -> None:
+        """Combine with another shard: keep the most extreme observation.
+
+        Gauges here are "last/peak value" style, and max is commutative
+        and associative, so merge order can never matter.
+        """
+        self.value = max(self.value, other.value)
+
+
+class Histogram:
+    """Fixed-bucket histogram: ``counts[i]`` counts values <= ``edges[i]``,
+    with one overflow bucket at the end. Also tracks sum/count/min/max so
+    means survive the bucketing.
+
+    ``merge`` of two histograms with identical edges adds bucket counts —
+    an associative, commutative operation (the property tests in
+    ``tests/test_obs.py`` pin this down), which is what makes per-worker
+    metric shards safe to combine in any order.
+    """
+
+    __slots__ = ("edges", "counts", "sum", "count", "min", "max")
+
+    def __init__(self, edges: Sequence[Union[int, float]]):
+        if not edges:
+            raise ValueError("histogram needs at least one bucket edge")
+        if list(edges) != sorted(edges):
+            raise ValueError(f"bucket edges must be sorted, got {edges!r}")
+        if len(set(edges)) != len(edges):
+            raise ValueError(f"bucket edges must be distinct, got {edges!r}")
+        self.edges: Tuple[Union[int, float], ...] = tuple(edges)
+        self.counts: List[int] = [0] * (len(self.edges) + 1)
+        self.sum = 0
+        self.count = 0
+        self.min: Optional[Union[int, float]] = None
+        self.max: Optional[Union[int, float]] = None
+
+    def observe(self, value: Union[int, float]) -> None:
+        """Count ``value`` into its bucket and update sum/count/min/max."""
+        lo, hi = 0, len(self.edges)
+        while lo < hi:  # first edge >= value (bisect, inlined: hot path)
+            mid = (lo + hi) // 2
+            if self.edges[mid] < value:
+                lo = mid + 1
+            else:
+                hi = mid
+        self.counts[lo] += 1
+        self.sum += value
+        self.count += 1
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def merge(self, other: "Histogram") -> None:
+        """Add another histogram's buckets in place (same edges required).
+
+        Associative and commutative — see the property tests.
+        """
+        if self.edges != other.edges:
+            raise ValueError(
+                f"cannot merge histograms with different edges: "
+                f"{self.edges} vs {other.edges}"
+            )
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.sum += other.sum
+        self.count += other.count
+        for bound in (other.min,):
+            if bound is not None and (self.min is None or bound < self.min):
+                self.min = bound
+        for bound in (other.max,):
+            if bound is not None and (self.max is None or bound > self.max):
+                self.max = bound
+
+    def copy(self) -> "Histogram":
+        """Independent deep copy (for pure merges)."""
+        dup = Histogram(self.edges)
+        dup.merge(self)
+        return dup
+
+    @property
+    def mean(self) -> float:
+        """Exact mean of the observed values (not bucket-approximated)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-JSON form: edges, counts, sum, count, min, max."""
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+
+def merge_histograms(*histograms: Histogram) -> Histogram:
+    """Pure merge: a new histogram combining all inputs (inputs untouched)."""
+    if not histograms:
+        raise ValueError("need at least one histogram")
+    merged = histograms[0].copy()
+    for h in histograms[1:]:
+        merged.merge(h)
+    return merged
+
+
+class MetricsRegistry:
+    """One shared instance per ``(name, labels)`` series.
+
+    The accessor methods are idempotent: asking twice for the same series
+    returns the same object, and asking for an existing name with a
+    conflicting metric type raises instead of silently shadowing.
+    """
+
+    def __init__(self):
+        self._series: Dict[Tuple[str, LabelItems], object] = {}
+
+    # ------------------------------------------------------------------
+    def _get(self, cls, name: str, labels: Dict[str, Union[int, str]],
+             *args):
+        key = (name, _label_items(labels))
+        metric = self._series.get(key)
+        if metric is None:
+            metric = cls(*args)
+            self._series[key] = metric
+        elif type(metric) is not cls:
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels: Union[int, str]) -> Counter:
+        """The counter series ``name{labels}`` (created on first use)."""
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Union[int, str]) -> Gauge:
+        """The gauge series ``name{labels}`` (created on first use)."""
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        edges: Sequence[Union[int, float]] = LATENCY_EDGES,
+        **labels: Union[int, str],
+    ) -> Histogram:
+        """The histogram series ``name{labels}`` with the given bucket
+        ``edges`` (created on first use; edges must agree thereafter)."""
+        hist = self._get(Histogram, name, labels, edges)
+        if hist.edges != tuple(edges):
+            raise ValueError(
+                f"histogram {name!r} already registered with edges "
+                f"{hist.edges}, asked for {tuple(edges)}"
+            )
+        return hist
+
+    # ------------------------------------------------------------------
+    def series(self) -> Iterable[Tuple[str, LabelItems, object]]:
+        """Every registered ``(name, labels, metric)`` in sorted order."""
+        for (name, labels), metric in sorted(self._series.items()):
+            yield name, labels, metric
+
+    def sum_counters(self, name: str) -> int:
+        """Total of every labelled child of counter ``name``."""
+        total = 0
+        for series_name, _, metric in self.series():
+            if series_name == name and isinstance(metric, Counter):
+                total += metric.value
+        return total
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Accumulate another registry (e.g. a per-worker shard) into this
+        one; series present only in ``other`` are deep-copied over."""
+        for (name, labels), metric in sorted(other._series.items()):
+            if isinstance(metric, Histogram):
+                mine = self._get(Histogram, name, dict(labels), metric.edges)
+            else:
+                mine = self._get(type(metric), name, dict(labels))
+            mine.merge(metric)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Plain-JSON form with stable sorted keys.
+
+        ``{"counters": {series: int}, "gauges": {series: number},
+        "histograms": {series: {edges, counts, sum, count, min, max}}}``
+        """
+        out: Dict[str, Dict[str, object]] = {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+        for name, labels, metric in self.series():
+            key = _series_name(name, labels)
+            if isinstance(metric, Counter):
+                out["counters"][key] = metric.value
+            elif isinstance(metric, Gauge):
+                out["gauges"][key] = metric.value
+            else:
+                out["histograms"][key] = metric.as_dict()
+        return out

@@ -1,0 +1,88 @@
+"""Wall-clock profiling, deliberately quarantined from metrics/tracing.
+
+The metrics registry and span tracer are cycle-stamped and deterministic;
+anything that reads the host clock lives here instead, so the deterministic
+outputs can be compared byte-for-byte across worker counts while the
+profiler still answers "how fast is the *simulator*": wall-time per phase,
+events per wall-second, cache hit/miss counts.
+
+A :class:`PhaseProfiler` snapshot travels alongside results as provenance —
+it is informational and must never feed back into simulated behaviour.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional, Union
+
+
+class PhaseProfiler:
+    """Accumulates wall seconds and entry counts per named phase."""
+
+    def __init__(self):
+        self.seconds: Dict[str, float] = {}
+        self.entries: Dict[str, int] = {}
+        self.counts: Dict[str, Union[int, float]] = {}
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time one entry of phase ``name`` (re-entrant across calls)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(name, time.perf_counter() - start)
+
+    def record(self, name: str, seconds: float) -> None:
+        """Accumulate one timed entry of phase ``name``."""
+        self.seconds[name] = self.seconds.get(name, 0.0) + seconds
+        self.entries[name] = self.entries.get(name, 0) + 1
+
+    def count(self, name: str, n: Union[int, float] = 1) -> None:
+        """Accumulate a free-form profiling counter (cache hits, events)."""
+        self.counts[name] = self.counts.get(name, 0) + n
+
+    def set_count(self, name: str, value: Union[int, float]) -> None:
+        """Overwrite a profiling counter with an absolute value."""
+        self.counts[name] = value
+
+    # ------------------------------------------------------------------
+    def rate(self, count_name: str, phase_name: str) -> Optional[float]:
+        """``counts[count_name]`` per wall-second of ``phase_name``."""
+        seconds = self.seconds.get(phase_name)
+        total = self.counts.get(count_name)
+        if not seconds or total is None:
+            return None
+        return total / seconds
+
+    def snapshot(self, provenance: Optional[Dict[str, object]] = None
+                 ) -> Dict[str, object]:
+        """Plain-JSON form; ``provenance`` (schema versions, config hash,
+        worker count) is attached verbatim when given."""
+        out: Dict[str, object] = {
+            "phases": {
+                name: {
+                    "seconds": round(self.seconds[name], 6),
+                    "entries": self.entries[name],
+                }
+                for name in sorted(self.seconds)
+            },
+            "counts": {k: self.counts[k] for k in sorted(self.counts)},
+        }
+        events_per_sec = self.rate("events", "engine")
+        if events_per_sec is not None:
+            out["events_per_second"] = round(events_per_sec, 1)
+        if provenance is not None:
+            out["provenance"] = provenance
+        return out
+
+    def merge(self, other: "PhaseProfiler") -> None:
+        """Fold another profiler's phases and counts into this one."""
+        for name, seconds in other.seconds.items():
+            self.seconds[name] = self.seconds.get(name, 0.0) + seconds
+        for name, entries in other.entries.items():
+            self.entries[name] = self.entries.get(name, 0) + entries
+        for name, value in other.counts.items():
+            self.counts[name] = self.counts.get(name, 0) + value

@@ -1,0 +1,101 @@
+"""Span tracer: a bounded, cycle-stamped JSONL event timeline.
+
+Each emitted record is one JSON object per line with stable sorted keys:
+
+* point events — ``{"t": <cycle>, "kind": "ACT", "bank": 3, "row": 70000}``
+* spans — the same plus ``"end": <cycle>`` (SAUM busy intervals, RFM
+  stalls, mitigation windows).
+
+Memory is bounded by a ring buffer (``capacity`` events, oldest evicted
+first, emission order preserved); attaching a ``stream`` additionally
+writes every event through as it is emitted, so arbitrarily long runs can
+stream to disk while the in-memory tail stays small.
+
+Determinism contract: timestamps are the integer engine cycles the caller
+passes in — this module never reads the wall clock — so serial and
+parallel runs of the same seed produce byte-identical JSONL.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Deque, Dict, IO, List, Optional, Union
+
+Field = Union[int, float, str]
+
+#: Well-known event kinds (callers may emit others; these are the ones the
+#: built-in instrumentation produces and docs/observability.md documents).
+ACT = "ACT"
+ALERT = "ALERT"
+RETRY = "RETRY"
+RFM_STALL = "RFM"
+REF = "REF"
+SAUM = "SAUM"
+MITIGATION = "MITIGATION"
+VICTIM_REFRESH = "VICTIM_REFRESH"
+
+
+def encode_event(event: Dict[str, Field]) -> str:
+    """One canonical JSONL line (sorted keys, no whitespace)."""
+    return json.dumps(event, sort_keys=True, separators=(",", ":"))
+
+
+class SpanTracer:
+    """Ring-buffered event recorder with optional streaming flush."""
+
+    def __init__(self, capacity: int = 65536, stream: Optional[IO[str]] = None):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.stream = stream
+        self._buffer: Deque[Dict[str, Field]] = deque(maxlen=capacity)
+        #: Events emitted over the tracer's lifetime (kept + evicted).
+        self.emitted = 0
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    def event(self, cycle: int, kind: str, **fields: Field) -> None:
+        """Record a point event at engine cycle ``cycle``."""
+        record: Dict[str, Field] = {"t": cycle, "kind": kind}
+        record.update(fields)
+        self.emitted += 1
+        self._buffer.append(record)
+        if self.stream is not None:
+            self.stream.write(encode_event(record) + "\n")
+
+    def span(self, start: int, end: int, kind: str, **fields: Field) -> None:
+        """Record an interval ``[start, end)`` in engine cycles."""
+        if end < start:
+            raise ValueError(f"span ends ({end}) before it starts ({start})")
+        self.event(start, kind, end=end, **fields)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    @property
+    def dropped(self) -> int:
+        """Events evicted by the ring buffer (oldest-first)."""
+        return self.emitted - len(self._buffer)
+
+    def events(self) -> List[Dict[str, Field]]:
+        """Retained events, in emission order (copies of the records)."""
+        return [dict(e) for e in self._buffer]
+
+    def to_jsonl(self) -> str:
+        """Retained events as JSONL (one canonical line per event)."""
+        return "".join(encode_event(e) + "\n" for e in self._buffer)
+
+    def write(self, path: str) -> int:
+        """Write the retained timeline to ``path``; returns event count."""
+        with open(path, "w") as handle:
+            handle.write(self.to_jsonl())
+        return len(self._buffer)
+
+    def clear(self) -> None:
+        """Drop the retained events (the emitted total keeps counting)."""
+        self._buffer.clear()
+
+    def __len__(self) -> int:
+        return len(self._buffer)

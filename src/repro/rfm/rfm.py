@@ -9,7 +9,18 @@ RAA (by 100 % of ``rfm_th`` here, the paper's assumption in Section II-F).
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
+
+
+class _RfmObsHooks:
+    """Pre-resolved RAA metric objects (one slot on the controller)."""
+
+    __slots__ = ("m_rfms", "m_ref_decrements", "m_raa_peak")
+
+    def __init__(self, metrics):
+        self.m_rfms = metrics.counter("rfm.issued")
+        self.m_ref_decrements = metrics.counter("rfm.ref_decrements")
+        self.m_raa_peak = metrics.gauge("rfm.raa_peak")
 
 
 class RfmController:
@@ -41,10 +52,22 @@ class RfmController:
         self.ref_decrement = rfm_th if ref_decrement is None else ref_decrement
         self.raa: List[int] = [0] * num_banks
         self.rfms_issued = 0
+        # Observability hooks; one slot, None (free) unless attach_obs ran.
+        self._obs: Optional[_RfmObsHooks] = None
+
+    def attach_obs(self, obs) -> None:
+        """Publish RAA bookkeeping into an :class:`repro.obs.Observability`
+        metrics registry (no-op when metrics are off)."""
+        if obs.metrics is None:
+            return
+        self._obs = _RfmObsHooks(obs.metrics)
 
     def on_activation(self, bank: int) -> None:
         """Count one ACT into the bank's RAA counter."""
         self.raa[bank] += 1
+        obs = self._obs
+        if obs is not None and self.raa[bank] > obs.m_raa_peak.value:
+            obs.m_raa_peak.set(self.raa[bank])
 
     def rfm_due(self, bank: int) -> bool:
         """RAAIMT reached: an RFM should be issued when convenient."""
@@ -58,7 +81,11 @@ class RfmController:
         """Account an issued RFM: RAA drops by RFMTH."""
         self.raa[bank] = max(0, self.raa[bank] - self.rfm_th)
         self.rfms_issued += 1
+        if self._obs is not None:
+            self._obs.m_rfms.inc()
 
     def on_refresh(self, bank: int) -> None:
         """Account a REF: RAA drops by the refresh decrement."""
         self.raa[bank] = max(0, self.raa[bank] - self.ref_decrement)
+        if self._obs is not None:
+            self._obs.m_ref_decrements.inc()

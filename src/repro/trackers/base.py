@@ -48,6 +48,13 @@ class Tracker(abc.ABC):
         """Observe a victim refresh (used by recursive-mitigation trackers)."""
 
     @property
+    def metric_labels(self) -> dict:
+        """Labels identifying this tracker in ``repro.obs`` metric series
+        (e.g. ``tracker.selects{tracker=MintTracker}``); subclasses may
+        extend with tracker-specific dimensions."""
+        return {"tracker": type(self).__name__}
+
+    @property
     @abc.abstractmethod
     def storage_bits(self) -> int:
         """SRAM the tracker needs per bank, in bits (Section VI-C)."""

@@ -1,0 +1,133 @@
+"""Differential test: ``repro.obs`` metrics vs ``repro.sim.stats``.
+
+The simulator now has two accounting paths — the classic ``SimStats``
+dataclass counters and the observability metrics registry. They are
+written at the same hook points but through different code; this test
+pins them to each other exactly (per bank, not just in aggregate) on a
+fixed-seed AutoRFM-4 run and a blocking-RFM run, so the two paths can
+never silently diverge.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpu.system import simulate
+from repro.mc.setup import MitigationSetup
+from repro.obs import ObsConfig, Observability
+from repro.workloads.catalog import WORKLOADS
+from repro.workloads.rate import make_rate_traces
+
+REQUESTS = 400
+SEED = 1
+
+
+def observed_run(small_config, setup, mapping):
+    traces = make_rate_traces(
+        WORKLOADS["bwaves"], small_config, requests=REQUESTS, seed=SEED
+    )
+    obs = Observability(ObsConfig(metrics=True, trace=True))
+    result = simulate(
+        traces, setup, small_config, mapping=mapping, seed=SEED, obs=obs
+    )
+    return result, result.obs.metrics
+
+
+def counters_named(snapshot, name):
+    """``{series: value}`` for every labelled child of counter ``name``."""
+    prefix = f"{name}{{"
+    return {
+        series: value
+        for series, value in snapshot["counters"].items()
+        if series == name or series.startswith(prefix)
+    }
+
+
+SETUPS = [
+    pytest.param(
+        MitigationSetup("autorfm", threshold=4, policy="fractal"),
+        "rubix",
+        id="autorfm-4",
+    ),
+    pytest.param(
+        MitigationSetup("rfm", threshold=8),
+        "zen",
+        id="blocking-rfm-8",
+    ),
+]
+
+
+class TestMetricsMatchStats:
+    @pytest.mark.parametrize("setup,mapping", SETUPS)
+    def test_per_bank_act_alert_rfm_ref_counters_match(
+        self, small_config, setup, mapping
+    ):
+        result, snapshot = observed_run(small_config, setup, mapping)
+        per_bank = {
+            "mc.act": lambda b: b.activations,
+            "mc.alert": lambda b: b.alerts,
+            "mc.rfm": lambda b: b.rfm_commands,
+            "mc.ref": lambda b: b.refreshes,
+        }
+        for name, field in per_bank.items():
+            series = counters_named(snapshot, name)
+            for flat, bank_stats in enumerate(result.stats.banks):
+                observed = series.get(f"{name}{{bank={flat}}}", 0)
+                assert observed == field(bank_stats), (
+                    f"{name} diverged from SimStats on bank {flat}"
+                )
+
+    @pytest.mark.parametrize("setup,mapping", SETUPS)
+    def test_aggregate_totals_match(self, small_config, setup, mapping):
+        result, snapshot = observed_run(small_config, setup, mapping)
+        totals = {
+            "mc.act": result.stats.total_activations,
+            "mc.alert": result.stats.total_alerts,
+            "mc.rfm": result.stats.total_rfm_commands,
+            "mc.ref": result.stats.total_refreshes,
+            "core.mitigations": result.stats.total_mitigations,
+            "core.victim_refreshes": result.stats.total_victim_refreshes,
+        }
+        for name, expected in totals.items():
+            assert sum(counters_named(snapshot, name).values()) == expected, (
+                f"sum over {name} series diverged from SimStats"
+            )
+
+    def test_rfm_layer_agrees_with_mc_layer(self, small_config):
+        """The RfmController's own counter and the MC's per-bank RFM
+        counters are written by different layers; they must agree."""
+        setup = MitigationSetup("rfm", threshold=8)
+        result, snapshot = observed_run(small_config, setup, "zen")
+        rfm_issued = snapshot["counters"].get("rfm.issued", 0)
+        assert rfm_issued == result.stats.total_rfm_commands
+        assert rfm_issued == sum(
+            counters_named(snapshot, "mc.rfm").values()
+        )
+
+    def test_trace_event_counts_match_counters(self, small_config):
+        """The tracer and the metrics registry observe the same stream:
+        per-kind trace event counts equal the counter totals."""
+        import json
+
+        setup = MitigationSetup("autorfm", threshold=4, policy="fractal")
+        result, snapshot = observed_run(small_config, setup, "rubix")
+        assert result.obs.trace_dropped == 0, (
+            "trace overflowed; grow capacity so the comparison is exact"
+        )
+        kinds = {}
+        for line in result.obs.trace_jsonl.splitlines():
+            kind = json.loads(line)["kind"]
+            kinds[kind] = kinds.get(kind, 0) + 1
+        assert kinds.get("ACT", 0) == result.stats.total_activations
+        assert kinds.get("ALERT", 0) == result.stats.total_alerts
+        assert kinds.get("SAUM", 0) == result.stats.total_mitigations
+
+    def test_engine_event_accounting_matches(self, small_config):
+        """engine.events counts exactly the events the heap drained."""
+        setup = MitigationSetup("autorfm", threshold=4, policy="fractal")
+        result, snapshot = observed_run(small_config, setup, "rubix")
+        assert snapshot["counters"]["engine.events"] > 0
+        # The engine keeps draining maintenance events (tail refreshes)
+        # after the last core retires, so its final cycle can only be at
+        # or past the workload finish cycle SimStats reports.
+        assert snapshot["gauges"]["engine.cycles"] >= result.stats.cycles

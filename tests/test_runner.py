@@ -18,6 +18,7 @@ from repro.analysis.runner import (
     job_key,
 )
 from repro.mc.setup import MitigationSetup
+from repro.obs import ObsConfig
 
 REQUESTS = 200  # tiny slices: this file tests plumbing, not the paper
 
@@ -60,6 +61,33 @@ class TestParallelDeterminism:
         assert runner.jobs == 4
         monkeypatch.setenv("REPRO_JOBS", "1")
         assert runner.jobs == 1  # re-read per batch, not frozen at init
+
+    def test_obs_outputs_bit_identical_across_worker_counts(
+        self, small_config, tmp_path
+    ):
+        """The observability outputs honour the same contract as SimStats:
+        the trace JSONL and the metrics snapshot coming back from a worker
+        process are byte-for-byte what the serial path produces."""
+        obs = ObsConfig(metrics=True, trace=True)
+        jobs = [
+            Job("add", MitigationSetup("autorfm", threshold=4,
+                                       policy="fractal"),
+                "rubix", REQUESTS, 1, obs=obs),
+            Job("mcf", MitigationSetup("rfm", threshold=8),
+                "zen", REQUESTS, 1, obs=obs),
+        ]
+        serial = make_runner(small_config, tmp_path / "s", jobs=1,
+                             use_cache=False)
+        parallel = make_runner(small_config, tmp_path / "p", jobs=4,
+                               use_cache=False)
+        for ours, theirs in zip(serial.run_many(jobs),
+                                parallel.run_many(jobs)):
+            assert ours.obs is not None and theirs.obs is not None
+            assert ours.obs.trace_jsonl == theirs.obs.trace_jsonl
+            assert ours.obs.metrics == theirs.obs.metrics
+            assert ours.obs.trace_dropped == theirs.obs.trace_dropped
+            # Only the quarantined wall-clock profile may differ.
+            assert ours.obs.trace_jsonl  # non-trivial: events were traced
 
     def test_run_many_preserves_order_and_dedups(self, small_config, tmp_path):
         runner = make_runner(small_config, tmp_path, jobs=1)
