@@ -45,7 +45,11 @@ from repro.workloads.rate import make_rate_traces
 #: Bump when the simulator's observable behaviour changes (new stats
 #: fields, timing fixes, ...): every existing cache entry self-invalidates
 #: because the version participates in the cache key.
-CACHE_SCHEMA_VERSION = 1
+#:
+#: v2: the observed engine drain samples heap depth on a persistent
+#: lifetime event ordinal (so checkpoint-segmented drains sample exactly
+#: like straight ones), which moved the sampling points of observed runs.
+CACHE_SCHEMA_VERSION = 2
 
 DEFAULT_SEED = 1
 
@@ -110,6 +114,13 @@ class Job:
     requests: Optional[int] = None  # None -> the runner's default slice
     seed: int = DEFAULT_SEED
     obs: Optional[ObsConfig] = None
+    #: Segment length in cycles for resumable execution: the simulation
+    #: pauses at every multiple and snapshots into the result cache, so a
+    #: killed sweep restarts from the last boundary instead of cycle 0.
+    #: Excluded from the cache key on purpose — segmentation is an
+    #: execution strategy, not part of the simulation's identity, and the
+    #: results are bit-identical either way.
+    segment_cycles: Optional[int] = None
 
     def __post_init__(self):
         if self.workload not in WORKLOADS:
@@ -117,6 +128,10 @@ class Job:
         if self.mapping not in MAPPINGS:
             raise ValueError(
                 f"unknown mapping {self.mapping!r}; expected one of {MAPPINGS}"
+            )
+        if self.segment_cycles is not None and self.segment_cycles < 1:
+            raise ValueError(
+                f"segment_cycles must be >= 1, got {self.segment_cycles}"
             )
 
 
@@ -194,12 +209,40 @@ def job_key(
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
+#: Suffix of segment snapshots stored alongside cached results (matches
+#: ``repro.ckpt.snapshot.SNAPSHOT_SUFFIX``; duplicated here so the cache
+#: never needs to import the checkpoint layer just to enumerate files).
+_SNAPSHOT_SUFFIX = ".ckpt.gz"
+
+
+def cache_size_limit_bytes() -> Optional[int]:
+    """Cache size bound from ``REPRO_CACHE_MAX_MB`` (None = unbounded)."""
+    raw = os.environ.get("REPRO_CACHE_MAX_MB")
+    if raw is None or raw == "":
+        return None
+    try:
+        max_mb = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_CACHE_MAX_MB must be a number, got {raw!r}"
+        ) from None
+    if max_mb < 0:
+        raise ValueError(f"REPRO_CACHE_MAX_MB must be >= 0, got {max_mb}")
+    return int(max_mb * 1024 * 1024)
+
+
 class ResultCache:
-    """Directory of ``<key>.json`` files, one per completed simulation.
+    """Directory of ``<key>.json`` files, one per completed simulation,
+    plus ``<key>.seg-<boundary>.ckpt.gz`` segment snapshots for resumable
+    jobs.
 
     Writes are atomic (tempfile + rename), so concurrent benchmark
     processes sharing one cache directory can never observe a torn entry;
     a corrupt or schema-mismatched file is treated as a miss.
+
+    The cache grows without bound by default; set ``REPRO_CACHE_MAX_MB``
+    (or call :meth:`prune`) to evict least-recently-used entries — results
+    and snapshots alike — until the directory fits the budget.
     """
 
     def __init__(self, directory: str, schema_version: int = CACHE_SCHEMA_VERSION):
@@ -211,8 +254,121 @@ class ResultCache:
     def _path(self, key: str) -> str:
         return os.path.join(self.directory, f"{key}.json")
 
+    # ------------------------------------------------------------------
+    # Segment snapshots (resumable jobs)
+    # ------------------------------------------------------------------
+    def snapshot_path(self, key: str, boundary: int) -> str:
+        """Where the segment snapshot closing ``boundary`` lives."""
+        return os.path.join(
+            self.directory, f"{key}.seg-{boundary:015d}{_SNAPSHOT_SUFFIX}"
+        )
+
+    def snapshot_boundaries(self, key: str) -> List[int]:
+        """Boundaries with an on-disk snapshot for ``key``, ascending."""
+        prefix = f"{key}.seg-"
+        boundaries = []
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return []
+        for name in names:
+            if name.startswith(prefix) and name.endswith(_SNAPSHOT_SUFFIX):
+                raw = name[len(prefix):-len(_SNAPSHOT_SUFFIX)]
+                try:
+                    boundaries.append(int(raw))
+                except ValueError:
+                    continue
+        return sorted(boundaries)
+
+    def drop_snapshots(self, key: str) -> int:
+        """Delete every segment snapshot for ``key``; returns the count."""
+        removed = 0
+        for boundary in self.snapshot_boundaries(key):
+            try:
+                os.unlink(self.snapshot_path(key, boundary))
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    # ------------------------------------------------------------------
+    # Size accounting and pruning
+    # ------------------------------------------------------------------
+    def _entries(self) -> List[Tuple[str, int, float]]:
+        """Every cache file as ``(name, bytes, mtime)``."""
+        entries = []
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return []
+        for name in names:
+            if not (name.endswith(".json") or name.endswith(_SNAPSHOT_SUFFIX)):
+                continue
+            path = os.path.join(self.directory, name)
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue
+            entries.append((name, stat.st_size, stat.st_mtime))
+        return entries
+
+    def stats(self) -> dict:
+        """Occupancy summary: entry counts and bytes by kind."""
+        results = snapshots = result_bytes = snapshot_bytes = 0
+        for name, size, _ in self._entries():
+            if name.endswith(".json"):
+                results += 1
+                result_bytes += size
+            else:
+                snapshots += 1
+                snapshot_bytes += size
+        return {
+            "directory": self.directory,
+            "results": results,
+            "snapshots": snapshots,
+            "result_bytes": result_bytes,
+            "snapshot_bytes": snapshot_bytes,
+            "total_bytes": result_bytes + snapshot_bytes,
+        }
+
+    def prune(self, max_bytes: int) -> dict:
+        """Evict least-recently-used files until the cache fits
+        ``max_bytes``; returns ``{"removed": n, "freed_bytes": b}``.
+
+        Eviction order is file mtime (oldest first) across results and
+        segment snapshots alike — a result that keeps hitting keeps its
+        mtime fresh via :meth:`get`'s touch, so hot entries survive.
+        """
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        entries = self._entries()
+        total = sum(size for _, size, _ in entries)
+        removed = 0
+        freed = 0
+        for name, size, _ in sorted(entries, key=lambda e: e[2]):
+            if total - freed <= max_bytes:
+                break
+            try:
+                os.unlink(os.path.join(self.directory, name))
+            except OSError:
+                continue
+            removed += 1
+            freed += size
+        return {"removed": removed, "freed_bytes": freed}
+
+    def prune_to_limit(self) -> Optional[dict]:
+        """Apply the ``REPRO_CACHE_MAX_MB`` budget (None = no limit set)."""
+        limit = cache_size_limit_bytes()
+        if limit is None:
+            return None
+        return self.prune(limit)
+
     def get(self, key: str) -> Optional[SimulationResult]:
-        """Look up one result; None (a miss) if absent, corrupt, or stale."""
+        """Look up one result; None (a miss) if absent, corrupt, or stale.
+
+        A hit refreshes the file's mtime, which is what :meth:`prune`
+        orders eviction by — entries that keep answering stay resident.
+        """
         try:
             with open(self._path(key)) as f:
                 data = json.load(f)
@@ -223,6 +379,10 @@ class ResultCache:
             self.misses += 1
             return None
         self.hits += 1
+        try:
+            os.utime(self._path(key))
+        except OSError:
+            pass
         return result
 
     def put(self, key: str, result: SimulationResult) -> None:
@@ -248,14 +408,15 @@ class ResultCache:
             return 0
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry (results and segment snapshots); returns how
+        many files were removed."""
         removed = 0
         try:
             names = os.listdir(self.directory)
         except OSError:
             return 0
         for name in names:
-            if name.endswith(".json"):
+            if name.endswith(".json") or name.endswith(_SNAPSHOT_SUFFIX):
                 try:
                     os.unlink(os.path.join(self.directory, name))
                     removed += 1
@@ -269,18 +430,87 @@ class ResultCache:
 # are regenerated inside the worker from the seed (cheaper than pickling
 # them, and identical by construction). Observability travels as the
 # (picklable) ObsConfig; the live Observability object is built in the
-# worker and its deterministic outputs return on ``result.obs``.
+# worker and its deterministic outputs return on ``result.obs``. The final
+# ``ckpt`` element is a segmentation spec (or None for a straight run).
 def _execute(
     payload: Tuple[
-        str, MitigationSetup, str, int, int, SystemConfig, Optional[ObsConfig]
+        str, MitigationSetup, str, int, int, SystemConfig, Optional[ObsConfig],
+        Optional[dict],
     ]
 ):
-    workload, setup, mapping, requests, seed, config, obs_config = payload
+    workload, setup, mapping, requests, seed, config, obs_config, ckpt = payload
+    if ckpt is not None:
+        return _execute_segmented(payload)
     traces = make_rate_traces(
         WORKLOADS[workload], config, requests=requests, seed=seed
     )
     obs = Observability(obs_config) if obs_config is not None else None
     return simulate(traces, setup, config, mapping=mapping, seed=seed, obs=obs)
+
+
+def _latest_segment_snapshot(cache: ResultCache, key: str):
+    """Newest loadable segment snapshot for ``key`` (corrupt ones skipped)."""
+    from repro.ckpt import SnapshotError, load_snapshot
+
+    for boundary in reversed(cache.snapshot_boundaries(key)):
+        try:
+            return load_snapshot(cache.snapshot_path(key, boundary))
+        except (FileNotFoundError, SnapshotError):
+            continue
+    return None
+
+
+def _execute_segmented(payload: tuple) -> SimulationResult:
+    """Run one job in checkpointed segments, resuming if a snapshot exists.
+
+    Each boundary snapshot lands in the result cache next to the job's
+    result entry (content-addressed by the job key), so a killed sweep
+    re-invoked with ``resume=True`` restarts from the last completed
+    boundary. Results are bit-identical to a straight run — segmentation
+    changes when the simulation pauses, never what it computes.
+    """
+    workload, setup, mapping, requests, seed, config, obs_config, ckpt = payload
+    # Imported lazily: the checkpoint layer loads the whole simulator and
+    # straight (non-segmented) runs must not pay for it.
+    from repro.ckpt import capture, restore, save_snapshot
+    from repro.cpu.system import SimulatedSystem
+
+    cache = ResultCache(ckpt["cache_dir"], ckpt["schema"])
+    key = ckpt["key"]
+
+    system = None
+    resumed_from = None
+    if ckpt["resume"]:
+        snapshot = _latest_segment_snapshot(cache, key)
+        if snapshot is not None:
+            system = restore(snapshot)
+            resumed_from = snapshot.boundary
+    if system is None:
+        traces = make_rate_traces(
+            WORKLOADS[workload], config, requests=requests, seed=seed
+        )
+        obs = Observability(obs_config) if obs_config is not None else None
+        system = SimulatedSystem(
+            traces, setup, config, mapping=mapping, seed=seed, obs=obs
+        )
+        system.start()
+
+    captured = 0
+
+    def on_checkpoint(sys_, boundary: int) -> None:
+        nonlocal captured
+        os.makedirs(cache.directory, exist_ok=True)
+        save_snapshot(
+            capture(sys_, boundary=boundary),
+            cache.snapshot_path(key, boundary),
+        )
+        captured += 1
+
+    result = system.run(
+        checkpoint_every=ckpt["segment_cycles"], on_checkpoint=on_checkpoint
+    )
+    result.ckpt = {"captured": captured, "resumed_from": resumed_from}
+    return result
 
 
 #: A setup row for :meth:`ExperimentRunner.slowdown_matrix`:
@@ -375,16 +605,23 @@ class ExperimentRunner:
         })
 
     # ------------------------------------------------------------------
-    def run(self, job: Job) -> SimulationResult:
+    def run(self, job: Job, resume: bool = False) -> SimulationResult:
         """Run (or fetch) a single job."""
-        return self.run_many([job])[0]
+        return self.run_many([job], resume=resume)[0]
 
-    def run_many(self, jobs: Sequence[Job]) -> List[SimulationResult]:
+    def run_many(
+        self, jobs: Sequence[Job], resume: bool = False
+    ) -> List[SimulationResult]:
         """Run a batch of jobs; returns results in job order.
 
         Duplicate jobs (every slowdown shares its workload's baseline) are
         simulated once; cache hits never reach the pool. Misses fan out
         across ``self.jobs`` worker processes.
+
+        ``resume=True`` lets jobs with ``segment_cycles`` restart from
+        their newest on-disk segment snapshot instead of cycle 0 — the
+        recovery path after a killed sweep. Jobs whose *result* is already
+        cached are unaffected (the cache answers first).
         """
         jobs = list(jobs)
         results: List[Optional[SimulationResult]] = [None] * len(jobs)
@@ -399,7 +636,7 @@ class ExperimentRunner:
                 if key not in indices:
                     order.append(key)
                     indices[key] = []
-                    payloads[key] = self._payload(job)
+                    payloads[key] = self._payload(job, key, resume)
                 indices[key].append(i)
 
             pending: List[str] = []
@@ -426,11 +663,36 @@ class ExperimentRunner:
         self.profile.count("executed", len(pending))
         self.profile.set_count("cache_hits", self.cache_hits)
         self.profile.set_count("cache_misses", self.cache_misses)
+        captures = sum(
+            r.ckpt["captured"] for r in executed if r.ckpt is not None
+        )
+        resumes = sum(
+            1 for r in executed
+            if r.ckpt is not None and r.ckpt["resumed_from"] is not None
+        )
+        if captures:
+            self.profile.count("ckpt_captures", captures)
+        if resumes:
+            self.profile.count("ckpt_resumes", resumes)
+        if self.cache is not None:
+            self.cache.prune_to_limit()
 
         return results  # type: ignore[return-value]
 
-    def _payload(self, job: Job) -> tuple:
+    def _payload(self, job: Job, key: str, resume: bool = False) -> tuple:
         requests = job.requests if job.requests is not None else self.requests
+        ckpt = None
+        if job.segment_cycles is not None and self.cache is not None:
+            # Segment snapshots are content-addressed into the result
+            # cache; without a cache there is nowhere to persist them, so
+            # the job degrades to a straight run (results are identical).
+            ckpt = {
+                "segment_cycles": job.segment_cycles,
+                "resume": resume,
+                "cache_dir": self.cache.directory,
+                "key": key,
+                "schema": self.schema_version,
+            }
         return (
             job.workload,
             job.setup,
@@ -439,6 +701,7 @@ class ExperimentRunner:
             job.seed,
             self.config,
             job.obs,
+            ckpt,
         )
 
     def _execute_batch(self, payloads: List[tuple]) -> List[SimulationResult]:

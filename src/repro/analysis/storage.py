@@ -1,18 +1,32 @@
-"""Storage overhead accounting (Section VI-C).
+"""Storage overhead accounting (Section VI-C) and checkpoint manifests.
 
 AutoRFM's state: at the memory controller, a busy bit plus a 15-bit
 timestamp per bank (2 bytes x 64 banks = 128 bytes of SRAM); inside each
 DRAM bank, the SAUM register (valid bit + subarray id) plus the tracker
 (4 bytes for MINT), about 5 bytes per bank, plus a PRNG.
+
+This module also owns the on-disk *checkpoint manifest* — the small JSON
+index a checkpoint directory keeps alongside its snapshots (file names,
+cycles, digests, sizes). The manifest format is independent of the
+snapshot payload format, so it deliberately lives here with the other
+storage/persistence helpers rather than inside :mod:`repro.ckpt`.
 """
 
 from __future__ import annotations
 
+import json
 import math
+import os
+import tempfile
 from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.mc.busy_table import BankBusyTable
 from repro.sim.config import SystemConfig
+
+MANIFEST_NAME = "MANIFEST.json"
+MANIFEST_FORMAT = "repro-ckpt-manifest"
+MANIFEST_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -41,3 +55,102 @@ def storage_overheads(
         dram_saum_bits_per_bank=saum_bits,
         dram_tracker_bits_per_bank=tracker_bits,
     )
+
+
+# ----------------------------------------------------------------------
+# Checkpoint manifests
+# ----------------------------------------------------------------------
+
+def save_checkpoint_manifest(
+    directory: str,
+    entries: Sequence[Dict[str, Any]],
+    meta: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Atomically (re)write a checkpoint directory's manifest.
+
+    ``entries`` is the full entry list (one dict per snapshot file with at
+    least ``file``, ``cycle``, ``boundary``, ``sha256``, ``bytes``); the
+    manifest is always rewritten whole, via write-then-rename, so readers
+    never observe a torn index. Returns the manifest path.
+    """
+    payload = {
+        "format": MANIFEST_FORMAT,
+        "version": MANIFEST_VERSION,
+        "meta": dict(meta or {}),
+        "entries": [dict(e) for e in entries],
+    }
+    path = os.path.join(directory, MANIFEST_NAME)
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=MANIFEST_NAME + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, sort_keys=True, indent=2)
+            handle.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+    return path
+
+
+def load_checkpoint_manifest(directory: str) -> Dict[str, Any]:
+    """Read and validate a checkpoint directory's manifest.
+
+    Raises ``FileNotFoundError`` when the directory has no manifest and
+    ``ValueError`` when the file exists but is not a well-formed manifest
+    of a supported version.
+    """
+    path = os.path.join(directory, MANIFEST_NAME)
+    with open(path) as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"corrupt checkpoint manifest {path}: {exc}")
+    if not isinstance(payload, dict):
+        raise ValueError(f"corrupt checkpoint manifest {path}: not an object")
+    if payload.get("format") != MANIFEST_FORMAT:
+        raise ValueError(
+            f"{path} is not a checkpoint manifest "
+            f"(format={payload.get('format')!r})"
+        )
+    if payload.get("version") != MANIFEST_VERSION:
+        raise ValueError(
+            f"unsupported manifest version {payload.get('version')!r} "
+            f"in {path} (supported: {MANIFEST_VERSION})"
+        )
+    entries = payload.get("entries")
+    if not isinstance(entries, list):
+        raise ValueError(f"corrupt checkpoint manifest {path}: bad entries")
+    return payload
+
+
+def checkpoint_inventory(directory: str) -> List[Dict[str, Any]]:
+    """Audit a checkpoint directory against its manifest.
+
+    Returns one record per manifest entry with a ``status`` of ``"ok"``,
+    ``"missing"`` (file gone), or ``"corrupt"`` (fails the snapshot
+    integrity check), so callers can see exactly which restore points
+    survive a crash or a bit flip.
+    """
+    # Imported lazily: repro.ckpt.state (loaded by the repro.ckpt package
+    # attribute hooks) imports this module's manifest helpers.
+    from repro.ckpt.snapshot import SnapshotError, load_snapshot
+
+    manifest = load_checkpoint_manifest(directory)
+    records: List[Dict[str, Any]] = []
+    for entry in manifest["entries"]:
+        record = dict(entry)
+        path = os.path.join(directory, entry["file"])
+        try:
+            load_snapshot(path)
+        except FileNotFoundError:
+            record["status"] = "missing"
+        except SnapshotError as exc:
+            record["status"] = "corrupt"
+            record["error"] = str(exc)
+        else:
+            record["status"] = "ok"
+        records.append(record)
+    return records

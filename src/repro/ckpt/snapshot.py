@@ -1,0 +1,172 @@
+"""Versioned, integrity-hashed snapshot files.
+
+A snapshot is canonical JSON (sorted keys, no whitespace) wrapped in a
+gzip envelope that records the format name, format version, and a SHA-256
+digest over the canonical body. Loading recomputes the digest and refuses
+to return a corrupted snapshot — a truncated or bit-flipped file raises
+:class:`SnapshotIntegrityError`, never restores garbage.
+
+Files are written atomically (temp file in the target directory, then
+``os.replace``) so a reader never observes a half-written snapshot and a
+crash mid-write leaves any previous snapshot intact.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Any, Dict
+
+#: Bump when the snapshot payload layout changes incompatibly.
+CKPT_FORMAT_VERSION = 1
+
+#: Format tag stored in every snapshot envelope.
+SNAPSHOT_FORMAT = "repro-ckpt"
+
+#: Conventional file suffix for snapshot files.
+SNAPSHOT_SUFFIX = ".ckpt.gz"
+
+
+class SnapshotError(ValueError):
+    """A snapshot cannot be read (wrong format or version)."""
+
+
+class SnapshotIntegrityError(SnapshotError):
+    """A snapshot file is corrupt: bad envelope or digest mismatch."""
+
+
+@dataclass
+class Snapshot:
+    """One captured system state.
+
+    ``meta`` holds everything needed to *reconstruct* the system (config,
+    setup, mapping, seed, traces, obs config); ``payload`` holds the live
+    state overlaid onto the reconstruction (heap, RNG streams, counters).
+    """
+
+    meta: Dict[str, Any]
+    payload: Dict[str, Any]
+    version: int = CKPT_FORMAT_VERSION
+
+    @property
+    def cycle(self) -> int:
+        """Engine cycle at capture time."""
+        return int(self.meta.get("cycle", 0))
+
+    @property
+    def boundary(self) -> int:
+        """Segment boundary this snapshot closes (>= :attr:`cycle`)."""
+        return int(self.meta.get("boundary", self.cycle))
+
+
+def canonical_json(obj: Any) -> str:
+    """Canonical JSON: sorted keys, minimal separators, ASCII-safe."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def snapshot_digest(snapshot: Snapshot) -> str:
+    """SHA-256 over the canonical body; the snapshot's content address."""
+    body = canonical_json(
+        {
+            "version": snapshot.version,
+            "meta": snapshot.meta,
+            "payload": snapshot.payload,
+        }
+    )
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+
+def save_snapshot(snapshot: Snapshot, path: str) -> str:
+    """Write ``snapshot`` to ``path`` atomically; return its digest.
+
+    The gzip mtime is pinned to zero so identical snapshots produce
+    byte-identical files regardless of wall-clock time.
+    """
+    digest = snapshot_digest(snapshot)
+    envelope = {
+        "format": SNAPSHOT_FORMAT,
+        "version": snapshot.version,
+        "sha256": digest,
+        "meta": snapshot.meta,
+        "payload": snapshot.payload,
+    }
+    raw = canonical_json(envelope).encode("utf-8")
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=".tmp-ckpt-", suffix=".gz", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            with gzip.GzipFile(fileobj=handle, mode="wb", mtime=0) as zipped:
+                zipped.write(raw)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    return digest
+
+
+def load_snapshot(path: str) -> Snapshot:
+    """Load and verify a snapshot file.
+
+    Raises :class:`SnapshotIntegrityError` for any corruption (unreadable
+    gzip, malformed JSON, missing envelope keys, digest mismatch) and
+    :class:`SnapshotError` for a wrong format tag or an unsupported
+    version. ``FileNotFoundError`` passes through untouched.
+    """
+    try:
+        with gzip.open(path, "rb") as handle:
+            raw = handle.read()
+    except FileNotFoundError:
+        raise
+    except (OSError, EOFError, gzip.BadGzipFile) as exc:
+        raise SnapshotIntegrityError(
+            f"snapshot {path!r} is unreadable: {exc}"
+        ) from exc
+    try:
+        envelope = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SnapshotIntegrityError(
+            f"snapshot {path!r} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(envelope, dict) or not {
+        "format",
+        "version",
+        "sha256",
+        "meta",
+        "payload",
+    } <= set(envelope):
+        raise SnapshotIntegrityError(
+            f"snapshot {path!r} is missing envelope fields"
+        )
+    if envelope["format"] != SNAPSHOT_FORMAT:
+        raise SnapshotError(
+            f"{path!r} is not a {SNAPSHOT_FORMAT} snapshot "
+            f"(format={envelope['format']!r})"
+        )
+    if envelope["version"] != CKPT_FORMAT_VERSION:
+        raise SnapshotError(
+            f"snapshot {path!r} has unsupported version "
+            f"{envelope['version']!r} (supported: {CKPT_FORMAT_VERSION})"
+        )
+    snapshot = Snapshot(
+        meta=envelope["meta"],
+        payload=envelope["payload"],
+        version=envelope["version"],
+    )
+    digest = snapshot_digest(snapshot)
+    if digest != envelope["sha256"]:
+        raise SnapshotIntegrityError(
+            f"snapshot {path!r} failed its integrity check: stored "
+            f"sha256 {envelope['sha256'][:12]}… but body hashes to "
+            f"{digest[:12]}… (truncated or bit-flipped file)"
+        )
+    return snapshot

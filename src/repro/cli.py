@@ -329,6 +329,98 @@ def cmd_storage(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_checkpoint(args: argparse.Namespace) -> int:
+    """Simulate one workload with periodic checkpoints into a directory."""
+    if args.workload not in WORKLOADS:
+        print(f"unknown workload {args.workload!r}", file=sys.stderr)
+        return 2
+    from repro.workloads.rate import make_rate_traces as _make_traces
+
+    config = SystemConfig()
+    setup = _setup_from_args(args)
+    traces = _make_traces(
+        WORKLOADS[args.workload], config, requests=args.requests,
+        seed=args.seed,
+    )
+    result = simulate(
+        traces, setup, config, mapping=args.mapping, seed=args.seed,
+        checkpoint_every=args.every, checkpoint_dir=args.dir,
+    )
+    from repro.analysis.storage import load_checkpoint_manifest
+
+    manifest = load_checkpoint_manifest(args.dir)
+    rows = [
+        ["cycles", result.stats.cycles],
+        ["checkpoints written", len(manifest["entries"])],
+        ["directory", args.dir],
+    ]
+    for entry in manifest["entries"]:
+        rows.append([f"  {entry['file']}",
+                     f"cycle {entry['cycle']} ({entry['bytes']} B)"])
+    print(render_table(["checkpoint run", "value"], rows,
+                       title=f"workload: {args.workload}"))
+    return 0
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    """Restore the newest snapshot in a directory and run to completion."""
+    from repro.ckpt import load_latest
+
+    snapshot = load_latest(args.dir)
+    if snapshot is None:
+        print(f"no valid snapshot found in {args.dir}", file=sys.stderr)
+        return 2
+    from repro.ckpt import restore
+
+    system = restore(snapshot)
+    result = system.run()
+    rows = [
+        ["resumed from cycle", snapshot.cycle],
+        ["final cycles", result.stats.cycles],
+        ["mitigations", result.stats.total_mitigations],
+        ["RFM commands", result.stats.total_rfm_commands],
+        ["seed", result.seed],
+        ["mapping", result.mapping],
+    ]
+    print(render_table(["resume", "value"], rows,
+                       title=f"checkpoint: {args.dir}"))
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or prune the persistent result cache."""
+    from repro.analysis.runner import (
+        ResultCache,
+        cache_size_limit_bytes,
+        default_cache_dir,
+    )
+
+    cache = ResultCache(args.dir or default_cache_dir())
+    if args.prune:
+        if args.max_mb is not None:
+            limit = int(args.max_mb * 1024 * 1024)
+        else:
+            limit = cache_size_limit_bytes()
+        if limit is None:
+            print("no limit given: pass --max-mb or set REPRO_CACHE_MAX_MB",
+                  file=sys.stderr)
+            return 2
+        outcome = cache.prune(limit)
+        print(f"pruned {outcome['removed']} files "
+              f"({outcome['freed_bytes'] / 1024:.1f} KiB freed)")
+    stats = cache.stats()
+    rows = [
+        ["directory", stats["directory"]],
+        ["results", f"{stats['results']} "
+                    f"({stats['result_bytes'] / 1024:.1f} KiB)"],
+        ["segment snapshots", f"{stats['snapshots']} "
+                              f"({stats['snapshot_bytes'] / 1024:.1f} KiB)"],
+        ["total", f"{stats['total_bytes'] / 1024:.1f} KiB"],
+    ]
+    print(render_table(["cache", "value"], rows, title="result cache"))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -410,6 +502,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     reproduce.add_argument("experiment", nargs="?", default="list")
     reproduce.set_defaults(func=cmd_reproduce)
+
+    checkpoint = sub.add_parser(
+        "checkpoint", help="simulate with periodic snapshots to a directory"
+    )
+    checkpoint.add_argument("--workload", default="bwaves")
+    checkpoint.add_argument("--mechanism", choices=MECHANISMS, default="autorfm")
+    checkpoint.add_argument("--threshold", type=int, default=4)
+    checkpoint.add_argument("--tracker", choices=TRACKERS, default="mint")
+    checkpoint.add_argument("--policy", choices=POLICIES, default="fractal")
+    checkpoint.add_argument("--mapping", choices=("zen", "rubix"),
+                            default="rubix")
+    checkpoint.add_argument("--requests", type=int, default=2500)
+    checkpoint.add_argument("--seed", type=int, default=1)
+    checkpoint.add_argument(
+        "--every", type=int, default=100_000,
+        help="cycles between snapshots (default 100000)",
+    )
+    checkpoint.add_argument(
+        "--dir", required=True,
+        help="directory for snapshots and their manifest",
+    )
+    checkpoint.set_defaults(func=cmd_checkpoint)
+
+    resume = sub.add_parser(
+        "resume", help="restore the newest snapshot and run to completion"
+    )
+    resume.add_argument(
+        "--dir", required=True, help="checkpoint directory to resume from"
+    )
+    resume.set_defaults(func=cmd_resume)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or prune the persistent result cache"
+    )
+    cache.add_argument(
+        "--dir", default=None,
+        help="cache directory (default: REPRO_CACHE_DIR or the repo cache)",
+    )
+    cache.add_argument(
+        "--stats", action="store_true",
+        help="print occupancy (the default action)",
+    )
+    cache.add_argument(
+        "--prune", action="store_true",
+        help="evict least-recently-used entries down to the size budget",
+    )
+    cache.add_argument(
+        "--max-mb", type=float, default=None,
+        help="size budget in MiB for --prune (default: REPRO_CACHE_MAX_MB)",
+    )
+    cache.set_defaults(func=cmd_cache)
 
     return parser
 

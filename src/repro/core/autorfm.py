@@ -21,6 +21,7 @@ from repro.core.rowswap import MigrationMitigation
 from repro.sim.config import SystemConfig
 from repro.sim.stats import BankStats
 from repro.trackers.base import Tracker
+from repro.ckpt.contract import checkpointable
 
 
 class _EngineObsHooks:
@@ -53,6 +54,12 @@ class _EngineObsHooks:
             )
 
 
+@checkpointable(
+    state=("tracker", "policy", "_acts_in_window", "_mitigation_pending",
+           "saum", "saum_busy_until", "_last_saum"),
+    const=("config", "autorfm_th", "regions_per_bank", "_rows_per_region"),
+    derived=("stats", "mitigation_listener", "victim_listener", "_obs"),
+)
 class AutoRfmEngine:
     """Per-bank transparent mitigation engine."""
 

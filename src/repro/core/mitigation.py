@@ -23,11 +23,13 @@ from typing import List
 import numpy as np
 
 from repro.trackers.base import MitigationRequest
+from repro.ckpt.contract import checkpointable
 
 #: Victim refreshes issued per mitigation (two per side).
 REFRESHES_PER_MITIGATION = 4
 
 
+@checkpointable(const=("rows_per_bank",))
 class MitigationPolicy(abc.ABC):
     """Chooses which rows to victim-refresh for a nominated aggressor."""
 
@@ -52,6 +54,7 @@ class MitigationPolicy(abc.ABC):
         return [r for r in rows if 0 <= r < self.rows_per_bank]
 
 
+@checkpointable()
 class BlastRadiusMitigation(MitigationPolicy):
     """Refresh distances {2L-1, 2L} on both sides at recursion level L."""
 
@@ -66,6 +69,7 @@ class BlastRadiusMitigation(MitigationPolicy):
         return self._clamp([row - far, row - near, row + near, row + far])
 
 
+@checkpointable(derived=("rng",))
 class FractalMitigation(MitigationPolicy):
     """d=1 always; one extra pair at d = 2 + leading-zeros(16-bit random)."""
 

@@ -24,11 +24,17 @@ import numpy as np
 
 from repro.core.mitigation import MitigationPolicy
 from repro.trackers.base import MitigationRequest
+from repro.ckpt.contract import checkpointable
 
 #: Row cycles a swap keeps the subarray pair busy (read+write both rows).
 SWAP_ROW_CYCLES = 16
 
 
+@checkpointable(
+    state=("_forward", "_reverse", "swaps"),
+    const=("rows_per_bank",),
+    derived=("rng",),
+)
 class RowSwapRemapper:
     """Sparse logical-to-physical row permutation with random swaps."""
 
@@ -91,6 +97,7 @@ class RowSwapRemapper:
         return len(self._forward)
 
 
+@checkpointable()
 class MigrationMitigation(MitigationPolicy):
     """Base for policies that relocate the aggressor instead of refreshing.
 
@@ -113,6 +120,7 @@ class MigrationMitigation(MitigationPolicy):
         raise NotImplementedError
 
 
+@checkpointable(state=("remapper",))
 class RowSwapMitigation(MigrationMitigation):
     """Mitigate by swapping the aggressor with a random row (RRS).
 
@@ -142,6 +150,11 @@ class RowSwapMitigation(MigrationMitigation):
 QUARANTINE_MOVE_ROW_CYCLES = 8
 
 
+@checkpointable(
+    state=("_cursor", "_forward", "_slot_owner", "moves", "evictions"),
+    const=("quarantine_base", "slots"),
+    derived=("rng",),
+)
 class QuarantineMitigation(MigrationMitigation):
     """AQUA-style quarantine [45]: move the aggressor into a reserved area.
 

@@ -18,8 +18,10 @@ when its last instruction retires, and IPC = instructions / finish.
 from __future__ import annotations
 
 from collections import deque
+from functools import partial
 from typing import Callable, Deque, List, Optional
 
+from repro.ckpt.contract import checkpointable
 from repro.mc.request import Request
 from repro.sim.config import SystemConfig
 from repro.sim.engine import Engine
@@ -27,6 +29,31 @@ from repro.sim.stats import CoreStats
 from repro.workloads.trace import Trace
 
 
+@checkpointable(
+    state=(
+        "_next",
+        "_mshr_used",
+        "_dispatch_time",
+        "_outstanding",
+        "_completion",
+        "_retire_ptr",
+        "_retire_time",
+        "_issue_event_at",
+        "finished",
+    ),
+    const=(
+        "core_id",
+        "trace",
+        "config",
+        "_n",
+        "_seq",
+        "_dispatch_bound",
+        "_retire_cycles",
+        "_tail_cycles",
+        "total_instructions",
+    ),
+    derived=("engine", "submit", "stats", "on_finish"),
+)
 class Core:
     """One trace-driven core attached to the memory controller."""
 
@@ -115,7 +142,9 @@ class Core:
         else:
             self._mshr_used += 1
             self._outstanding.append([self._seq[i], i, 0])
-            callback = lambda t, idx=i: self._on_read_complete(idx, t)
+            # A partial of a bound method (not a closure) so the pending
+            # completion can be serialised by the checkpoint layer.
+            callback = partial(self._on_read_complete, i)
         self.submit(
             Request(
                 core_id=self.core_id,

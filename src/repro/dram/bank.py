@@ -22,6 +22,7 @@ from repro.core.mitigation import MitigationPolicy
 from repro.sim.config import SystemConfig
 from repro.sim.stats import BankStats
 from repro.trackers.base import Tracker
+from repro.ckpt.contract import checkpointable
 
 NO_ROW = -1
 
@@ -45,6 +46,12 @@ class _BankObsHooks:
         )
 
 
+@checkpointable(
+    state=("ready_at", "open_row", "act_time", "open_until",
+           "autorfm", "rfm_tracker", "rfm_policy"),
+    const=("config", "timing"),
+    derived=("stats", "_obs"),
+)
 class Bank:
     """Timing and mitigation state of one DRAM bank."""
 

@@ -18,8 +18,13 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from repro.sim.config import SystemConfig
+from repro.ckpt.contract import checkpointable
 
 
+@checkpointable(
+    state=("_counters",),
+    const=("bits", "hashes"),
+)
 class CountingBloomFilter:
     """A counting Bloom filter with conservative-increment updates."""
 
@@ -58,6 +63,12 @@ class CountingBloomFilter:
             self._counters[i] = 0
 
 
+@checkpointable(
+    state=("_active", "_history", "_epoch_start", "_next_allowed",
+           "throttled_acts"),
+    const=("config", "trh", "blacklist_threshold", "epoch_cycles",
+           "throttle_delay"),
+)
 class BlockHammerLimiter:
     """Dual-filter activation-rate limiter for one channel.
 

@@ -10,8 +10,13 @@ receives no demand requests until the timestamp passes. This is the paper's
 from __future__ import annotations
 
 from typing import List
+from repro.ckpt.contract import checkpointable
 
 
+@checkpointable(
+    state=("_busy_until",),
+    const=("num_banks",),
+)
 class BankBusyTable:
     """Busy bit and free-up timestamp for each bank."""
 

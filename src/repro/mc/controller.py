@@ -20,8 +20,10 @@ event-driven at request granularity:
 from __future__ import annotations
 
 import dataclasses
+from functools import partial
 from typing import Callable, List, Optional
 
+from repro.ckpt.contract import checkpointable
 from repro.core.autorfm import AutoRfmEngine
 from repro.dram.bank import NO_ROW, Bank
 from repro.mapping.base import MemoryMapping
@@ -97,6 +99,45 @@ class _ObsHooks:
             )
 
 
+@checkpointable(
+    state=(
+        "queues",
+        "_recent_acts",
+        "busy_table",
+        "_write_buffers",
+        "bus_free_at",
+        "_wakeups",
+        "_order",
+        "_ref_cursor",
+        "rfm",
+        "prac",
+        "blockhammer",
+        "banks",
+    ),
+    const=(
+        "config",
+        "timing",
+        "setup",
+        "_open_page",
+        "_banks_per_sc",
+        "_trp",
+        "_tras",
+        "_trcd",
+        "_tfaw",
+        "_cas_latency",
+        "_burst",
+        "_completion_tail",
+    ),
+    derived=(
+        "mapping",
+        "engine",
+        "stats",
+        "keep_running",
+        "command_log",
+        "_obs",
+        "_streams",
+    ),
+)
 class MemoryController:
     """Request queues, per-bank schedulers, and maintenance commands."""
 
@@ -250,13 +291,13 @@ class MemoryController:
                 offset = (sc * interval) // self.config.num_subchannels
                 self.engine.schedule(
                     offset + interval,
-                    lambda t, s=sc: self._refresh_same_bank(s, t),
+                    partial(self._refresh_same_bank, sc),
                 )
         else:
             for sc in range(self.config.num_subchannels):
                 offset = (sc * trefi) // self.config.num_subchannels
                 first = offset if offset > 0 else trefi
-                self.engine.schedule(first, lambda t, s=sc: self._refresh(s, t))
+                self.engine.schedule(first, partial(self._refresh, sc))
         if self.prac is not None:
             self.engine.schedule(self.timing.trefw, self._prac_refresh_window)
 
@@ -412,7 +453,7 @@ class MemoryController:
             if not self._open_page:
                 self.engine.schedule(
                     now + self.timing.tras,
-                    lambda t, f=flat: self._auto_precharge(f, t),
+                    partial(self._auto_precharge, flat),
                 )
             if self.rfm is not None:
                 self.rfm.on_activation(flat)
@@ -547,7 +588,7 @@ class MemoryController:
             self.drain_writes(sc)  # REF is a natural drain point
         if self.keep_running():
             self.engine.schedule(
-                now + self.timing.trefi, lambda t, s=sc: self._refresh(s, t)
+                now + self.timing.trefi, partial(self._refresh, sc)
             )
 
     def _refresh_same_bank(self, sc: int, now: int) -> None:
@@ -578,7 +619,7 @@ class MemoryController:
                 1, self.timing.trefi // self.config.banks_per_subchannel
             )
             self.engine.schedule(
-                now + interval, lambda t, s=sc: self._refresh_same_bank(s, t)
+                now + interval, partial(self._refresh_same_bank, sc)
             )
 
     def _prac_refresh_window(self, now: int) -> None:
@@ -631,7 +672,7 @@ class MemoryController:
         if pending is not None and pending <= time:
             return
         self._wakeups[flat] = time
-        self.engine.schedule(time, lambda t, f=flat: self._wakeup_fired(f, t))
+        self.engine.schedule(time, partial(self._wakeup_fired, flat))
 
     def _wakeup_fired(self, flat: int, now: int) -> None:
         if self._wakeups[flat] is not None and self._wakeups[flat] <= now:

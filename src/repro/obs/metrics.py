@@ -20,6 +20,7 @@ byte-identical for identical simulations regardless of worker count.
 from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from repro.ckpt.contract import checkpointable
 
 LabelItems = Tuple[Tuple[str, Union[int, str]], ...]
 
@@ -45,6 +46,7 @@ def _series_name(name: str, labels: LabelItems) -> str:
     return f"{name}{{{inner}}}"
 
 
+@checkpointable(state=("value",))
 class Counter:
     """Monotonically non-decreasing event count. Never negative."""
 
@@ -64,6 +66,7 @@ class Counter:
         self.inc(other.value)
 
 
+@checkpointable(state=("value",))
 class Gauge:
     """A point-in-time value (heap depth, final cycle count)."""
 
@@ -93,6 +96,10 @@ class Gauge:
         self.value = max(self.value, other.value)
 
 
+@checkpointable(
+    state=("counts", "sum", "count", "min", "max"),
+    const=("edges",),
+)
 class Histogram:
     """Fixed-bucket histogram: ``counts[i]`` counts values <= ``edges[i]``,
     with one overflow bucket at the end. Also tracks sum/count/min/max so
@@ -196,6 +203,7 @@ def merge_histograms(*histograms: Histogram) -> Histogram:
     return merged
 
 
+@checkpointable(state=("_series",))
 class MetricsRegistry:
     """One shared instance per ``(name, labels)`` series.
 
@@ -269,6 +277,57 @@ class MetricsRegistry:
             else:
                 mine = self._get(type(metric), name, dict(labels))
             mine.merge(metric)
+
+    def dump_state(self) -> List[Dict[str, object]]:
+        """Checkpoint form: every series with its full internal state.
+
+        Unlike :meth:`snapshot` (a reporting view), this is lossless — a
+        :meth:`restore_state` round trip reproduces byte-identical
+        snapshots afterwards.
+        """
+        out: List[Dict[str, object]] = []
+        for name, labels, metric in self.series():
+            entry: Dict[str, object] = {
+                "name": name,
+                "labels": [[k, v] for k, v in labels],
+            }
+            if isinstance(metric, Counter):
+                entry["type"] = "counter"
+                entry["value"] = metric.value
+            elif isinstance(metric, Gauge):
+                entry["type"] = "gauge"
+                entry["value"] = metric.value
+            else:
+                entry["type"] = "histogram"
+                entry.update(metric.as_dict())
+            out.append(entry)
+        return out
+
+    def restore_state(self, entries: Iterable[Dict[str, object]]) -> None:
+        """Restore a :meth:`dump_state` dump *in place*.
+
+        Existing metric objects are mutated, never replaced: publishers
+        (the obs hook bundles) pre-resolve metric references at
+        construction, and those references must observe restored values.
+        """
+        for entry in entries:
+            labels = {k: v for k, v in entry["labels"]}
+            kind = entry["type"]
+            if kind == "counter":
+                self.counter(entry["name"], **labels).value = entry["value"]
+            elif kind == "gauge":
+                self.gauge(entry["name"], **labels).value = entry["value"]
+            elif kind == "histogram":
+                hist = self.histogram(
+                    entry["name"], tuple(entry["edges"]), **labels
+                )
+                hist.counts = list(entry["counts"])
+                hist.sum = entry["sum"]
+                hist.count = entry["count"]
+                hist.min = entry["min"]
+                hist.max = entry["max"]
+            else:
+                raise ValueError(f"unknown metric type {kind!r}")
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         """Plain-JSON form with stable sorted keys.

@@ -21,6 +21,7 @@ from __future__ import annotations
 import json
 from collections import deque
 from typing import Deque, Dict, IO, List, Optional, Union
+from repro.ckpt.contract import checkpointable
 
 Field = Union[int, float, str]
 
@@ -41,6 +42,11 @@ def encode_event(event: Dict[str, Field]) -> str:
     return json.dumps(event, sort_keys=True, separators=(",", ":"))
 
 
+@checkpointable(
+    state=("_buffer", "emitted"),
+    const=("capacity",),
+    derived=("stream",),
+)
 class SpanTracer:
     """Ring-buffered event recorder with optional streaming flush."""
 
@@ -96,6 +102,20 @@ class SpanTracer:
     def clear(self) -> None:
         """Drop the retained events (the emitted total keeps counting)."""
         self._buffer.clear()
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def dump_state(self) -> Dict[str, object]:
+        """Lossless state: the retained ring plus the lifetime total."""
+        return {"emitted": self.emitted, "events": self.events()}
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`dump_state` dump in place (ring is replaced,
+        the attached ``stream``, if any, is left untouched)."""
+        self.emitted = int(state["emitted"])
+        self._buffer.clear()
+        self._buffer.extend(dict(e) for e in state["events"])
 
     def __len__(self) -> int:
         return len(self._buffer)

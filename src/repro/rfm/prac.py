@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.sim.config import DramTiming
+from repro.ckpt.contract import checkpointable
 
 #: tRC inflation from the counter read-modify-write (Section VII-A).
 PRAC_TRC_FACTOR = 1.10
@@ -46,6 +47,10 @@ def abo_threshold_for(trh_d: int) -> int:
     return threshold
 
 
+@checkpointable(
+    state=("_counters", "alerts"),
+    const=("num_banks", "abo_threshold"),
+)
 class PracModel:
     """Per-row counters and the ABO stall rule for one subchannel."""
 

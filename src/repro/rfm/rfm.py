@@ -10,6 +10,7 @@ RAA (by 100 % of ``rfm_th`` here, the paper's assumption in Section II-F).
 from __future__ import annotations
 
 from typing import List, Optional
+from repro.ckpt.contract import checkpointable
 
 
 class _RfmObsHooks:
@@ -23,6 +24,11 @@ class _RfmObsHooks:
         self.m_raa_peak = metrics.gauge("rfm.raa_peak")
 
 
+@checkpointable(
+    state=("raa", "rfms_issued"),
+    const=("num_banks", "rfm_th", "raa_max", "ref_decrement"),
+    derived=("_obs",),
+)
 class RfmController:
     """Per-bank RAA counters and the RFM issue rule.
 

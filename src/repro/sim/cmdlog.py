@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 from repro.sim.config import SystemConfig
+from repro.ckpt.contract import checkpointable_dataclass, register_value_type
 
 ACT = "ACT"
 PRE = "PRE"
@@ -42,6 +43,14 @@ class CommandRecord:
     row: int = -1
 
 
+register_value_type(
+    "CommandRecord",
+    CommandRecord,
+    lambda r: [r.time, r.kind, r.bank, r.row],
+    lambda d: CommandRecord(d[0], d[1], d[2], d[3]),
+)
+
+
 @dataclass
 class TimingViolation:
     """One detected inconsistency in the command stream."""
@@ -54,6 +63,7 @@ class TimingViolation:
         return f"[{self.rule}] at t={self.record.time}: {self.detail}"
 
 
+@checkpointable_dataclass
 @dataclass
 class CommandLog:
     """Append-only command trace with a post-hoc verifier."""

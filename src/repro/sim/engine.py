@@ -17,6 +17,8 @@ from __future__ import annotations
 import heapq
 from typing import Callable, List, Optional, Tuple
 
+from repro.ckpt.contract import checkpointable
+
 EventCallback = Callable[[int], None]
 
 #: Heap depth is sampled every this many processed events in the observed
@@ -27,6 +29,10 @@ HEAP_SAMPLE_STRIDE = 4096
 HEAP_DEPTH_EDGES = (0, 16, 64, 256, 1024, 4096, 16384, 65536)
 
 
+@checkpointable(
+    state=("now", "_seq", "_obs_processed", "_heap"),
+    derived=("obs",),
+)
 class Engine:
     """Deterministic discrete-event loop."""
 
@@ -36,6 +42,11 @@ class Engine:
         self._heap: List[Tuple[int, int, EventCallback]] = []
         #: Optional :class:`repro.obs.Observability`; see module docstring.
         self.obs = None
+        # Lifetime count of events drained through the *observed* loops.
+        # Heap-depth sampling strides over this counter (not a per-drain
+        # one) so a run split across checkpoint segments samples at the
+        # exact same event ordinals as one uninterrupted drain.
+        self._obs_processed = 0
 
     def schedule(self, time: int, callback: EventCallback) -> None:
         """Schedule ``callback(time)`` at ``time`` (>= now)."""
@@ -65,7 +76,7 @@ class Engine:
         work that must happen per event: pop, advance time, call back.
         """
         if self.obs is not None and self.obs.enabled:
-            return self._run_until_empty_observed()
+            return self._drain_observed(None)
         heap = self._heap
         pop = heapq.heappop
         while heap:
@@ -74,13 +85,16 @@ class Engine:
             callback(time)
         return self.now
 
-    def _run_until_empty_observed(self) -> int:
-        """Instrumented twin of :meth:`run_until_empty`.
+    def _drain_observed(self, until: Optional[int]) -> int:
+        """Instrumented twin of the unbounded / ``until``-bounded drains.
 
         Publishes per-drain event counts and deterministic heap-depth
-        samples (every ``HEAP_SAMPLE_STRIDE`` events, stamped by event
-        ordinal, never wall clock); the only clock reads are one pair
-        around the whole drain, feeding the profiler's events/sec.
+        samples (every ``HEAP_SAMPLE_STRIDE`` events, stamped by lifetime
+        event ordinal, never wall clock); the only clock reads are one pair
+        around the whole drain, feeding the profiler's events/sec. Striding
+        over the persistent ``_obs_processed`` counter keeps the sample
+        sequence identical whether a run drains in one go or in many
+        checkpoint segments.
         """
         obs = self.obs
         metrics = obs.metrics
@@ -93,14 +107,27 @@ class Engine:
         heap = self._heap
         pop = heapq.heappop
         processed = 0
+        ordinal = self._obs_processed
         with obs.profiler.phase("engine"):
-            while heap:
-                time, _, callback = pop(heap)
-                self.now = time
-                callback(time)
-                processed += 1
-                if depth_hist is not None and processed % HEAP_SAMPLE_STRIDE == 0:
-                    depth_hist.observe(len(heap))
+            if until is None:
+                while heap:
+                    time, _, callback = pop(heap)
+                    self.now = time
+                    callback(time)
+                    processed += 1
+                    ordinal += 1
+                    if depth_hist is not None and ordinal % HEAP_SAMPLE_STRIDE == 0:
+                        depth_hist.observe(len(heap))
+            else:
+                while heap and heap[0][0] <= until:
+                    time, _, callback = pop(heap)
+                    self.now = time
+                    callback(time)
+                    processed += 1
+                    ordinal += 1
+                    if depth_hist is not None and ordinal % HEAP_SAMPLE_STRIDE == 0:
+                        depth_hist.observe(len(heap))
+        self._obs_processed = ordinal
         obs.profiler.count("events", processed)
         if metrics is not None:
             events_counter.inc(processed)
@@ -117,6 +144,8 @@ class Engine:
         """
         if until is None and max_events is None:
             return self.run_until_empty()
+        if max_events is None and self.obs is not None and self.obs.enabled:
+            return self._drain_observed(until)
         processed = 0
         heap = self._heap
         pop = heapq.heappop

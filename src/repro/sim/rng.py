@@ -9,9 +9,10 @@ adding a new consumer never perturbs existing ones.
 from __future__ import annotations
 
 import hashlib
-from typing import Dict
+from typing import Any, Dict
 
 import numpy as np
+from repro.ckpt.contract import checkpointable
 
 
 def _child_seed(root_seed: int, name: str) -> int:
@@ -20,6 +21,7 @@ def _child_seed(root_seed: int, name: str) -> int:
     return int.from_bytes(digest[:8], "little")
 
 
+@checkpointable(state=("seed", "_streams"))
 class RngStreams:
     """A registry of named ``numpy.random.Generator`` streams.
 
@@ -49,3 +51,44 @@ class RngStreams:
     def integer_seed(self, name: str) -> int:
         """Return a bare 64-bit seed for consumers that keep their own RNG."""
         return _child_seed(self.seed, name)
+
+    # ------------------------------------------------------------------
+    # State capture / restore (checkpointing)
+    # ------------------------------------------------------------------
+    def stream_state(self, name: str) -> Dict[str, Any]:
+        """Return the bit-generator state of one named stream.
+
+        The state is the plain-data dict numpy exposes (PCG64: ints and a
+        string tag only), so it survives a JSON round trip unchanged.
+        """
+        return self.get(name).bit_generator.state
+
+    def set_stream_state(self, name: str, state: Dict[str, Any]) -> None:
+        """Restore one named stream's bit-generator state *in place*.
+
+        The existing ``Generator`` object is mutated rather than replaced so
+        components holding a reference to it (trackers, policies) observe
+        the restored state.
+        """
+        self.get(name).bit_generator.state = state
+
+    def getstate(self) -> Dict[str, Any]:
+        """Snapshot the root seed and every materialised stream's state.
+
+        Streams not yet created are omitted on purpose: they are derived
+        deterministically from ``seed`` on first use, so a restored registry
+        recreates them identically on demand.
+        """
+        return {
+            "seed": self.seed,
+            "streams": {
+                name: self._streams[name].bit_generator.state
+                for name in sorted(self._streams)
+            },
+        }
+
+    def setstate(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`getstate` snapshot, mutating streams in place."""
+        self.seed = int(state["seed"])
+        for name, gen_state in state["streams"].items():
+            self.set_stream_state(name, gen_state)

@@ -9,8 +9,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
+from repro.ckpt.contract import checkpointable_dataclass
 
 
+@checkpointable_dataclass
 @dataclass
 class BankStats:
     """Command counters for a single bank."""
@@ -33,6 +35,7 @@ class BankStats:
             setattr(self, name, getattr(self, name) + getattr(other, name))
 
 
+@checkpointable_dataclass
 @dataclass
 class CoreStats:
     """Per-core progress counters."""
@@ -57,6 +60,7 @@ class CoreStats:
         return self.read_latency_sum / self.reads_completed
 
 
+@checkpointable_dataclass
 @dataclass
 class SimStats:
     """Aggregated statistics for one simulation run."""

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
+from repro.ckpt.contract import checkpointable, register_value_type
 
 
 @dataclass(frozen=True)
@@ -30,6 +31,15 @@ class MitigationRequest:
     level: int = 1
 
 
+register_value_type(
+    "MitigationRequest",
+    MitigationRequest,
+    lambda r: [r.row, r.level],
+    lambda d: MitigationRequest(d[0], d[1]),
+)
+
+
+@checkpointable(derived=("rng",))
 class Tracker(abc.ABC):
     """Per-bank aggressor-row tracker."""
 

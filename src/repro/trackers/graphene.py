@@ -17,8 +17,13 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.trackers.base import MitigationRequest, Tracker
+from repro.ckpt.contract import checkpointable
 
 
+@checkpointable(
+    state=("_counts", "_decrements", "_due"),
+    const=("entries", "mitigation_count"),
+)
 class GrapheneTracker(Tracker):
     """Misra-Gries table with threshold-triggered mitigation."""
 

@@ -18,8 +18,14 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.trackers.base import MitigationRequest, Tracker
+from repro.ckpt.contract import checkpointable
 
 
+@checkpointable(
+    state=("_group_counts", "_row_counts", "_rcc", "_pending",
+           "dram_lookups", "engaged_groups"),
+    const=("group_size", "group_threshold", "row_threshold", "rcc_entries"),
+)
 class HydraTracker(Tracker):
     """GCT + RCC + DRAM-resident per-row counters."""
 

@@ -22,8 +22,13 @@ from typing import Optional
 import numpy as np
 
 from repro.trackers.base import MitigationRequest, Tracker
+from repro.ckpt.contract import checkpointable
 
 
+@checkpointable(
+    state=("_position", "_captured", "_last_mitigation", "_chosen_slot"),
+    const=("window", "transitive_slot", "strict"),
+)
 class MintTracker(Tracker):
     """Single-entry probabilistic tracker with pre-decided slot selection."""
 

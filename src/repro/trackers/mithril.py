@@ -20,8 +20,13 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.trackers.base import MitigationRequest, Tracker
+from repro.ckpt.contract import checkpointable
 
 
+@checkpointable(
+    state=("_counts", "_decrements"),
+    const=("entries",),
+)
 class MithrilTracker(Tracker):
     """Misra-Gries counter tracker with highest-count mitigation."""
 

@@ -13,8 +13,13 @@ from typing import Optional
 import numpy as np
 
 from repro.trackers.base import MitigationRequest, Tracker
+from repro.ckpt.contract import checkpointable
 
 
+@checkpointable(
+    state=("_pending", "samples", "overwritten"),
+    const=("probability",),
+)
 class ParaTracker(Tracker):
     """Sample-with-probability-p, mitigate-at-next-opportunity."""
 

@@ -12,8 +12,13 @@ from typing import List, Optional
 import numpy as np
 
 from repro.trackers.base import MitigationRequest, Tracker
+from repro.ckpt.contract import checkpointable
 
 
+@checkpointable(
+    state=("_buffer",),
+    const=("window", "strict"),
+)
 class ParfmTracker(Tracker):
     """Uniform selection over the activations of the current window."""
 

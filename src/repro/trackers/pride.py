@@ -15,8 +15,13 @@ from typing import Deque, Optional
 import numpy as np
 
 from repro.trackers.base import MitigationRequest, Tracker
+from repro.ckpt.contract import checkpointable
 
 
+@checkpointable(
+    state=("_fifo", "samples_dropped"),
+    const=("sample_probability", "fifo_entries"),
+)
 class PrideTracker(Tracker):
     """Probabilistic sampling into a bounded FIFO."""
 

@@ -15,8 +15,13 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.trackers.base import MitigationRequest, Tracker
+from repro.ckpt.contract import checkpointable
 
 
+@checkpointable(
+    state=("_table", "_acts"),
+    const=("entries", "sample_period"),
+)
 class TrrTracker(Tracker):
     """Deterministic periodic sampler over a tiny recency table."""
 

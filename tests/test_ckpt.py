@@ -1,0 +1,245 @@
+"""Checkpoint/restore: snapshot format and differential bit-identity.
+
+The core guarantee under test: a simulation checkpointed at (roughly) its
+midpoint and restored produces *byte-identical* outputs — stats export,
+metrics snapshot, JSONL trace — to the same simulation run straight
+through. One divergent counter anywhere in the restored system shows up
+here as a JSON diff.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.runner import result_to_dict
+from repro.ckpt import (
+    CheckpointWriter,
+    Snapshot,
+    SnapshotError,
+    capture,
+    fork,
+    load_latest,
+    load_snapshot,
+    restore,
+    save_snapshot,
+    snapshot_digest,
+)
+from repro.cpu.system import SimulatedSystem, simulate
+from repro.mc.setup import MitigationSetup
+from repro.obs import Observability, ObsConfig
+from repro.workloads.catalog import WORKLOADS
+from repro.workloads.rate import make_rate_traces
+
+REQUESTS = 400
+SEED = 7
+
+
+def _traces(config, workload="mcf", requests=REQUESTS, seed=SEED):
+    return make_rate_traces(WORKLOADS[workload], config,
+                            requests=requests, seed=seed)
+
+
+def _observed():
+    return Observability(ObsConfig(metrics=True, trace=True))
+
+
+def _stats_json(result):
+    return json.dumps(result_to_dict(result), sort_keys=True)
+
+
+def _run_with_midpoint_snapshot(traces, setup, config, mapping):
+    """One straight run plus a snapshot captured at its midpoint."""
+    straight = simulate(traces, setup, config, mapping=mapping, seed=SEED,
+                        obs=_observed())
+    mid = straight.stats.cycles // 2
+    captured = {}
+
+    def on_checkpoint(system, boundary):
+        if "snap" not in captured and boundary >= mid:
+            captured["snap"] = capture(system, boundary=boundary)
+
+    system = SimulatedSystem(traces, setup, config, mapping=mapping,
+                             seed=SEED, obs=_observed())
+    system.start()
+    segmented = system.run(checkpoint_every=max(mid, 1),
+                           on_checkpoint=on_checkpoint)
+    assert "snap" in captured, "midpoint checkpoint never fired"
+    return straight, segmented, captured["snap"]
+
+
+CASES = [
+    pytest.param(
+        MitigationSetup(mechanism="autorfm", tracker="mint", threshold=4,
+                        policy="fractal"),
+        "rubix", {}, id="autorfm-mint-fractal-rubix",
+    ),
+    pytest.param(
+        MitigationSetup(mechanism="rfm", threshold=8), "zen", {},
+        id="rfm-zen",
+    ),
+    pytest.param(
+        MitigationSetup(mechanism="rfm", threshold=8), "zen",
+        {"write_drain": True}, id="rfm-zen-write-drain",
+    ),
+    pytest.param(
+        MitigationSetup(mechanism="autorfm", tracker="hydra", threshold=4),
+        "rubix", {}, id="autorfm-hydra-rubix",
+    ),
+    pytest.param(
+        MitigationSetup(mechanism="prac"), "zen",
+        {"refresh_mode": "same_bank"}, id="prac-same-bank",
+    ),
+]
+
+
+class TestDifferentialBitIdentity:
+    @pytest.mark.parametrize("setup,mapping,config_kw", CASES)
+    def test_restore_matches_straight_run(self, small_config, setup, mapping,
+                                          config_kw, tmp_path):
+        import dataclasses
+
+        config = (dataclasses.replace(small_config, **config_kw)
+                  if config_kw else small_config)
+        traces = _traces(config)
+        straight, segmented, snap = _run_with_midpoint_snapshot(
+            traces, setup, config, mapping
+        )
+        # Segmenting the drain must not change anything.
+        assert _stats_json(straight) == _stats_json(segmented)
+
+        # Round-trip the snapshot through disk before restoring.
+        path = str(tmp_path / "mid.ckpt.gz")
+        save_snapshot(snap, path)
+        resumed = restore(load_snapshot(path)).run()
+
+        assert _stats_json(straight) == _stats_json(resumed)
+        assert json.dumps(straight.obs.metrics, sort_keys=True) == \
+            json.dumps(resumed.obs.metrics, sort_keys=True)
+        assert straight.obs.trace_jsonl == resumed.obs.trace_jsonl
+
+    def test_restored_system_is_already_started(self, small_config):
+        setup = MitigationSetup(mechanism="autorfm", tracker="mint",
+                                threshold=4)
+        traces = _traces(small_config)
+        _, _, snap = _run_with_midpoint_snapshot(
+            traces, setup, small_config, "rubix"
+        )
+        system = restore(snap)
+        with pytest.raises(RuntimeError):
+            system.start()
+        system.run()  # completes without error
+
+
+class TestSnapshotFormat:
+    def _any_snapshot(self, small_config):
+        traces = _traces(small_config, requests=100)
+        system = SimulatedSystem(traces, MitigationSetup("none"),
+                                 small_config, mapping="zen", seed=SEED)
+        system.start()
+        box = {}
+        system.run(checkpoint_every=5000,
+                   on_checkpoint=lambda s, b: box.setdefault(
+                       "snap", capture(s, boundary=b)))
+        return box["snap"]
+
+    def test_save_load_round_trip(self, small_config, tmp_path):
+        snap = self._any_snapshot(small_config)
+        path = str(tmp_path / "s.ckpt.gz")
+        digest = save_snapshot(snap, path)
+        loaded = load_snapshot(path)
+        assert loaded.meta == snap.meta
+        assert loaded.payload == snap.payload
+        assert snapshot_digest(loaded) == digest
+
+    def test_snapshot_exposes_cycle_and_boundary(self, small_config):
+        snap = self._any_snapshot(small_config)
+        assert snap.boundary == 5000
+        assert 0 < snap.cycle <= snap.boundary
+
+    def test_wrong_version_rejected(self, small_config, tmp_path):
+        snap = self._any_snapshot(small_config)
+        bad = Snapshot(meta=snap.meta, payload=snap.payload,
+                       version=snap.version + 1)
+        path = str(tmp_path / "v.ckpt.gz")
+        save_snapshot(bad, path)
+        with pytest.raises(SnapshotError, match="version"):
+            load_snapshot(path)
+
+    def test_checkpoint_writer_manifest(self, small_config, tmp_path):
+        directory = str(tmp_path / "ckpts")
+        writer = CheckpointWriter(directory)
+        snap = self._any_snapshot(small_config)
+        path = writer.write(snap)
+        assert os.path.exists(path)
+        assert writer.latest() == path
+        # A second writer picks the manifest back up.
+        again = CheckpointWriter(directory)
+        assert again.latest() == path
+        loaded = load_latest(directory)
+        assert loaded is not None and loaded.boundary == snap.boundary
+
+    def test_simulate_checkpoint_dir_requires_every(self, small_config,
+                                                    tmp_path):
+        traces = _traces(small_config, requests=50)
+        with pytest.raises(ValueError):
+            simulate(traces, MitigationSetup("none"), small_config,
+                     checkpoint_dir=str(tmp_path))
+        with pytest.raises(ValueError):
+            simulate(traces, MitigationSetup("none"), small_config,
+                     checkpoint_every=1000)
+
+
+class TestFork:
+    def _warm_snapshot(self, small_config):
+        setup = MitigationSetup(mechanism="autorfm", tracker="mint",
+                                threshold=4, policy="fractal")
+        traces = _traces(small_config)
+        system = SimulatedSystem(traces, setup, small_config,
+                                 mapping="rubix", seed=SEED)
+        system.start()
+        box = {}
+        system.run(checkpoint_every=15000,
+                   on_checkpoint=lambda s, b: box.setdefault(
+                       "snap", capture(s, boundary=b)))
+        return box["snap"]
+
+    def test_same_fork_seed_is_deterministic(self, small_config):
+        snap = self._warm_snapshot(small_config)
+        a = fork(snap, seed=101).run()
+        b = fork(snap, seed=101).run()
+        assert _stats_json(a) == _stats_json(b)
+
+    def test_fork_reseeds_mitigation_streams(self, small_config):
+        snap = self._warm_snapshot(small_config)
+        forked = fork(snap, seed=101)
+        plain = restore(snap)
+        names = [n for n in plain.controller._streams._streams
+                 if n.startswith("tracker/")]
+        assert names, "no tracker streams to compare"
+        assert any(
+            forked.controller._streams._streams[n].bit_generator.state
+            != plain.controller._streams._streams[n].bit_generator.state
+            for n in names
+        )
+
+    def test_profiler_records_capture_and_restore(self, small_config):
+        setup = MitigationSetup(mechanism="autorfm", tracker="mint",
+                                threshold=4)
+        traces = _traces(small_config)
+        obs = Observability(ObsConfig(metrics=True))
+        system = SimulatedSystem(traces, setup, small_config,
+                                 mapping="rubix", seed=SEED, obs=obs)
+        system.start()
+        box = {}
+        system.run(checkpoint_every=15000,
+                   on_checkpoint=lambda s, b: box.setdefault(
+                       "snap", capture(s, boundary=b)))
+        assert obs.profiler.counts.get("ckpt.capture", 0) >= 1
+        assert "ckpt.capture" in obs.profiler.seconds
+        restored = restore(box["snap"])
+        assert restored.obs.profiler.counts.get("ckpt.restore") == 1
+        # The deterministic metrics registry must NOT see checkpoint cost:
+        # it has to stay bit-identical between straight and resumed runs.
+        names = {name for name, _, _ in obs.metrics.series()}
+        assert not any(n.startswith("ckpt") for n in names)

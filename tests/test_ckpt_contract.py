@@ -1,0 +1,124 @@
+"""The state-contract lint: every checkpointable class fully classified.
+
+The contract system (:mod:`repro.ckpt.contract`) makes state omission a
+test failure instead of a silent checkpoint divergence: each registered
+class declares its attributes as live state, derived wiring, or
+construction constants, and :func:`verify_contract` AST-walks every method
+for ``self.X`` assignments the declaration does not account for.
+"""
+
+import dataclasses
+
+import pytest
+
+import repro.cpu.system  # noqa: F401  (registers the full simulator tree)
+from repro.ckpt.contract import (
+    REGISTRY,
+    ContractError,
+    checkpointable,
+    effective_contract,
+    verify_contract,
+)
+
+
+def _registered_classes():
+    return sorted(REGISTRY, key=lambda cls: f"{cls.__module__}.{cls.__qualname__}")
+
+
+class TestContractLint:
+    def test_registry_is_populated(self):
+        # The simulator import above must have registered the whole tree;
+        # a collapsing registry would make the lint below vacuous.
+        assert len(REGISTRY) > 30
+
+    @pytest.mark.parametrize(
+        "cls",
+        _registered_classes(),
+        ids=lambda cls: f"{cls.__module__}.{cls.__qualname__}",
+    )
+    def test_every_assigned_attribute_is_classified(self, cls):
+        unaccounted = verify_contract(cls)
+        assert unaccounted == frozenset(), (
+            f"{cls.__module__}.{cls.__qualname__} assigns attributes its "
+            f"state contract does not classify: {sorted(unaccounted)}. "
+            f"Add each to state= (live, checkpointed), derived= (rebuilt "
+            f"by the constructor), or const= (construction input)."
+        )
+
+    def test_expected_classes_are_registered(self):
+        from repro.cpu.core import Core
+        from repro.cpu.system import SimulatedSystem
+        from repro.dram.bank import Bank
+        from repro.mc.controller import MemoryController
+        from repro.obs.metrics import MetricsRegistry
+        from repro.rfm.rfm import RfmController
+        from repro.sim.engine import Engine
+        from repro.sim.rng import RngStreams
+        from repro.sim.stats import SimStats
+        from repro.trackers.hydra import HydraTracker
+        from repro.trackers.mint import MintTracker
+
+        for cls in (Engine, RngStreams, SimStats, Bank, MemoryController,
+                    Core, SimulatedSystem, RfmController, MintTracker,
+                    HydraTracker, MetricsRegistry):
+            assert cls in REGISTRY, f"{cls.__qualname__} lost its contract"
+
+    def test_every_tracker_is_registered(self):
+        from repro.mc.setup import TRACKERS, MitigationSetup, build_tracker
+        from repro.sim.rng import RngStreams
+
+        streams = RngStreams(0)
+        for name in TRACKERS:
+            setup = MitigationSetup(mechanism="autorfm", tracker=name)
+            tracker = build_tracker(setup, streams, bank=0)
+            assert type(tracker) in REGISTRY, (
+                f"tracker {name!r} ({type(tracker).__qualname__}) has no "
+                f"state contract"
+            )
+
+
+class TestContractMechanics:
+    def test_overlapping_fields_rejected(self):
+        with pytest.raises(ContractError):
+            @checkpointable(state=("x",), derived=("x",))
+            class Bad:  # noqa: F811
+                pass
+
+    def test_lint_catches_undeclared_attribute(self):
+        @checkpointable(state=("declared",))
+        class Partial:
+            def __init__(self):
+                self.declared = 0
+
+            def tick(self):
+                self.sneaky = 1  # never declared
+
+        assert "sneaky" in verify_contract(Partial)
+
+    def test_lint_sees_dataclass_fields(self):
+        from repro.ckpt.contract import checkpointable_dataclass
+
+        @checkpointable_dataclass
+        @dataclasses.dataclass
+        class Record:
+            a: int = 0
+            b: str = ""
+
+        assert verify_contract(Record) == frozenset()
+        assert set(effective_contract(Record).state_fields) == {"a", "b"}
+
+    def test_contract_unions_across_inheritance(self):
+        @checkpointable(state=("base_state",))
+        class Base:
+            def __init__(self):
+                self.base_state = 0
+
+        @checkpointable(state=("sub_state",))
+        class Sub(Base):
+            def __init__(self):
+                super().__init__()
+                self.sub_state = 1
+
+        fields = effective_contract(Sub).state_fields
+        assert "base_state" in fields and "sub_state" in fields
+        assert verify_contract(Sub) == frozenset()

@@ -1,0 +1,218 @@
+"""Segment-resumable execution under the parallel experiment runner.
+
+Simulates the operational story end to end: a sweep runs in checkpointed
+segments, gets killed mid-flight (modelled by deleting its result entry so
+only segment snapshots survive), and a ``resume=True`` re-invocation picks
+up from the last boundary — producing bit-identical results, verified via
+the runner's ckpt profile counters. Also covers the cache size bound
+(``REPRO_CACHE_MAX_MB`` / LRU pruning).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.runner import (
+    ExperimentRunner,
+    Job,
+    ResultCache,
+    cache_size_limit_bytes,
+    result_to_dict,
+)
+from repro.mc.setup import MitigationSetup
+from repro.obs import ObsConfig
+
+REQUESTS = 400
+SEGMENT = 8000
+
+SETUP = MitigationSetup(mechanism="autorfm", tracker="mint", threshold=4)
+
+
+def _stats_json(result):
+    return json.dumps(result_to_dict(result), sort_keys=True)
+
+
+def make_runner(small_config, tmp_path, jobs=1):
+    return ExperimentRunner(config=small_config, jobs=jobs,
+                            cache_dir=str(tmp_path / "cache"),
+                            requests=REQUESTS)
+
+
+class TestSegmentedExecution:
+    def test_segmented_equals_straight(self, small_config, tmp_path):
+        runner = make_runner(small_config, tmp_path)
+        straight = runner.run(Job("mcf", SETUP, "rubix", seed=3))
+        runner.cache.clear()
+        segmented = runner.run(
+            Job("mcf", SETUP, "rubix", seed=3, segment_cycles=SEGMENT)
+        )
+        assert _stats_json(straight) == _stats_json(segmented)
+        assert segmented.ckpt["captured"] >= 1
+        assert segmented.ckpt["resumed_from"] is None
+
+    def test_segment_cycles_excluded_from_cache_key(self, small_config,
+                                                    tmp_path):
+        runner = make_runner(small_config, tmp_path)
+        plain = Job("mcf", SETUP, "rubix", seed=3)
+        segmented = Job("mcf", SETUP, "rubix", seed=3,
+                        segment_cycles=SEGMENT)
+        assert runner.key_for(plain) == runner.key_for(segmented)
+
+    def test_segment_cycles_validated(self):
+        with pytest.raises(ValueError):
+            Job("mcf", SETUP, "rubix", segment_cycles=0)
+
+    def test_snapshots_land_in_cache_dir(self, small_config, tmp_path):
+        runner = make_runner(small_config, tmp_path)
+        job = Job("mcf", SETUP, "rubix", seed=3, segment_cycles=SEGMENT)
+        result = runner.run(job)
+        key = runner.key_for(job)
+        boundaries = runner.cache.snapshot_boundaries(key)
+        assert len(boundaries) == result.ckpt["captured"]
+        assert boundaries == sorted(boundaries)
+
+    def test_cached_result_has_no_ckpt_leak(self, small_config, tmp_path):
+        # ckpt bookkeeping is wall-clock-adjacent provenance; the cache
+        # entry for a segmented run must be byte-identical to a straight
+        # run's entry.
+        runner = make_runner(small_config, tmp_path)
+        job = Job("mcf", SETUP, "rubix", seed=3, segment_cycles=SEGMENT)
+        runner.run(job)
+        cached = runner.cache.get(runner.key_for(job))
+        assert cached.ckpt is None
+
+
+class TestKillAndResume:
+    def _kill(self, runner, job):
+        """Model a mid-flight kill: the result entry never landed."""
+        os.unlink(runner.cache._path(runner.key_for(job)))
+
+    def test_resume_from_last_segment(self, small_config, tmp_path):
+        runner = make_runner(small_config, tmp_path)
+        job = Job("mcf", SETUP, "rubix", seed=3, segment_cycles=SEGMENT)
+        first = runner.run(job)
+        assert first.ckpt["captured"] >= 2
+        self._kill(runner, job)
+
+        resumed = runner.run(job, resume=True)
+        assert _stats_json(first) == _stats_json(resumed)
+        # Resumed from the newest boundary, so only the tail re-executed.
+        last = runner.cache.snapshot_boundaries(runner.key_for(job))[-1]
+        assert resumed.ckpt["resumed_from"] == last
+        assert resumed.ckpt["captured"] < first.ckpt["captured"]
+        assert runner.profile.counts["ckpt_resumes"] == 1
+
+    def test_resume_with_observability(self, small_config, tmp_path):
+        runner = make_runner(small_config, tmp_path)
+        job = Job("mcf", SETUP, "rubix", seed=3, segment_cycles=SEGMENT,
+                  obs=ObsConfig(metrics=True, trace=True))
+        first = runner.run(job)
+        self._kill(runner, job)
+        resumed = runner.run(job, resume=True)
+        assert _stats_json(first) == _stats_json(resumed)
+        assert json.dumps(first.obs.metrics, sort_keys=True) == \
+            json.dumps(resumed.obs.metrics, sort_keys=True)
+        assert first.obs.trace_jsonl == resumed.obs.trace_jsonl
+
+    def test_resume_under_parallel_workers(self, small_config, tmp_path):
+        runner = make_runner(small_config, tmp_path, jobs=2)
+        jobs = [Job("mcf", SETUP, "rubix", seed=s, segment_cycles=SEGMENT)
+                for s in (3, 4)]
+        first = runner.run_many(jobs)
+        for job in jobs:
+            self._kill(runner, job)
+        resumed = runner.run_many(jobs, resume=True)
+        assert [_stats_json(r) for r in first] == \
+            [_stats_json(r) for r in resumed]
+        assert all(r.ckpt["resumed_from"] is not None for r in resumed)
+
+    def test_corrupt_last_segment_falls_back(self, small_config, tmp_path):
+        runner = make_runner(small_config, tmp_path)
+        job = Job("mcf", SETUP, "rubix", seed=3, segment_cycles=SEGMENT)
+        first = runner.run(job)
+        self._kill(runner, job)
+        key = runner.key_for(job)
+        boundaries = runner.cache.snapshot_boundaries(key)
+        assert len(boundaries) >= 2
+        # Truncate the newest snapshot (crash mid-write of a non-atomic
+        # copy, a flipped sector, ...): resume must use the one before it.
+        newest = runner.cache.snapshot_path(key, boundaries[-1])
+        with open(newest, "r+b") as handle:
+            handle.truncate(20)
+        resumed = runner.run(job, resume=True)
+        assert _stats_json(first) == _stats_json(resumed)
+        assert resumed.ckpt["resumed_from"] == boundaries[-2]
+
+    def test_resume_with_no_snapshots_starts_fresh(self, small_config,
+                                                   tmp_path):
+        runner = make_runner(small_config, tmp_path)
+        job = Job("mcf", SETUP, "rubix", seed=3, segment_cycles=SEGMENT)
+        result = runner.run(job, resume=True)
+        assert result.ckpt["resumed_from"] is None
+        assert result.ckpt["captured"] >= 1
+
+
+class TestCacheBounding:
+    def test_stats_counts_results_and_snapshots(self, small_config, tmp_path):
+        runner = make_runner(small_config, tmp_path)
+        runner.run(Job("mcf", SETUP, "rubix", seed=3,
+                       segment_cycles=SEGMENT))
+        stats = runner.cache.stats()
+        assert stats["results"] == 1
+        assert stats["snapshots"] >= 1
+        assert stats["total_bytes"] == (
+            stats["result_bytes"] + stats["snapshot_bytes"]
+        )
+
+    def test_prune_evicts_lru_first(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        old = os.path.join(str(tmp_path), "old.json")
+        new = os.path.join(str(tmp_path), "new.json")
+        for path, age in ((old, 1000), (new, 10)):
+            with open(path, "w") as handle:
+                handle.write("x" * 100)
+            stamp = os.stat(path).st_mtime - age
+            os.utime(path, (stamp, stamp))
+        outcome = cache.prune(150)
+        assert outcome["removed"] == 1
+        assert not os.path.exists(old)
+        assert os.path.exists(new)
+
+    def test_prune_to_limit_reads_env(self, tmp_path, monkeypatch):
+        cache = ResultCache(str(tmp_path))
+        with open(os.path.join(str(tmp_path), "entry.json"), "w") as handle:
+            handle.write("x" * 2048)
+        monkeypatch.delenv("REPRO_CACHE_MAX_MB", raising=False)
+        assert cache.prune_to_limit() is None
+        monkeypatch.setenv("REPRO_CACHE_MAX_MB", "0")
+        outcome = cache.prune_to_limit()
+        assert outcome["removed"] == 1
+        assert cache.stats()["total_bytes"] == 0
+
+    def test_cache_size_limit_parsing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_MAX_MB", raising=False)
+        assert cache_size_limit_bytes() is None
+        monkeypatch.setenv("REPRO_CACHE_MAX_MB", "1.5")
+        assert cache_size_limit_bytes() == int(1.5 * 1024 * 1024)
+        monkeypatch.setenv("REPRO_CACHE_MAX_MB", "junk")
+        with pytest.raises(ValueError):
+            cache_size_limit_bytes()
+
+    def test_run_many_applies_budget(self, small_config, tmp_path,
+                                     monkeypatch):
+        runner = make_runner(small_config, tmp_path)
+        monkeypatch.setenv("REPRO_CACHE_MAX_MB", "0")
+        runner.run(Job("mcf", SETUP, "rubix", seed=3,
+                       segment_cycles=SEGMENT))
+        # The batch-end auto-prune applied the zero budget.
+        assert runner.cache.stats()["total_bytes"] == 0
+
+    def test_clear_removes_snapshots_too(self, small_config, tmp_path):
+        runner = make_runner(small_config, tmp_path)
+        runner.run(Job("mcf", SETUP, "rubix", seed=3,
+                       segment_cycles=SEGMENT))
+        removed = runner.cache.clear()
+        assert removed >= 2
+        stats = runner.cache.stats()
+        assert stats["results"] == 0 and stats["snapshots"] == 0

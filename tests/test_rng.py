@@ -1,5 +1,8 @@
 """Tests for repro.sim.rng: deterministic named streams."""
 
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
 from repro.sim.rng import RngStreams
 
 
@@ -46,3 +49,71 @@ class TestRngStreams:
         two = RngStreams(9)
         value_b = two.get("second").integers(0, 1 << 30)
         assert value_a == value_b
+
+
+class TestStreamStateRoundTrip:
+    """getstate()/setstate(): the API the checkpoint layer relies on."""
+
+    def test_getstate_setstate_round_trip(self):
+        streams = RngStreams(11)
+        streams.get("a").integers(0, 1 << 30, size=5)
+        streams.get("b").integers(0, 1 << 30, size=3)
+        state = streams.getstate()
+        expected = streams.get("a").integers(0, 1 << 30, size=8)
+        streams.setstate(state)
+        replayed = streams.get("a").integers(0, 1 << 30, size=8)
+        assert list(expected) == list(replayed)
+
+    def test_setstate_mutates_existing_generators(self):
+        streams = RngStreams(11)
+        gen = streams.get("a")
+        state = streams.getstate()
+        gen.integers(0, 1 << 30, size=4)
+        streams.setstate(state)
+        # Same object, rewound state: pre-resolved references see it.
+        assert streams.get("a") is gen
+
+    def test_single_stream_state_accessors(self):
+        streams = RngStreams(11)
+        state = streams.stream_state("a")
+        first = streams.get("a").integers(0, 1 << 30, size=4)
+        streams.set_stream_state("a", state)
+        second = streams.get("a").integers(0, 1 << 30, size=4)
+        assert list(first) == list(second)
+
+    def test_lazily_created_streams_rederive_from_seed(self):
+        # Streams not yet created at getstate() time are reproducible
+        # anyway (derived from the seed), so omitting them is lossless.
+        one = RngStreams(11)
+        one.get("early")
+        restored = RngStreams(11)
+        restored.setstate(one.getstate())
+        a = restored.get("late").integers(0, 1 << 30, size=4)
+        b = RngStreams(11).get("late").integers(0, 1 << 30, size=4)
+        assert list(a) == list(b)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        names=st.lists(
+            st.sampled_from(["tracker/0", "tracker/1", "fractal", "mc",
+                             "rowswap", "aqua/3"]),
+            min_size=1, max_size=4, unique=True,
+        ),
+        draws=st.integers(min_value=0, max_value=17),
+    )
+    def test_round_trip_is_lossless_property(self, seed, names, draws):
+        streams = RngStreams(seed)
+        for name in names:
+            streams.get(name).integers(0, 1 << 30, size=draws + 1)
+        state = streams.getstate()
+        expected = {
+            n: list(streams.get(n).integers(0, 1 << 30, size=6))
+            for n in names
+        }
+        streams.setstate(state)
+        replayed = {
+            n: list(streams.get(n).integers(0, 1 << 30, size=6))
+            for n in names
+        }
+        assert expected == replayed

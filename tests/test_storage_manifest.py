@@ -1,0 +1,158 @@
+"""Checkpoint manifest round-trips and snapshot corruption detection.
+
+Two failure stories under test: (1) the manifest is a crash-safe index —
+atomic rewrites, validated on load, round-trips exactly; (2) a damaged
+snapshot (truncated file, flipped bit) must fail the integrity hash with a
+clear error, never deserialize into a subtly wrong system.
+"""
+
+import gzip
+import json
+import os
+
+import pytest
+
+from repro.analysis.storage import (
+    MANIFEST_NAME,
+    checkpoint_inventory,
+    load_checkpoint_manifest,
+    save_checkpoint_manifest,
+)
+from repro.ckpt import (
+    Snapshot,
+    SnapshotError,
+    SnapshotIntegrityError,
+    load_snapshot,
+    save_snapshot,
+)
+
+ENTRIES = [
+    {"file": "ckpt-000000000005000.ckpt.gz", "cycle": 4980,
+     "boundary": 5000, "sha256": "ab" * 32, "bytes": 1234},
+    {"file": "ckpt-000000000010000.ckpt.gz", "cycle": 9990,
+     "boundary": 10000, "sha256": "cd" * 32, "bytes": 2345},
+]
+
+
+def _tiny_snapshot():
+    return Snapshot(meta={"cycle": 42, "boundary": 100, "seed": 1},
+                    payload={"x": [1, 2, 3]})
+
+
+class TestManifestRoundTrip:
+    def test_save_load_round_trip(self, tmp_path):
+        d = str(tmp_path)
+        save_checkpoint_manifest(d, ENTRIES, meta={"seed": 7})
+        manifest = load_checkpoint_manifest(d)
+        assert manifest["entries"] == ENTRIES
+        assert manifest["meta"] == {"seed": 7}
+
+    def test_missing_manifest_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint_manifest(str(tmp_path))
+
+    def test_corrupt_json_raises_value_error(self, tmp_path):
+        path = os.path.join(str(tmp_path), MANIFEST_NAME)
+        with open(path, "w") as handle:
+            handle.write("{not json")
+        with pytest.raises(ValueError, match="corrupt"):
+            load_checkpoint_manifest(str(tmp_path))
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = os.path.join(str(tmp_path), MANIFEST_NAME)
+        with open(path, "w") as handle:
+            json.dump({"format": "something-else", "version": 1,
+                       "entries": []}, handle)
+        with pytest.raises(ValueError, match="not a checkpoint manifest"):
+            load_checkpoint_manifest(str(tmp_path))
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = os.path.join(str(tmp_path), MANIFEST_NAME)
+        with open(path, "w") as handle:
+            json.dump({"format": "repro-ckpt-manifest", "version": 99,
+                       "entries": []}, handle)
+        with pytest.raises(ValueError, match="version"):
+            load_checkpoint_manifest(str(tmp_path))
+
+    def test_rewrite_replaces_whole_manifest(self, tmp_path):
+        d = str(tmp_path)
+        save_checkpoint_manifest(d, ENTRIES)
+        save_checkpoint_manifest(d, ENTRIES[:1])
+        assert load_checkpoint_manifest(d)["entries"] == ENTRIES[:1]
+
+
+class TestSnapshotCorruption:
+    def _saved(self, tmp_path):
+        path = os.path.join(str(tmp_path), "snap.ckpt.gz")
+        save_snapshot(_tiny_snapshot(), path)
+        return path
+
+    def test_intact_snapshot_loads(self, tmp_path):
+        path = self._saved(tmp_path)
+        snap = load_snapshot(path)
+        assert snap.meta["cycle"] == 42
+        assert snap.payload == {"x": [1, 2, 3]}
+
+    def test_truncated_snapshot_rejected(self, tmp_path):
+        path = self._saved(tmp_path)
+        with open(path, "r+b") as handle:
+            handle.truncate(os.path.getsize(path) // 2)
+        with pytest.raises(SnapshotIntegrityError):
+            load_snapshot(path)
+
+    def test_bit_flip_rejected_by_digest(self, tmp_path):
+        path = self._saved(tmp_path)
+        # Flip one bit inside the *decompressed* body and re-gzip, so the
+        # gzip CRC stays valid and only the sha256 can catch it.
+        body = bytearray(gzip.decompress(open(path, "rb").read()))
+        target = body.find(b'"payload"')
+        body[target + 20] ^= 0x01
+        with open(path, "wb") as handle:
+            handle.write(gzip.compress(bytes(body)))
+        with pytest.raises(SnapshotIntegrityError, match="digest|integrity"):
+            load_snapshot(path)
+
+    def test_flipped_compressed_byte_rejected(self, tmp_path):
+        path = self._saved(tmp_path)
+        raw = bytearray(open(path, "rb").read())
+        raw[len(raw) // 2] ^= 0xFF
+        with open(path, "wb") as handle:
+            handle.write(bytes(raw))
+        with pytest.raises(SnapshotIntegrityError):
+            load_snapshot(path)
+
+    def test_non_snapshot_gzip_rejected(self, tmp_path):
+        path = os.path.join(str(tmp_path), "other.ckpt.gz")
+        with open(path, "wb") as handle:
+            handle.write(gzip.compress(b'{"hello": "world"}'))
+        with pytest.raises(SnapshotError):
+            load_snapshot(path)
+
+    def test_error_message_names_the_file(self, tmp_path):
+        path = self._saved(tmp_path)
+        with open(path, "r+b") as handle:
+            handle.truncate(10)
+        with pytest.raises(SnapshotIntegrityError, match="snap.ckpt.gz"):
+            load_snapshot(path)
+
+
+class TestInventory:
+    def test_inventory_flags_each_state(self, tmp_path):
+        d = str(tmp_path)
+        ok_name = "ckpt-000000000000100.ckpt.gz"
+        corrupt_name = "ckpt-000000000000200.ckpt.gz"
+        missing_name = "ckpt-000000000000300.ckpt.gz"
+        save_snapshot(_tiny_snapshot(), os.path.join(d, ok_name))
+        save_snapshot(_tiny_snapshot(), os.path.join(d, corrupt_name))
+        with open(os.path.join(d, corrupt_name), "r+b") as handle:
+            handle.truncate(12)
+        entries = [
+            {"file": name, "cycle": 42, "boundary": b, "sha256": "00" * 32,
+             "bytes": 1}
+            for name, b in ((ok_name, 100), (corrupt_name, 200),
+                            (missing_name, 300))
+        ]
+        save_checkpoint_manifest(d, entries)
+        statuses = {r["file"]: r["status"] for r in checkpoint_inventory(d)}
+        assert statuses == {ok_name: "ok", corrupt_name: "corrupt",
+                            missing_name: "missing"}
