@@ -1,6 +1,6 @@
 # Convenience targets for the AutoRFM reproduction.
 
-.PHONY: install test bench bench-smoke examples audit clean
+.PHONY: install test bench bench-smoke bench-security examples audit clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -13,6 +13,9 @@ bench:
 
 bench-smoke:
 	PYTHONPATH=src python benchmarks/bench_perf_smoke.py
+
+bench-security:
+	PYTHONPATH=src python benchmarks/bench_security_smoke.py
 
 examples:
 	python examples/quickstart.py

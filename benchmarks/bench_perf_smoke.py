@@ -46,13 +46,17 @@ class _CountingEngine(Engine):
         _CountingEngine.last = self
 
 
-def time_simulation(repeats: int = REPEATS, observed: bool = False):
+def time_simulation(
+    repeats: int = REPEATS, observed: bool = False, locate_cache: bool = True
+):
     """min-of-``repeats`` wall time of the fixed simulation.
 
     Returns ``(wall_seconds, events, result)``. With ``observed`` the run
     carries a full Observability (metrics + trace) so the report can state
     what the instrumentation costs when it is actually on; the headline
     ``events_per_second`` number always comes from the disabled path.
+    ``locate_cache=False`` switches off the controller's line->location
+    memo (``REPRO_LOCATE_CACHE=0``) so the report can quote its speedup.
     """
     config = SystemConfig()
     setup = MitigationSetup(**SETUP)
@@ -61,6 +65,9 @@ def time_simulation(repeats: int = REPEATS, observed: bool = False):
     )
     original = system.Engine
     system.Engine = _CountingEngine
+    saved_cache_env = os.environ.get("REPRO_LOCATE_CACHE")
+    if not locate_cache:
+        os.environ["REPRO_LOCATE_CACHE"] = "0"
     try:
         wall = None
         for _ in range(repeats):
@@ -78,6 +85,11 @@ def time_simulation(repeats: int = REPEATS, observed: bool = False):
         events = _CountingEngine.last._seq
     finally:
         system.Engine = original
+        if not locate_cache:
+            if saved_cache_env is None:
+                os.environ.pop("REPRO_LOCATE_CACHE", None)
+            else:
+                os.environ["REPRO_LOCATE_CACHE"] = saved_cache_env
     return wall, events, result
 
 
@@ -85,6 +97,7 @@ def run_smoke() -> dict:
     """Time the fixed simulation once; return the metrics dict."""
     wall, events, result = time_simulation()
     obs_wall, obs_events, _ = time_simulation(observed=True)
+    nocache_wall, _, _ = time_simulation(locate_cache=False)
     return {
         "workload": WORKLOAD,
         "setup": SETUP,
@@ -94,15 +107,33 @@ def run_smoke() -> dict:
         "events": events,
         "wall_seconds": round(wall, 4),
         "events_per_second": round(events / wall, 1),
+        "events_per_second_no_locate_cache": round(events / nocache_wall, 1),
+        "locate_cache_speedup_pct": round(
+            100.0 * (nocache_wall - wall) / nocache_wall, 1
+        ),
         "obs_events_per_second": round(obs_events / obs_wall, 1),
         "obs_overhead_pct": round(100.0 * (obs_wall - wall) / wall, 1),
         "sim_cycles": result.stats.cycles,
     }
 
 
-def write_report(metrics: dict) -> None:
-    with open(OUTPUT, "w") as f:
-        json.dump(metrics, f, indent=2, sort_keys=True)
+def write_report(metrics: dict, output: str = OUTPUT) -> None:
+    """Merge ``metrics`` into the shared report file.
+
+    ``BENCH_perf.json`` is shared with the security smoke bench, so each
+    bench read-merge-updates its own keys instead of clobbering the file.
+    """
+    merged = {}
+    try:
+        with open(output) as f:
+            existing = json.load(f)
+        if isinstance(existing, dict):
+            merged.update(existing)
+    except (OSError, ValueError):
+        pass
+    merged.update(metrics)
+    with open(output, "w") as f:
+        json.dump(merged, f, indent=2, sort_keys=True)
         f.write("\n")
 
 

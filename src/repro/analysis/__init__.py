@@ -16,6 +16,8 @@ from repro.analysis.runner import (
     ExperimentRunner,
     Job,
     ResultCache,
+    SecurityJob,
+    security_job_key,
 )
 from repro.analysis.export import result_record, to_csv, to_json, write_records
 from repro.analysis.model import (
@@ -35,6 +37,8 @@ __all__ = [
     "ExperimentRunner",
     "Job",
     "ResultCache",
+    "SecurityJob",
+    "security_job_key",
     "average",
     "run_many",
     "run_workload",

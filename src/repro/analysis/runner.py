@@ -399,6 +399,40 @@ class ResultCache:
                 os.unlink(tmp)
             raise
 
+    def get_security(self, key: str) -> Optional[List[dict]]:
+        """Look up one security batch (list of per-seed stat dicts)."""
+        try:
+            with open(self._path(key)) as f:
+                data = json.load(f)
+            if data.get("schema") != self.schema_version:
+                raise ValueError("schema mismatch")
+            raw = data["security"]
+            if not isinstance(raw, list):
+                raise ValueError("malformed security entry")
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        try:
+            os.utime(self._path(key))
+        except OSError:
+            pass
+        return raw
+
+    def put_security(self, key: str, results: List[dict]) -> None:
+        """Store one security batch under ``key`` (atomic, crash-safe)."""
+        os.makedirs(self.directory, exist_ok=True)
+        payload = {"schema": self.schema_version, "security": results}
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as f:
+                json.dump(payload, f, separators=(",", ":"))
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
     def __len__(self) -> int:
         try:
             return sum(
@@ -511,6 +545,137 @@ def _execute_segmented(payload: tuple) -> SimulationResult:
     )
     result.ckpt = {"captured": captured, "resumed_from": resumed_from}
     return result
+
+
+# ----------------------------------------------------------------------
+# Security batch jobs (vectorized Monte-Carlo attack replays)
+# ----------------------------------------------------------------------
+_SECURITY_ATTACKS = ("round_robin", "single_sided", "double_sided", "half_double")
+_SECURITY_TRACKERS = ("mint", "mint-transitive", "graphene", "para")
+_SECURITY_POLICIES = ("fractal", "blast")
+
+
+@dataclass(frozen=True)
+class SecurityJob:
+    """One batched Monte-Carlo attack replay: S seeds x one pattern.
+
+    Mirrors :class:`Job` for the security kernels
+    (:func:`repro.security.kernels.run_attack_batch`): describes *what* to
+    replay, while the runner decides parallelism and caching.  ``backend``
+    is deliberately **excluded** from the cache key — the scalar and numpy
+    engines produce exactly equal results (proven by the differential
+    suite), so a batch computed by either backend answers for both.
+
+    Cached entries keep the per-seed summary statistics but drop the
+    per-row pressure maps (large, and derivable by re-running); results
+    returned through the runner therefore always have ``pressure == {}``.
+    """
+
+    attack: str = "double_sided"
+    rows: Tuple[int, ...] = (70_000,)
+    acts: int = 64_000
+    window: int = 4
+    tracker: str = "mint"
+    policy: str = "fractal"
+    seeds: int = 50
+    rows_per_bank: int = 128 * 1024
+    blast_radius: int = 2
+    refresh_interval_acts: Optional[int] = None
+    #: Key for a Rubix-style static row permutation in attack space
+    #: (None = identity mapping).
+    rubix_key: Optional[int] = None
+    backend: str = "numpy"
+
+    def __post_init__(self):
+        if self.attack not in _SECURITY_ATTACKS:
+            raise ValueError(
+                f"unknown attack {self.attack!r}; expected one of "
+                f"{_SECURITY_ATTACKS}"
+            )
+        if self.tracker not in _SECURITY_TRACKERS:
+            raise ValueError(
+                f"unknown tracker {self.tracker!r}; expected one of "
+                f"{_SECURITY_TRACKERS}"
+            )
+        if self.policy not in _SECURITY_POLICIES:
+            raise ValueError(
+                f"unknown policy {self.policy!r}; expected one of "
+                f"{_SECURITY_POLICIES}"
+            )
+        if self.backend not in ("numpy", "scalar"):
+            raise ValueError(f"unknown backend {self.backend!r}")
+        if not self.rows:
+            raise ValueError("rows must name at least one row")
+        if self.seeds < 1:
+            raise ValueError("seeds must be >= 1")
+
+
+def security_job_key(
+    job: SecurityJob, schema_version: int = CACHE_SCHEMA_VERSION
+) -> str:
+    """Stable content hash of a security job (``backend`` excluded: both
+    backends produce the identical artifact)."""
+    fields = dataclasses.asdict(job)
+    fields.pop("backend")
+    payload = {"schema": schema_version, "kind": "security", "job": fields}
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _security_results_to_dicts(results) -> List[dict]:
+    return [
+        {
+            "max_pressure": r.max_pressure,
+            "max_pressure_row": r.max_pressure_row,
+            "activations": r.activations,
+            "mitigations": r.mitigations,
+            "victim_refreshes": r.victim_refreshes,
+        }
+        for r in results
+    ]
+
+
+def _security_results_from_dicts(raw: List[dict]):
+    from repro.security.montecarlo import AttackResult
+
+    return [AttackResult(**entry) for entry in raw]
+
+
+def _execute_security(job: SecurityJob) -> List[dict]:
+    """Worker entry point for one security batch (picklable, module-level).
+
+    The pattern is regenerated inside the worker from the job fields (same
+    convention as simulation traces: cheaper than pickling, identical by
+    construction).
+    """
+    from repro.mapping.kcipher import KCipher
+    from repro.security.kernels import (
+        build_pattern,
+        policy_spec_from_string,
+        run_attack_batch,
+        tracker_spec_from_strings,
+    )
+
+    pattern = build_pattern(job.attack, list(job.rows), job.acts)
+    cipher = (
+        KCipher(job.rows_per_bank, job.rubix_key)
+        if job.rubix_key is not None
+        else None
+    )
+    results = run_attack_batch(
+        [pattern],
+        tracker_spec_from_strings(job.tracker, job.window),
+        policy_spec_from_string(job.policy),
+        window=job.window,
+        seeds=job.seeds,
+        rows_per_bank=job.rows_per_bank,
+        blast_radius=job.blast_radius,
+        refresh_interval_acts=job.refresh_interval_acts,
+        row_cipher=cipher,
+        backend=job.backend,
+        collect_pressure=False,
+    )[0]
+    return _security_results_to_dicts(results)
 
 
 #: A setup row for :meth:`ExperimentRunner.slowdown_matrix`:
@@ -713,6 +878,87 @@ class ExperimentRunner:
             return [_execute(p) for p in payloads]
         with ProcessPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(_execute, payloads))
+
+    # ------------------------------------------------------------------
+    # Security batches (vectorized Monte-Carlo attack replays)
+    # ------------------------------------------------------------------
+    def security_key_for(self, job: SecurityJob) -> str:
+        """This runner's cache key for a security batch (backend-blind)."""
+        return security_job_key(job, self.schema_version)
+
+    def run_security(self, job: SecurityJob) -> List["AttackResult"]:
+        """Run (or fetch) one security batch: per-seed attack results."""
+        return self.run_security_many([job])[0]
+
+    def run_security_many(
+        self, jobs: Sequence[SecurityJob]
+    ) -> List[List["AttackResult"]]:
+        """Run security batches; returns per-job lists of per-seed results.
+
+        Same shape as :meth:`run_many`: duplicates (and scalar/numpy twins
+        of the same job — the backend is not part of the key) collapse to
+        one execution, cache hits never reach the pool, and misses fan out
+        across ``REPRO_JOBS`` workers one *batch* per worker (each batch is
+        already vectorized over its seeds, so the job is the right
+        parallel grain). Results carry ``pressure == {}``; use
+        :func:`repro.security.kernels.run_attack_batch` directly when the
+        per-row pressure map matters.
+        """
+        jobs = list(jobs)
+        results: List[Optional[List[dict]]] = [None] * len(jobs)
+
+        with self.profile.phase("plan"):
+            order: List[str] = []
+            indices: Dict[str, List[int]] = {}
+            by_key: Dict[str, SecurityJob] = {}
+            for i, job in enumerate(jobs):
+                key = self.security_key_for(job)
+                if key not in indices:
+                    order.append(key)
+                    indices[key] = []
+                    by_key[key] = job
+                indices[key].append(i)
+
+            pending: List[str] = []
+            for key in order:
+                cached = (
+                    self.cache.get_security(key)
+                    if self.cache is not None else None
+                )
+                if cached is not None:
+                    for i in indices[key]:
+                        results[i] = cached
+                else:
+                    pending.append(key)
+
+        with self.profile.phase("execute"):
+            todo = [by_key[key] for key in pending]
+            if not todo:
+                executed: List[List[dict]] = []
+            else:
+                workers = min(self.jobs, len(todo))
+                if workers <= 1:
+                    executed = [_execute_security(j) for j in todo]
+                else:
+                    with ProcessPoolExecutor(max_workers=workers) as pool:
+                        executed = list(pool.map(_execute_security, todo))
+        for key, raw in zip(pending, executed):
+            if self.cache is not None:
+                self.cache.put_security(key, raw)
+            for i in indices[key]:
+                results[i] = raw
+
+        self.profile.count("security_jobs", len(jobs))
+        self.profile.count("security_executed", len(pending))
+        self.profile.set_count("cache_hits", self.cache_hits)
+        self.profile.set_count("cache_misses", self.cache_misses)
+        if self.cache is not None:
+            self.cache.prune_to_limit()
+
+        return [
+            _security_results_from_dicts(raw)  # type: ignore[arg-type]
+            for raw in results
+        ]
 
     # ------------------------------------------------------------------
     def slowdown_matrix(

@@ -183,7 +183,42 @@ def cmd_security(args: argparse.Namespace) -> int:
     )
     print(f"\nFractal Mitigation transitive-safety bound: TRH-D >= "
           f"{fm_safe_trhd()} (Appendix B)")
-    if args.attack_acts:
+    if args.seeds:
+        from repro.security.thresholds import threshold_sweep
+
+        acts = args.attack_acts or 20_000
+        points = threshold_sweep(
+            args.windows,
+            seeds=args.seeds,
+            acts=acts,
+            tracker=args.tracker,
+            policy=args.policy,
+            backend=args.backend,
+        )
+        sweep_rows = [
+            [
+                p.window,
+                mint_tolerated_trhd(p.window, recursive=False),
+                f"{p.max_pressure:.1f}",
+                f"{p.mean_pressure:.1f}",
+                p.mitigations,
+            ]
+            for p in points
+        ]
+        print()
+        print(
+            render_table(
+                ["window", "analytic TRH-D", "worst pressure",
+                 "mean pressure", "mitigations"],
+                sweep_rows,
+                title=(
+                    f"empirical (ABCD)^K sweep: {args.tracker}/{args.policy}"
+                    f", {args.seeds} seeds x {acts} ACTs"
+                    f" [{args.backend}]"
+                ),
+            )
+        )
+    elif args.attack_acts:
         from repro.core.mitigation import FractalMitigation
         from repro.security.montecarlo import run_attack
         from repro.trackers.mint import MintTracker
@@ -470,6 +505,20 @@ def build_parser() -> argparse.ArgumentParser:
                           default=[4, 8, 16, 32])
     security.add_argument("--attack-acts", type=int, default=0)
     security.add_argument("--seed", type=int, default=1)
+    security.add_argument(
+        "--seeds", type=int, default=0,
+        help="run the batched Monte-Carlo sweep across this many seeds",
+    )
+    security.add_argument(
+        "--tracker", default="mint",
+        choices=["mint", "mint-transitive", "graphene", "para"],
+    )
+    security.add_argument(
+        "--policy", default="fractal", choices=["fractal", "blast"],
+    )
+    security.add_argument(
+        "--backend", default="numpy", choices=["numpy", "scalar"],
+    )
     security.set_defaults(func=cmd_security)
 
     audit = sub.add_parser(

@@ -20,6 +20,8 @@ event-driven at request granularity:
 from __future__ import annotations
 
 import dataclasses
+import os
+from collections import OrderedDict
 from functools import partial
 from typing import Callable, List, Optional
 
@@ -47,6 +49,27 @@ from repro.sim.config import SystemConfig
 from repro.sim.engine import Engine
 from repro.sim.rng import RngStreams
 from repro.sim.stats import SimStats
+
+
+#: Default bound of the per-channel ``locate`` memo (entries, i.e. distinct
+#: hot line addresses; 64Ki entries ~ a few MB of dict overhead).
+DEFAULT_LOCATE_CACHE = 1 << 16
+
+
+def locate_cache_capacity() -> int:
+    """``REPRO_LOCATE_CACHE`` env var (entries); 0 disables the memo."""
+    raw = os.environ.get("REPRO_LOCATE_CACHE")
+    if raw is None:
+        return DEFAULT_LOCATE_CACHE
+    try:
+        cap = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_LOCATE_CACHE must be an integer >= 0, got {raw!r}"
+        ) from None
+    if cap < 0:
+        raise ValueError(f"REPRO_LOCATE_CACHE must be >= 0, got {cap}")
+    return cap
 
 
 class _ObsHooks:
@@ -136,6 +159,8 @@ class _ObsHooks:
         "command_log",
         "_obs",
         "_streams",
+        "_locate_cache",
+        "_locate_cache_cap",
     ),
 )
 class MemoryController:
@@ -195,6 +220,13 @@ class MemoryController:
         self.bus_free_at: List[int] = [0] * config.num_subchannels
         self._wakeups: List[Optional[int]] = [None] * n_banks
         self._order = 0
+        # Memoized line->location decode. The mapping is a pure static
+        # function of the line address for the whole run (even Rubix: the
+        # cipher key is fixed at construction), so entries never need
+        # invalidating; the bound only caps memory. Derived, not state: a
+        # restored controller restarts cold with identical results.
+        self._locate_cache: "OrderedDict[int, object]" = OrderedDict()
+        self._locate_cache_cap = locate_cache_capacity()
 
         self.rfm: Optional[RfmController] = None
         self.prac: Optional[PracModel] = None
@@ -306,7 +338,17 @@ class MemoryController:
     # ------------------------------------------------------------------
     def submit(self, request: Request) -> None:
         """Accept a request at the current cycle."""
-        location = self.mapping.locate(request.line_addr)
+        line = request.line_addr
+        cache = self._locate_cache
+        location = cache.get(line)
+        if location is None:
+            location = self.mapping.locate(line)
+            if self._locate_cache_cap:
+                cache[line] = location
+                if len(cache) > self._locate_cache_cap:
+                    cache.popitem(last=False)
+        else:
+            cache.move_to_end(line)
         request.location = location
         request.flat_bank = location.flat_bank(self._banks_per_sc)
         request._order = self._order

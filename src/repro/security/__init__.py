@@ -8,6 +8,8 @@
   Fig. 1a).
 * :mod:`repro.security.montecarlo` — logical-time attack simulation against
   tracker + mitigation pairs (transitive/Half-Double patterns included).
+* :mod:`repro.security.kernels` — the vectorized batch engine: S seeds x P
+  patterns per call, exactly equal to the scalar reference.
 * :mod:`repro.security.blast` — disturbance-vs-distance model (Blaster).
 * :mod:`repro.security.ecc` — SECDED tolerance model (Section VII-E).
 """
@@ -24,10 +26,36 @@ from repro.security.mint_model import (
     mint_tolerated_trhd,
     mint_tolerated_trhs,
 )
+from repro.security.kernels import (
+    BlastPolicySpec,
+    CipherRowRemapper,
+    FractalPolicySpec,
+    GrapheneSpec,
+    MintSpec,
+    ParaSpec,
+    build_pattern,
+    run_attack_batch,
+)
 from repro.security.montecarlo import AttackResult, run_attack
-from repro.security.thresholds import TRH_HISTORY
+from repro.security.thresholds import (
+    TRH_HISTORY,
+    SweepPoint,
+    montecarlo_tolerated_threshold,
+    threshold_sweep,
+)
 
 __all__ = [
+    "BlastPolicySpec",
+    "CipherRowRemapper",
+    "FractalPolicySpec",
+    "GrapheneSpec",
+    "MintSpec",
+    "ParaSpec",
+    "SweepPoint",
+    "build_pattern",
+    "montecarlo_tolerated_threshold",
+    "run_attack_batch",
+    "threshold_sweep",
     "FM_SAFE_TRHD",
     "fm_damage",
     "fm_escape_probability",

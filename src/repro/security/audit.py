@@ -8,6 +8,15 @@ any row experienced. The threat-model success condition — "any row receives
 more than the threshold number of activations without any intervening
 mitigation" (Section II-A) — becomes directly checkable against the full
 system: scheduler, queues, retries, ALERT machinery and all.
+
+Two backends compute the identical audit:
+
+* ``backend="scalar"`` — the original record-at-a-time reference loop;
+* ``backend="numpy"`` — a vectorized replay (default) that turns the log
+  into per-cell event streams and computes every between-resets interval
+  sum with one cumulative-sum pass per damage event.  Results are exactly
+  equal, max-pressure tie-breaking included (see
+  ``tests/test_security_kernels.py``).
 """
 
 from __future__ import annotations
@@ -16,11 +25,11 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
+from repro.security.blast import FAR_DAMAGE, hammer_profile
 from repro.sim.cmdlog import ACT, REF, VICTIM_REFRESH, CommandLog
 from repro.sim.config import SystemConfig
 
-#: Relative damage a victim at distance 2 takes (Blaster, Section V fn. 3).
-FAR_DAMAGE = 0.1
+__all__ = ["FAR_DAMAGE", "HammerAudit", "audit_hammer_pressure"]
 
 
 @dataclass
@@ -43,6 +52,7 @@ def audit_hammer_pressure(
     log: CommandLog,
     config: SystemConfig,
     blast_radius: int = 2,
+    backend: str = "numpy",
 ) -> HammerAudit:
     """Compute per-row hammer pressure from a recorded command stream.
 
@@ -53,9 +63,21 @@ def audit_hammer_pressure(
     which short simulations never reach, so REF is conservatively ignored
     here (pressure only ever over-estimates).
     """
+    if backend == "numpy":
+        return _audit_numpy(log, config, blast_radius)
+    if backend != "scalar":
+        raise ValueError(f"unknown backend {backend!r}")
+    return _audit_scalar(log, config, blast_radius)
+
+
+def _audit_scalar(
+    log: CommandLog, config: SystemConfig, blast_radius: int
+) -> HammerAudit:
+    """Reference implementation: one record at a time."""
     config.validate()
     pressure: Dict[Tuple[int, int], float] = defaultdict(float)
     audit = HammerAudit()
+    profile = hammer_profile(blast_radius)
 
     def bump(bank: int, row: int, amount: float) -> None:
         if not 0 <= row < config.rows_per_bank:
@@ -69,22 +91,132 @@ def audit_hammer_pressure(
     for record in sorted(log.records, key=lambda r: r.time):
         if record.kind == ACT:
             audit.activations += 1
-            for dist in range(1, blast_radius + 1):
-                damage = 1.0 if dist == 1 else FAR_DAMAGE
-                bump(record.bank, record.row - dist, damage)
-                bump(record.bank, record.row + dist, damage)
-            pressure[(record.bank, record.row)] = 0.0
         elif record.kind == VICTIM_REFRESH:
-            audit.victim_refreshes += 1
             # The refresh restores the victim but hammers its neighbours
             # (the transitive vector), same as a row cycle.
-            for dist in range(1, blast_radius + 1):
-                damage = 1.0 if dist == 1 else FAR_DAMAGE
-                bump(record.bank, record.row - dist, damage)
-                bump(record.bank, record.row + dist, damage)
-            pressure[(record.bank, record.row)] = 0.0
-        elif record.kind == REF:
-            continue  # conservative: see docstring
+            audit.victim_refreshes += 1
+        else:
+            continue  # REF is conservative: see docstring
+        for offset, damage in profile:
+            bump(record.bank, record.row + offset, damage)
+        pressure[(record.bank, record.row)] = 0.0
 
     audit.pressure = dict(pressure)
+    return audit
+
+
+def _audit_numpy(
+    log: CommandLog, config: SystemConfig, blast_radius: int
+) -> HammerAudit:
+    """Vectorized audit over per-cell event streams.
+
+    Every hammering record (ACT or VICTIM_REFRESH) expands into its blast
+    profile of damage events plus one reset event on the activated cell,
+    all stamped with the record's chronological index; the expansion is one
+    numpy broadcast per profile slot instead of a Python loop per record.
+    Events are then grouped by cell and accumulated with one ``cumsum``
+    per between-resets segment — ``cumsum`` folds left exactly like the
+    scalar accumulator, so every per-cell pressure is bit-identical to the
+    reference loop.  The scalar loop crowns the *first* event that
+    strictly exceeds the running maximum, which over one stream equals the
+    earliest damage event attaining the global maximum — so the winning
+    (bank, row) is recovered exactly, tie-breaking included.
+    """
+    import numpy as np
+
+    config.validate()
+    audit = HammerAudit()
+    profile = hammer_profile(blast_radius)
+
+    records = sorted(log.records, key=lambda r: r.time)
+    hammering = [r for r in records if r.kind in (ACT, VICTIM_REFRESH)]
+    audit.activations = sum(1 for r in hammering if r.kind == ACT)
+    audit.victim_refreshes = len(hammering) - audit.activations
+    if not hammering:
+        audit.pressure = {}
+        return audit
+
+    rows_per_bank = config.rows_per_bank
+    banks = np.fromiter((r.bank for r in hammering), dtype=np.int64,
+                        count=len(hammering))
+    rows = np.fromiter((r.row for r in hammering), dtype=np.int64,
+                       count=len(hammering))
+    n = rows.shape[0]
+    k = len(profile)
+
+    # Event table: k damage events then 1 reset event per record, laid out
+    # record-major / slot-minor so flattening reproduces the scalar apply
+    # order exactly.
+    cells = np.empty((n, k + 1), dtype=np.int64)
+    deltas = np.empty((n, k + 1), dtype=np.float64)
+    valid = np.empty((n, k + 1), dtype=bool)
+    for slot, (offset, damage) in enumerate(profile):
+        target = rows + offset
+        cells[:, slot] = banks * rows_per_bank + target
+        deltas[:, slot] = damage
+        valid[:, slot] = (target >= 0) & (target < rows_per_bank)
+    cells[:, k] = banks * rows_per_bank + rows
+    deltas[:, k] = 0.0
+    valid[:, k] = True
+    is_reset = np.zeros((n, k + 1), dtype=bool)
+    is_reset[:, k] = True
+
+    flat_valid = valid.reshape(-1)
+    order_cells = cells.reshape(-1)[flat_valid]
+    order_deltas = deltas.reshape(-1)[flat_valid]
+    order_reset = is_reset.reshape(-1)[flat_valid]
+    total = order_cells.shape[0]
+    seq = np.arange(total, dtype=np.int64)
+
+    # Group events by cell, chronological order preserved inside a group.
+    sort_idx = np.argsort(order_cells, kind="stable")
+    g_cells = order_cells[sort_idx]
+    g_deltas = order_deltas[sort_idx]
+    g_reset = order_reset[sort_idx]
+    g_seq = seq[sort_idx]
+    group_starts = np.flatnonzero(
+        np.concatenate(([True], g_cells[1:] != g_cells[:-1]))
+    )
+    group_bounds = np.append(group_starts, total)
+
+    # Per-cell accumulation: cumsum per between-resets segment (exact
+    # left-fold, bit-identical to the scalar accumulator); resets pin the
+    # cell back to 0.0.
+    pressure_after = np.empty(total, dtype=np.float64)
+    reset_positions = np.flatnonzero(g_reset)
+    for gi in range(group_bounds.shape[0] - 1):
+        s, e = group_bounds[gi], group_bounds[gi + 1]
+        lo = np.searchsorted(reset_positions, s)
+        hi = np.searchsorted(reset_positions, e)
+        seg_start = s
+        for rp in reset_positions[lo:hi]:
+            if rp > seg_start:
+                pressure_after[seg_start:rp] = np.cumsum(
+                    g_deltas[seg_start:rp]
+                )
+            pressure_after[rp] = 0.0
+            seg_start = rp + 1
+        if seg_start < e:
+            pressure_after[seg_start:e] = np.cumsum(g_deltas[seg_start:e])
+
+    damage_mask = ~g_reset
+    if damage_mask.any():
+        dmg_pressure = pressure_after[damage_mask]
+        max_pressure = dmg_pressure.max()
+        if max_pressure > 0.0:
+            dmg_seq = g_seq[damage_mask]
+            dmg_cell = g_cells[damage_mask]
+            at_max = dmg_pressure == max_pressure
+            winner = np.argmin(np.where(at_max, dmg_seq, total + 1))
+            audit.max_pressure = float(max_pressure)
+            cell = int(dmg_cell[winner])
+            audit.max_pressure_bank = cell // rows_per_bank
+            audit.max_pressure_row = cell % rows_per_bank
+
+    # Final per-cell pressure: the last event's value in each group.
+    final_idx = group_bounds[1:] - 1
+    audit.pressure = {
+        (int(c) // rows_per_bank, int(c) % rows_per_bank): float(p)
+        for c, p in zip(g_cells[final_idx], pressure_after[final_idx])
+    }
     return audit

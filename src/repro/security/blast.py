@@ -16,10 +16,38 @@ exactly by matching refresh probability to disturbance:
 
 from __future__ import annotations
 
+from typing import Tuple
+
 from repro.core.mitigation import FractalMitigation
 
 #: Fraction of d=1 damage observed at d=2 (Blaster: "less than 10 %").
 DISTANCE_2_FRACTION = 0.10
+
+#: Per-activation damage a victim at distance >= 2 takes in the discrete
+#: pressure accounting (the Monte-Carlo harness and the timing audit both
+#: round the Blaster "< 10 % at d = 2" point to a flat 0.1).
+FAR_DAMAGE = 0.1
+
+
+def hammer_profile(blast_radius: int) -> Tuple[Tuple[int, float], ...]:
+    """The shared blast-profile table: ``((offset, damage), ...)``.
+
+    One activation of row r bumps ``pressure[r + offset] += damage`` for
+    every entry, in table order (distance 1 before distance 2, minus side
+    before plus side — the order every pressure-accounting engine in
+    :mod:`repro.security` must apply so scalar and vectorized replays stay
+    bit-identical, ties in max-pressure rows included). ``blast_radius=1``
+    yields only the d = 1 pair, with no distance-2 ``FAR_DAMAGE``
+    bookkeeping at all.
+    """
+    if blast_radius < 1:
+        raise ValueError("blast_radius must be at least 1")
+    profile = []
+    for dist in range(1, blast_radius + 1):
+        damage = 1.0 if dist == 1 else FAR_DAMAGE
+        profile.append((-dist, damage))
+        profile.append((dist, damage))
+    return tuple(profile)
 
 
 def relative_damage(distance: int, d2_fraction: float = DISTANCE_2_FRACTION) -> float:

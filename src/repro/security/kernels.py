@@ -1,0 +1,648 @@
+"""Vectorized Monte-Carlo security kernels: S seeds × P patterns per call.
+
+:func:`repro.security.montecarlo.run_attack` replays one pattern against
+one live tracker/policy pair, one activation at a time.  The paper's
+security results (Tables III/VI, Figs 14/16) need *thousands* of such
+replays — same pattern, different RNG seeds — and the whole batch is
+data-parallel.  This module runs the batch as one numpy program:
+
+* pressure lives in an ``(arena_rows, seeds)`` float array, so each hammer
+  offset is one contiguous vector add across every seed at once;
+* tracker nominations are pre-computed per window — MINT's slot draws,
+  PARA's samples, and Fractal Mitigation's distance draws are batched RNG
+  calls that consume the *identical* stream the scalar trackers would
+  (``Generator.integers(..., size=n)`` equals n single draws, pinned by
+  ``tests/test_security_kernels.py``);
+* policy victim refreshes are per-window index gathers, applied in the
+  exact slot-and-offset order of the scalar engine;
+* transitive-refresh feedback (MINT's W+1 slot re-nominating the previous
+  mitigation at level+1) is a small per-window scalar epilogue over seed
+  vectors.
+
+Because every floating-point add happens to the same cell in the same
+chronological order, and max-pressure updates use the same strictly-greater
+rule in the same cell order, the batch engine's results are **exactly
+equal** to the scalar reference — bit-identical pressures, identical
+max-pressure rows, identical tie-breaking.  ``backend="scalar"`` runs the
+same batch through :func:`run_attack` (the oracle); the differential suite
+asserts both backends agree on every tested configuration.
+
+RNG convention: replay seed ``s`` derives its generators as
+``tracker_rng, policy_rng = SeedSequence(s).spawn(2)`` in both backends.
+
+Rubix-style row remapping is supported through ``row_cipher``: the numpy
+backend batches the remap over the whole row space up front with
+:meth:`~repro.mapping.kcipher.KCipher.encrypt_array`; the scalar oracle
+wraps the same cipher in :class:`CipherRowRemapper`.  Dynamic remappers
+(RowSwap/Migration policies) mutate per-replay state and stay scalar-only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.mitigation import (
+    BlastRadiusMitigation,
+    FractalMitigation,
+    MitigationPolicy,
+)
+from repro.mapping.kcipher import KCipher
+from repro.security.blast import hammer_profile
+from repro.security.montecarlo import AttackResult, run_attack
+from repro.trackers.base import Tracker
+from repro.trackers.graphene import GrapheneTracker
+from repro.trackers.mint import MintTracker
+from repro.trackers.para import ParaTracker
+
+__all__ = [
+    "MintSpec",
+    "GrapheneSpec",
+    "ParaSpec",
+    "FractalPolicySpec",
+    "BlastPolicySpec",
+    "CipherRowRemapper",
+    "DEFAULT_ROWS_PER_BANK",
+    "build_pattern",
+    "build_policy",
+    "build_tracker",
+    "run_attack_batch",
+    "seed_rngs",
+]
+
+#: Default bank geometry for attack-space replays (128K rows, Table I).
+DEFAULT_ROWS_PER_BANK = 128 * 1024
+
+#: Seed-chunk sizing: bound the per-chunk pressure arena to this many bytes
+#: so thousand-seed batches never materialize multi-GB arrays.  The per-act
+#: Python overhead is paid once per chunk regardless of width, so wider
+#: chunks are faster until the arena stops fitting in memory; tune with
+#: ``run_attack_batch(seed_chunk=...)``.
+_CHUNK_BUDGET_BYTES = 512 * 1024 * 1024
+
+
+# ----------------------------------------------------------------------
+# Specs: picklable value descriptions of trackers and policies.  The batch
+# API takes specs instead of live objects because every seed needs its own
+# freshly-seeded instance (and worker processes need to rebuild them).
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MintSpec:
+    """MINT tracker (Section II-D): window W, optional transitive slot."""
+
+    window: int
+    transitive_slot: bool = False
+    kind: str = field(default="mint", init=False)
+
+
+@dataclass(frozen=True)
+class GrapheneSpec:
+    """Graphene tracker (Section VII-D): Misra-Gries table + threshold."""
+
+    entries: int
+    mitigation_count: int
+    kind: str = field(default="graphene", init=False)
+
+
+@dataclass(frozen=True)
+class ParaSpec:
+    """PARA sampling tracker (Section VII-B)."""
+
+    probability: float
+    kind: str = field(default="para", init=False)
+
+
+@dataclass(frozen=True)
+class FractalPolicySpec:
+    """Fractal Mitigation (Section V-C): d=1 pair + probabilistic far pair."""
+
+    kind: str = field(default="fractal", init=False)
+
+
+@dataclass(frozen=True)
+class BlastPolicySpec:
+    """Recursive blast-radius mitigation (Fig. 9b): level-scaled victims."""
+
+    kind: str = field(default="blast", init=False)
+
+
+TrackerSpec = Union[MintSpec, GrapheneSpec, ParaSpec]
+PolicySpec = Union[FractalPolicySpec, BlastPolicySpec]
+
+
+def seed_rngs(seed: int) -> Tuple[np.random.Generator, np.random.Generator]:
+    """The batch engine's RNG convention: one spawned child each for the
+    tracker and the policy, derived from the replay seed."""
+    tracker_seq, policy_seq = np.random.SeedSequence(seed).spawn(2)
+    return (
+        np.random.default_rng(tracker_seq),
+        np.random.default_rng(policy_seq),
+    )
+
+
+def build_tracker(spec: TrackerSpec, rng: np.random.Generator) -> Tracker:
+    """Live tracker for ``spec`` (used by the scalar oracle backend)."""
+    if isinstance(spec, MintSpec):
+        return MintTracker(
+            spec.window, rng, transitive_slot=spec.transitive_slot
+        )
+    if isinstance(spec, GrapheneSpec):
+        return GrapheneTracker(spec.entries, spec.mitigation_count, rng)
+    if isinstance(spec, ParaSpec):
+        return ParaTracker(spec.probability, rng)
+    raise TypeError(f"unknown tracker spec {spec!r}")
+
+
+def build_policy(
+    spec: PolicySpec, rows_per_bank: int, rng: np.random.Generator
+) -> MitigationPolicy:
+    """Live policy for ``spec`` (used by the scalar oracle backend)."""
+    if isinstance(spec, FractalPolicySpec):
+        return FractalMitigation(rows_per_bank, rng)
+    if isinstance(spec, BlastPolicySpec):
+        return BlastRadiusMitigation(rows_per_bank)
+    raise TypeError(f"unknown policy spec {spec!r}")
+
+
+def tracker_spec_from_strings(name: str, window: int) -> TrackerSpec:
+    """CLI/job-friendly spec construction from a tracker name."""
+    if name == "mint":
+        return MintSpec(window)
+    if name == "mint-transitive":
+        return MintSpec(window, transitive_slot=True)
+    if name == "graphene":
+        return GrapheneSpec(entries=64, mitigation_count=max(1, window))
+    if name == "para":
+        return ParaSpec(probability=1.0 / max(1, window))
+    raise ValueError(f"unknown tracker {name!r}")
+
+
+def policy_spec_from_string(name: str) -> PolicySpec:
+    """CLI/job-friendly spec construction from a policy name."""
+    if name == "fractal":
+        return FractalPolicySpec()
+    if name in ("blast", "recursive"):
+        return BlastPolicySpec()
+    raise ValueError(f"unknown policy {name!r}")
+
+
+class CipherRowRemapper:
+    """Adapter making a :class:`KCipher` usable as ``run_attack``'s
+    ``remapper`` (Rubix-style static row scrambling in attack space)."""
+
+    def __init__(self, cipher: KCipher):
+        self.cipher = cipher
+
+    def physical_row(self, row: int) -> int:
+        """The physical row a logical ``row`` lands on under the cipher."""
+        return self.cipher.encrypt(row)
+
+    def table(self) -> np.ndarray:
+        """The whole logical→physical map, batched up front."""
+        return self.cipher.encrypt_array(
+            np.arange(self.cipher.domain, dtype=np.int64)
+        )
+
+
+def build_pattern(attack: str, rows: Sequence[int], acts: int) -> List[int]:
+    """Named attack pattern (see :mod:`repro.workloads.attacks`).
+
+    ``rows`` parameterizes the pattern: the row list for ``round_robin``,
+    ``[victim]`` for ``double_sided``, ``[aggressor]`` for
+    ``single_sided``, ``[far_aggressor, decoys]`` for ``half_double``.
+    """
+    from repro.workloads import attacks
+
+    rows = list(rows)
+    if attack == "round_robin":
+        return attacks.round_robin_attack(rows, acts)
+    if attack == "single_sided":
+        return attacks.single_sided(rows[0], acts)
+    if attack == "double_sided":
+        return attacks.double_sided(rows[0], acts)
+    if attack == "half_double":
+        decoys = rows[1] if len(rows) > 1 else 8
+        return attacks.half_double(rows[0], acts, decoys=decoys)
+    raise ValueError(f"unknown attack {attack!r}")
+
+
+# ----------------------------------------------------------------------
+# Batch API
+# ----------------------------------------------------------------------
+def run_attack_batch(
+    patterns: Sequence[Sequence[int]],
+    tracker: TrackerSpec,
+    policy: PolicySpec,
+    *,
+    window: int,
+    seeds: Union[int, Sequence[int]],
+    rows_per_bank: int = DEFAULT_ROWS_PER_BANK,
+    blast_radius: int = 2,
+    refresh_interval_acts: Optional[int] = None,
+    row_cipher: Optional[KCipher] = None,
+    backend: str = "numpy",
+    seed_chunk: Optional[int] = None,
+    collect_pressure: bool = True,
+) -> List[List[AttackResult]]:
+    """Replay every pattern under every seed; returns ``[pattern][seed]``.
+
+    ``seeds`` is either a count (replay seeds ``0..n-1``) or an explicit
+    sequence.  ``backend="numpy"`` runs the vectorized engine;
+    ``backend="scalar"`` runs the same batch through the scalar
+    :func:`run_attack` oracle — results are exactly equal (the numpy
+    backend's ``pressure`` maps list only rows with non-zero pressure,
+    while the scalar reference also keeps zero-valued touched rows).
+
+    ``row_cipher`` applies a static Rubix-style logical→physical row
+    permutation: the pattern names logical rows, pressure accrues on
+    physical neighbours.  The numpy backend builds the full remap table
+    once with ``encrypt_array``; its domain must equal ``rows_per_bank``.
+    """
+    if window < 1:
+        raise ValueError("window must be at least 1")
+    if isinstance(seeds, (int, np.integer)):
+        seed_list = list(range(int(seeds)))
+    else:
+        seed_list = [int(s) for s in seeds]
+    if patterns and isinstance(patterns[0], (int, np.integer)):
+        patterns = [patterns]  # type: ignore[list-item]
+    if row_cipher is not None and row_cipher.domain != rows_per_bank:
+        raise ValueError(
+            f"row_cipher domain {row_cipher.domain} != rows_per_bank "
+            f"{rows_per_bank}"
+        )
+
+    if backend == "scalar":
+        return [
+            [
+                _run_scalar(
+                    pattern, tracker, policy, window, seed, rows_per_bank,
+                    blast_radius, refresh_interval_acts, row_cipher,
+                )
+                for seed in seed_list
+            ]
+            for pattern in patterns
+        ]
+    if backend != "numpy":
+        raise ValueError(f"unknown backend {backend!r}")
+
+    engine = _BatchEngine(
+        tracker, policy, window, rows_per_bank, blast_radius,
+        refresh_interval_acts, row_cipher, collect_pressure,
+    )
+    return [
+        engine.run_pattern(pattern, seed_list, seed_chunk)
+        for pattern in patterns
+    ]
+
+
+def _run_scalar(
+    pattern, tracker_spec, policy_spec, window, seed, rows_per_bank,
+    blast_radius, refresh_interval_acts, row_cipher,
+) -> AttackResult:
+    tracker_rng, policy_rng = seed_rngs(seed)
+    tracker = build_tracker(tracker_spec, tracker_rng)
+    policy = build_policy(policy_spec, rows_per_bank, policy_rng)
+    remapper = CipherRowRemapper(row_cipher) if row_cipher is not None else None
+    return run_attack(
+        pattern,
+        tracker,
+        policy,
+        window=window,
+        blast_radius=blast_radius,
+        refresh_interval_acts=refresh_interval_acts,
+        remapper=remapper,
+    )
+
+
+# ----------------------------------------------------------------------
+# The numpy engine
+# ----------------------------------------------------------------------
+#: ``2**k`` table for vectorized bit_length (16-bit operands).
+_POW2_16 = np.left_shift(np.int64(1), np.arange(17, dtype=np.int64))
+
+
+def _fractal_distances(rand16: np.ndarray) -> np.ndarray:
+    """Vector twin of :meth:`FractalMitigation.draw_distance`:
+    ``2 + leading_zeros(rand)`` over a 16-bit operand array."""
+    bit_length = np.searchsorted(_POW2_16, rand16, side="right")
+    return 2 + FractalMitigation.RAND_BITS - bit_length
+
+
+class _BatchEngine:
+    """One configured vectorized replay (shared across patterns/chunks)."""
+
+    def __init__(
+        self, tracker_spec, policy_spec, window, rows_per_bank,
+        blast_radius, refresh_interval_acts, row_cipher, collect_pressure,
+    ):
+        self.tracker_spec = tracker_spec
+        self.policy_spec = policy_spec
+        self.window = window
+        self.rows_per_bank = rows_per_bank
+        self.profile = hammer_profile(blast_radius)
+        self.blast_radius = blast_radius
+        self.refresh_interval_acts = refresh_interval_acts
+        self.collect_pressure = collect_pressure
+        self.phys_of: Optional[np.ndarray] = None
+        if row_cipher is not None:
+            self.phys_of = CipherRowRemapper(row_cipher).table()
+        if isinstance(tracker_spec, MintSpec) and tracker_spec.window != window:
+            raise ValueError(
+                "numpy backend requires the MINT spec window to equal the "
+                "replay window; use backend='scalar' for mismatched windows"
+            )
+
+    # -- nominations ---------------------------------------------------
+    def _nominate(
+        self, pattern: np.ndarray, seeds: List[int]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-(seed, window) nominations: rows (-1 = none) and levels."""
+        spec = self.tracker_spec
+        n_windows = pattern.shape[0] // self.window
+        n_seeds = len(seeds)
+        if isinstance(spec, MintSpec):
+            return self._nominate_mint(pattern, seeds, n_windows)
+        if isinstance(spec, GrapheneSpec):
+            row = self._nominate_graphene_shared(pattern, n_windows)
+            return (
+                np.broadcast_to(row, (n_seeds, n_windows)).copy(),
+                np.ones((n_seeds, n_windows), dtype=np.int64),
+            )
+        if isinstance(spec, ParaSpec):
+            return self._nominate_para(pattern, seeds, n_windows)
+        raise TypeError(f"unknown tracker spec {spec!r}")
+
+    def _nominate_mint(self, pattern, seeds, n_windows):
+        spec = self.tracker_spec
+        window = self.window
+        slots = window + (1 if spec.transitive_slot else 0)
+        n_seeds = len(seeds)
+        draws = np.empty((n_seeds, n_windows + 1), dtype=np.int64)
+        for i, seed in enumerate(seeds):
+            tracker_rng, _ = seed_rngs(seed)
+            # One draw at construction plus one per select — batched, this
+            # is the identical stream (see the RNG-batching pin test).
+            draws[i] = tracker_rng.integers(1, slots + 1, size=n_windows + 1)
+        slot = draws[:, :n_windows]
+        base = np.arange(n_windows, dtype=np.int64) * window
+        if not spec.transitive_slot:
+            nom_row = pattern[base[None, :] + slot - 1]
+            nom_level = np.ones((n_seeds, n_windows), dtype=np.int64)
+            return nom_row, nom_level
+        # Transitive slot: a per-window recurrence across seed vectors —
+        # slot W+1 re-nominates the previous mitigation at level+1 (or
+        # nothing when no mitigation has happened yet).
+        nom_row = np.empty((n_seeds, n_windows), dtype=np.int64)
+        nom_level = np.empty((n_seeds, n_windows), dtype=np.int64)
+        last_row = np.full(n_seeds, -1, dtype=np.int64)
+        last_level = np.zeros(n_seeds, dtype=np.int64)
+        acts = pattern.shape[0]
+        for w in range(n_windows):
+            slot_w = slot[:, w]
+            transitive = slot_w == window + 1
+            cap_idx = np.minimum(base[w] + slot_w - 1, acts - 1)
+            cap_row = pattern[cap_idx]
+            valid = np.where(transitive, last_row >= 0, True)
+            row_w = np.where(transitive, last_row, cap_row)
+            lvl_w = np.where(transitive, last_level + 1, 1)
+            nom_row[:, w] = np.where(valid, row_w, -1)
+            nom_level[:, w] = np.where(valid, lvl_w, 0)
+            np.copyto(last_row, row_w, where=valid)
+            np.copyto(last_level, lvl_w, where=valid)
+        return nom_row, nom_level
+
+    def _nominate_graphene_shared(self, pattern, n_windows):
+        """Graphene is deterministic (its rng is unused): one scalar replay
+        of the pattern serves every seed."""
+        spec = self.tracker_spec
+        tracker = GrapheneTracker(
+            spec.entries, spec.mitigation_count, np.random.default_rng(0)
+        )
+        nom_row = np.full(n_windows, -1, dtype=np.int64)
+        window = self.window
+        pat = pattern.tolist()
+        for w in range(n_windows):
+            for act in pat[w * window:(w + 1) * window]:
+                tracker.on_activation(act)
+            request = tracker.select_for_mitigation()
+            if request is not None:
+                nom_row[w] = request.row
+        return nom_row
+
+    def _nominate_para(self, pattern, seeds, n_windows):
+        spec = self.tracker_spec
+        n_seeds = len(seeds)
+        window = self.window
+        acts = pattern.shape[0]
+        nom_row = np.full((n_seeds, n_windows), -1, dtype=np.int64)
+        covered = n_windows * window
+        for i, seed in enumerate(seeds):
+            tracker_rng, _ = seed_rngs(seed)
+            sampled = tracker_rng.random(size=acts) < spec.probability
+            hits = np.flatnonzero(sampled[:covered])
+            if hits.size:
+                # A later sample overwrites an unharvested one, and every
+                # select clears the pending slot, so window w nominates
+                # its own last sampled act (ascending writes keep the max).
+                last = np.full(n_windows, -1, dtype=np.int64)
+                last[hits // window] = hits
+                has = last >= 0
+                nom_row[i, has] = pattern[last[has]]
+        return nom_row, np.ones((n_seeds, n_windows), dtype=np.int64)
+
+    def _fractal_distance_table(self, nom_row, seeds):
+        """Per-(seed, window) fractal distances, drawn only for windows
+        that actually mitigate — the scalar policy consumes one 16-bit
+        draw per ``victims()`` call and none otherwise."""
+        n_seeds, n_windows = nom_row.shape
+        dist = np.zeros((n_seeds, n_windows), dtype=np.int64)
+        for i, seed in enumerate(seeds):
+            _, policy_rng = seed_rngs(seed)
+            mitigating = nom_row[i] >= 0
+            count = int(mitigating.sum())
+            if count:
+                rand = policy_rng.integers(
+                    0, 1 << FractalMitigation.RAND_BITS, size=count
+                )
+                dist[i, mitigating] = _fractal_distances(rand)
+        return dist
+
+    # -- replay --------------------------------------------------------
+    def run_pattern(
+        self,
+        pattern: Sequence[int],
+        seed_list: List[int],
+        seed_chunk: Optional[int],
+    ) -> List[AttackResult]:
+        pattern_arr = np.asarray(list(pattern), dtype=np.int64)
+        if pattern_arr.size and pattern_arr.min() < 0:
+            raise ValueError("row indices must be non-negative")
+        if self.phys_of is not None:
+            if pattern_arr.size and pattern_arr.max() >= self.rows_per_bank:
+                raise ValueError(
+                    f"plaintext {int(pattern_arr.max())} outside "
+                    f"[0, {self.rows_per_bank})"
+                )
+            phys_pattern = self.phys_of[pattern_arr]
+        else:
+            phys_pattern = pattern_arr
+
+        pattern_top = int(phys_pattern.max()) if phys_pattern.size else 0
+        arena = max(pattern_top, self.rows_per_bank - 1) + self.blast_radius + 1
+
+        if seed_chunk is None:
+            seed_chunk = max(1, _CHUNK_BUDGET_BYTES // (arena * 8))
+        results: List[AttackResult] = []
+        for start in range(0, len(seed_list), seed_chunk):
+            chunk = seed_list[start:start + seed_chunk]
+            results.extend(
+                self._run_chunk(pattern_arr, phys_pattern, arena, chunk)
+            )
+        return results
+
+    def _run_chunk(self, pattern_arr, phys_pattern, arena, seeds):
+        n_seeds = len(seeds)
+        acts = pattern_arr.shape[0]
+        window = self.window
+        n_windows = acts // window
+        profile = self.profile
+        refresh_every = self.refresh_interval_acts
+
+        nom_row, nom_level = self._nominate(pattern_arr, seeds)
+        fractal = isinstance(self.policy_spec, FractalPolicySpec)
+        dist = (
+            self._fractal_distance_table(nom_row, seeds) if fractal else None
+        )
+
+        pressure = np.zeros((arena, n_seeds), dtype=np.float64)
+        max_pressure = np.zeros(n_seeds, dtype=np.float64)
+        max_row = np.full(n_seeds, -1, dtype=np.int64)
+        mitigations = np.zeros(n_seeds, dtype=np.int64)
+        victim_refreshes = np.zeros(n_seeds, dtype=np.int64)
+        greater = np.empty(n_seeds, dtype=bool)
+        seed_index = np.arange(n_seeds, dtype=np.int64)
+
+        # Per-act hammer schedule, precomputed once: (center, valid
+        # (target, damage) pairs). The loop body then only touches numpy.
+        schedule = [
+            (
+                center,
+                tuple(
+                    (center + offset, damage)
+                    for offset, damage in profile
+                    if center + offset >= 0
+                ),
+            )
+            for center in phys_pattern.tolist()
+        ]
+        np_greater = np.greater
+        np_copyto = np.copyto
+        for i, (center, targets) in enumerate(schedule):
+            for target, damage in targets:
+                cells = pressure[target]
+                cells += damage
+                np_greater(cells, max_pressure, out=greater)
+                if greater.any():
+                    np_copyto(max_pressure, cells, where=greater)
+                    max_row[greater] = target
+            pressure[center] = 0.0
+            done = i + 1
+            if done % window == 0:
+                self._apply_window(
+                    done // window - 1, nom_row, nom_level, dist, pressure,
+                    max_pressure, max_row, mitigations, victim_refreshes,
+                    seed_index,
+                )
+            if refresh_every is not None and done % refresh_every == 0:
+                pressure[:] = 0.0
+
+        return self._collect(
+            pressure, max_pressure, max_row, mitigations, victim_refreshes,
+            acts, n_seeds,
+        )
+
+    def _apply_window(
+        self, w, nom_row, nom_level, dist, pressure, max_pressure, max_row,
+        mitigations, victim_refreshes, seed_index,
+    ):
+        rows = nom_row[:, w]
+        valid = rows >= 0
+        if not valid.any():
+            return
+        mitigations += valid
+        if dist is not None:
+            d = dist[:, w]
+            slots = (rows - d, rows - 1, rows + 1, rows + d)
+        else:
+            levels = nom_level[:, w]
+            near = 2 * levels - 1
+            far = 2 * levels
+            slots = (rows - far, rows - near, rows + near, rows + far)
+        rows_per_bank = self.rows_per_bank
+        profile = self.profile
+        phys_of = self.phys_of
+        min_offset = -self.blast_radius  # deepest negative hammer offset
+        for slot_rows in slots:
+            ok = valid & (slot_rows >= 0) & (slot_rows < rows_per_bank)
+            if not ok.any():
+                continue
+            if ok.all():
+                # Fast path (the common mid-bank case): every lane
+                # refreshes this slot, no boolean gathers needed.
+                victim_refreshes += 1
+                victims = slot_rows
+                lanes = seed_index
+            else:
+                victim_refreshes += ok
+                victims = slot_rows[ok]
+                lanes = seed_index[ok]
+            phys_victims = phys_of[victims] if phys_of is not None else victims
+            # One reduction instead of a per-offset bounds check: if the
+            # lowest victim clears the deepest negative offset, every
+            # hammer target of this slot is in the arena.
+            safe = int(phys_victims.min()) + min_offset >= 0
+            for offset, damage in profile:
+                targets = phys_victims + offset
+                if safe:
+                    t, s = targets, lanes
+                else:
+                    in_range = targets >= 0
+                    if in_range.all():
+                        t, s = targets, lanes
+                    else:
+                        t, s = targets[in_range], lanes[in_range]
+                values = pressure[t, s] + damage
+                pressure[t, s] = values
+                g = values > max_pressure[s]
+                if g.any():
+                    winners = s[g]
+                    max_pressure[winners] = values[g]
+                    max_row[winners] = t[g]
+            pressure[phys_victims, lanes] = 0.0
+
+    def _collect(
+        self, pressure, max_pressure, max_row, mitigations,
+        victim_refreshes, acts, n_seeds,
+    ) -> List[AttackResult]:
+        per_seed_pressure: List[dict] = [dict() for _ in range(n_seeds)]
+        if self.collect_pressure:
+            lanes, rows = np.nonzero(pressure.T)
+            values = pressure.T[lanes, rows]
+            for lane, row, value in zip(
+                lanes.tolist(), rows.tolist(), values.tolist()
+            ):
+                per_seed_pressure[lane][row] = value
+        return [
+            AttackResult(
+                max_pressure=float(max_pressure[s]),
+                max_pressure_row=int(max_row[s]),
+                activations=acts,
+                mitigations=int(mitigations[s]),
+                victim_refreshes=int(victim_refreshes[s]),
+                pressure=per_seed_pressure[s],
+            )
+            for s in range(n_seeds)
+        ]

@@ -22,10 +22,10 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
 from repro.core.mitigation import MitigationPolicy
+from repro.security.blast import FAR_DAMAGE, hammer_profile
 from repro.trackers.base import Tracker
 
-#: Relative damage a victim at distance 2 takes (Section V footnote 3).
-FAR_DAMAGE = 0.1
+__all__ = ["FAR_DAMAGE", "AttackResult", "run_attack"]
 
 
 @dataclass
@@ -76,17 +76,17 @@ def run_attack(
     pressure: Dict[int, float] = defaultdict(float)
     result = AttackResult()
     position = 0
+    profile = hammer_profile(blast_radius)
 
     def hammer(row: int) -> None:
-        for dist in range(1, blast_radius + 1):
-            damage = 1.0 if dist == 1 else FAR_DAMAGE
-            for victim in (row - dist, row + dist):
-                if victim < 0:
-                    continue
-                pressure[victim] += damage
-                if pressure[victim] > result.max_pressure:
-                    result.max_pressure = pressure[victim]
-                    result.max_pressure_row = victim
+        for offset, damage in profile:
+            victim = row + offset
+            if victim < 0:
+                continue
+            pressure[victim] += damage
+            if pressure[victim] > result.max_pressure:
+                result.max_pressure = pressure[victim]
+                result.max_pressure_row = victim
 
     def physical(row: int) -> int:
         return remapper.physical_row(row) if remapper is not None else row

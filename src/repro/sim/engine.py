@@ -31,7 +31,7 @@ HEAP_DEPTH_EDGES = (0, 16, 64, 256, 1024, 4096, 16384, 65536)
 
 @checkpointable(
     state=("now", "_seq", "_obs_processed", "_heap"),
-    derived=("obs",),
+    derived=("obs", "_obs_handles"),
 )
 class Engine:
     """Deterministic discrete-event loop."""
@@ -42,6 +42,13 @@ class Engine:
         self._heap: List[Tuple[int, int, EventCallback]] = []
         #: Optional :class:`repro.obs.Observability`; see module docstring.
         self.obs = None
+        # Pre-resolved metric handles for the observed drains, keyed by the
+        # obs object they were resolved against: (obs, events_counter,
+        # depth_histogram, cycles_gauge). Label-keyed registry lookups are
+        # dict probes with tuple building — cheap once, but the drains run
+        # per checkpoint segment and per bounded step, so they are resolved
+        # exactly once per attached obs instead.
+        self._obs_handles = None
         # Lifetime count of events drained through the *observed* loops.
         # Heap-depth sampling strides over this counter (not a per-drain
         # one) so a run split across checkpoint segments samples at the
@@ -98,12 +105,7 @@ class Engine:
         """
         obs = self.obs
         metrics = obs.metrics
-        depth_hist = None
-        if metrics is not None:
-            events_counter = metrics.counter("engine.events")
-            depth_hist = metrics.histogram(
-                "engine.heap_depth", HEAP_DEPTH_EDGES
-            )
+        events_counter, depth_hist, cycles_gauge = self._resolve_obs_handles()
         heap = self._heap
         pop = heapq.heappop
         processed = 0
@@ -131,8 +133,28 @@ class Engine:
         obs.profiler.count("events", processed)
         if metrics is not None:
             events_counter.inc(processed)
-            metrics.gauge("engine.cycles").set(self.now)
+            cycles_gauge.set(self.now)
         return self.now
+
+    def _resolve_obs_handles(self):
+        """(events_counter, depth_histogram, cycles_gauge) for ``self.obs``,
+        resolved through the registry once and reused while the same obs
+        object stays attached."""
+        obs = self.obs
+        handles = self._obs_handles
+        if handles is not None and handles[0] is obs:
+            return handles[1], handles[2], handles[3]
+        metrics = obs.metrics
+        if metrics is not None:
+            trio = (
+                metrics.counter("engine.events"),
+                metrics.histogram("engine.heap_depth", HEAP_DEPTH_EDGES),
+                metrics.gauge("engine.cycles"),
+            )
+        else:
+            trio = (None, None, None)
+        self._obs_handles = (obs,) + trio
+        return trio
 
     def run(
         self, until: Optional[int] = None, max_events: Optional[int] = None
@@ -164,6 +186,7 @@ class Engine:
         if self.obs is not None and self.obs.enabled:
             self.obs.profiler.count("events", processed)
             if self.obs.metrics is not None:
-                self.obs.metrics.counter("engine.events").inc(processed)
-                self.obs.metrics.gauge("engine.cycles").set(self.now)
+                events_counter, _, cycles_gauge = self._resolve_obs_handles()
+                events_counter.inc(processed)
+                cycles_gauge.set(self.now)
         return self.now
