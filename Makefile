@@ -1,12 +1,20 @@
 # Convenience targets for the AutoRFM reproduction.
 
-.PHONY: install test bench bench-smoke bench-security examples audit clean
+.PHONY: install test lint lint-baseline bench bench-smoke bench-security examples audit clean
 
 install:
 	pip install -e . || python setup.py develop
 
 test:
 	PYTHONPATH=src python -m pytest -x -q
+
+lint:
+	PYTHONPATH=src python -m repro lint src/repro
+	@command -v ruff >/dev/null 2>&1 && ruff check src/repro || echo "ruff not installed; skipping"
+	@command -v mypy >/dev/null 2>&1 && mypy src/repro/lint || echo "mypy not installed; skipping"
+
+lint-baseline:
+	PYTHONPATH=src python -m repro lint --update-baseline src/repro
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -10,8 +10,10 @@ a lint error (see :func:`verify_contract` and
 ``tests/test_ckpt_contract.py``), so new simulator state cannot silently
 escape the snapshot.
 
-This module is intentionally dependency-free within ``repro`` so any layer
-(sim, dram, trackers, mc, cpu, obs) can import it without cycles.
+The AST walk behind :func:`assigned_attributes` is shared with the static
+analysis suite: it lives in :mod:`repro.lint.astutil`, which is itself
+stdlib-only, so this module still imports cleanly from any layer (sim,
+dram, trackers, mc, cpu, obs) without cycles.
 """
 
 from __future__ import annotations
@@ -25,6 +27,8 @@ from collections import OrderedDict, deque
 from typing import Any, Callable, Dict, FrozenSet, Optional, Set, Tuple, Type
 
 import numpy as np
+
+from repro.lint.astutil import collect_self_assignment_targets
 
 
 class ContractError(ValueError):
@@ -341,22 +345,15 @@ def restore_fields(obj: Any, data: Dict[str, Any], overrides: Overrides = None) 
 # Contract linting
 # ----------------------------------------------------------------------
 
-def _collect_target(node: ast.AST, names: Set[str]) -> None:
-    if isinstance(node, ast.Attribute):
-        if isinstance(node.value, ast.Name) and node.value.id == "self":
-            names.add(node.attr)
-    elif isinstance(node, (ast.Tuple, ast.List)):
-        for element in node.elts:
-            _collect_target(element, names)
-    # Subscript / Starred targets mutate existing containers, not bindings.
-
-
 def assigned_attributes(cls: type) -> Set[str]:
     """Every ``self.X`` a class (or its bases) binds, found by AST walk.
 
     All methods are inspected, not just ``__init__`` — some state is first
     assigned lazily (e.g. the controller's ``_ref_cursor`` appears in
-    ``_schedule_refreshes``). Dataclass fields count as assigned too.
+    ``_schedule_refreshes``). Dataclass fields count as assigned too. The
+    walk itself is :func:`repro.lint.astutil.collect_self_assignment_targets`,
+    shared with the ``repro lint`` checkpoint-contract pass so the runtime
+    and static checks cannot drift apart.
     """
     names: Set[str] = set()
     for klass in cls.__mro__:
@@ -369,12 +366,7 @@ def assigned_attributes(cls: type) -> Set[str]:
         except (OSError, TypeError):
             continue
         tree = ast.parse(source)
-        for node in ast.walk(tree):
-            if isinstance(node, ast.Assign):
-                for target in node.targets:
-                    _collect_target(target, names)
-            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
-                _collect_target(node.target, names)
+        names.update(collect_self_assignment_targets(tree))
     return names
 
 

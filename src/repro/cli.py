@@ -15,6 +15,7 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -364,6 +365,47 @@ def cmd_storage(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the determinism/contract static-analysis suite."""
+    from repro.lint import (
+        ALL_PASSES,
+        Baseline,
+        BaselineError,
+        load_baseline,
+        render,
+        run_lint,
+    )
+
+    if args.list_rules:
+        for lint_pass in ALL_PASSES:
+            for rule in lint_pass.rules:
+                print(f"{rule.rule_id}  {rule.name:<22} {rule.summary}")
+        return 0
+    paths = args.paths or ["src/repro"]
+    missing = [p for p in paths if not os.path.exists(p)]
+    if missing:
+        print(f"no such path(s): {missing}", file=sys.stderr)
+        return 2
+    try:
+        baseline = load_baseline(args.baseline)
+    except BaselineError as exc:
+        print(f"baseline error: {exc}", file=sys.stderr)
+        return 2
+    result = run_lint(
+        paths,
+        baseline=baseline,
+        rule_filter=args.rule or None,
+    )
+    if args.update_baseline:
+        keep = [f for f in result.findings if f.status != "suppressed"]
+        Baseline.from_findings(keep, previous=baseline).save(args.baseline)
+        print(f"wrote {args.baseline} ({len(keep)} suppressed finding(s)); "
+              "fill in every TODO justification before committing")
+        return 0
+    print(render(result, args.format, verbose=args.verbose))
+    return 0 if result.ok else 1
+
+
 def cmd_checkpoint(args: argparse.Namespace) -> int:
     """Simulate one workload with periodic checkpoints into a directory."""
     if args.workload not in WORKLOADS:
@@ -551,6 +593,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     reproduce.add_argument("experiment", nargs="?", default="list")
     reproduce.set_defaults(func=cmd_reproduce)
+
+    lint = sub.add_parser(
+        "lint", help="determinism & contract static analysis"
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=None,
+        help="files/directories to lint (default: src/repro)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--baseline", default="lint-baseline.json",
+        help="suppression baseline file (default: lint-baseline.json; "
+             "a missing file just means no baseline)",
+    )
+    lint.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline to cover every current finding "
+             "(preserving existing justifications), then exit 0",
+    )
+    lint.add_argument(
+        "--rule", action="append", metavar="RULE",
+        help="only report this rule (id or name; repeatable)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    lint.add_argument(
+        "--verbose", action="store_true",
+        help="also show pragma-suppressed findings and justifications",
+    )
+    lint.set_defaults(func=cmd_lint)
 
     checkpoint = sub.add_parser(
         "checkpoint", help="simulate with periodic snapshots to a directory"

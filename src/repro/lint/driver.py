@@ -1,0 +1,166 @@
+"""The lint driver: discover, parse, run passes, suppress, classify.
+
+The pipeline per run:
+
+1. discover ``.py`` files under the given paths (skipping ``__pycache__``),
+2. parse each into a :class:`~repro.lint.base.ModuleSource`,
+3. run every pass that applies, deduplicating identical findings,
+4. drop findings covered by a same-line ``# repro: lint-ignore[rule]``
+   pragma (kept in the result, marked ``suppressed``),
+5. downgrade findings matched by the checked-in baseline to warnings,
+6. report stale baseline entries so the suppression file shrinks as the
+   code heals.
+
+The exit contract (used by ``repro lint`` and CI): new findings fail,
+baselined findings warn, suppressed findings are invisible by default.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Optional, Sequence
+
+from repro.lint.base import LintPass, ModuleSource
+from repro.lint.baseline import Baseline
+from repro.lint.findings import Finding, LintResult, SUPPRESSED
+from repro.lint.passes import ALL_PASSES, ALL_RULES
+
+
+def discover_files(paths: Sequence[str]) -> List[str]:
+    """Every ``.py`` file under ``paths`` (files pass through), sorted."""
+    out: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            out.append(path)
+            continue
+        for root, dirs, files in os.walk(path):
+            dirs[:] = sorted(
+                d for d in dirs if d != "__pycache__" and not d.startswith(".")
+            )
+            for name in sorted(files):
+                if name.endswith(".py"):
+                    out.append(os.path.join(root, name))
+    return sorted(dict.fromkeys(out))
+
+
+def _display_path(path: str, relative_to: Optional[str]) -> str:
+    """Stable forward-slash path for reports and baseline matching."""
+    base = relative_to if relative_to is not None else os.getcwd()
+    try:
+        rel = os.path.relpath(path, base)
+    except ValueError:  # different drive on Windows
+        rel = path
+    if not rel.startswith(".."):
+        path = rel
+    return path.replace(os.sep, "/")
+
+
+def _select_passes(
+    passes: Optional[Iterable[LintPass]],
+    rule_filter: Optional[Sequence[str]],
+) -> List[LintPass]:
+    selected = list(passes) if passes is not None else list(ALL_PASSES)
+    if not rule_filter:
+        return selected
+    filtered = []
+    for lint_pass in selected:
+        kept = tuple(
+            rule for rule in lint_pass.rules
+            if any(rule.matches_token(token) for token in rule_filter)
+        )
+        if kept:
+            filtered.append(lint_pass)
+    return filtered
+
+
+def lint_module(
+    module: ModuleSource,
+    passes: Optional[Iterable[LintPass]] = None,
+    rule_filter: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Run the passes over one parsed module; pragma-classify, dedupe, sort.
+
+    With ``rule_filter``, only findings for the named rules (by id or name)
+    are kept — the passes still run whole, the filter applies to output.
+    """
+    findings: List[Finding] = []
+    seen: set = set()
+    for lint_pass in _select_passes(passes, None):
+        for finding in lint_pass.run(module):
+            key = (finding.rule_id, finding.path, finding.line, finding.col,
+                   finding.message)
+            if key in seen:
+                continue
+            seen.add(key)
+            if rule_filter and not any(
+                ALL_RULES[finding.rule_id].matches_token(token)
+                for token in rule_filter
+                if finding.rule_id in ALL_RULES
+            ):
+                continue
+            tokens = module.ignored_rules(finding.line, finding.end_line)
+            if tokens:
+                rule = ALL_RULES.get(finding.rule_id)
+                if rule is not None and any(
+                    rule.matches_token(token) for token in tokens
+                ):
+                    finding.status = SUPPRESSED
+            findings.append(finding)
+    findings.sort(key=lambda f: f.sort_key())
+    return findings
+
+
+def lint_source(
+    text: str,
+    path: str = "src/repro/sim/fixture.py",
+    passes: Optional[Iterable[LintPass]] = None,
+) -> List[Finding]:
+    """Lint a source snippet as if it lived at ``path`` (test helper)."""
+    return lint_module(ModuleSource.from_text(text, path), passes=passes)
+
+
+def run_lint(
+    paths: Sequence[str],
+    baseline: Optional[Baseline] = None,
+    passes: Optional[Iterable[LintPass]] = None,
+    rule_filter: Optional[Sequence[str]] = None,
+    relative_to: Optional[str] = None,
+) -> LintResult:
+    """Lint every file under ``paths`` and classify against ``baseline``."""
+    result = LintResult()
+    all_findings: List[Finding] = []
+    for filename in discover_files(paths):
+        with open(filename, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        display = _display_path(filename, relative_to)
+        try:
+            module = ModuleSource.from_text(text, display)
+        except SyntaxError as exc:
+            finding = Finding(
+                rule_id="PARSE",
+                path=display,
+                line=exc.lineno or 1,
+                message=f"file does not parse: {exc.msg}",
+            )
+            all_findings.append(finding)
+            result.files_scanned += 1
+            continue
+        all_findings.extend(
+            lint_module(module, passes=passes, rule_filter=rule_filter)
+        )
+        result.files_scanned += 1
+    if baseline is not None:
+        active = [f for f in all_findings if f.status != SUPPRESSED]
+        result.stale_baseline = baseline.apply(active)
+    all_findings.sort(key=lambda f: f.sort_key())
+    result.findings = all_findings
+    return result
+
+
+def load_baseline(path: Optional[str]) -> Optional[Baseline]:
+    """Load ``path`` when given/present; missing default is simply no baseline."""
+    if path is None:
+        return None
+    if not os.path.exists(path):
+        return None
+    return Baseline.load(path)

@@ -1,0 +1,92 @@
+"""Schedulable-callback pass: event-heap callbacks must snapshot cleanly.
+
+Checkpointing serialises pending engine events as ``(owner, method, args)``
+descriptors (:mod:`repro.ckpt.state`): a callback must therefore be a bound
+method or a ``functools.partial`` over one. A lambda or a nested closure
+captures live cell variables that have no stable descriptor form — the
+snapshot either fails or, worse, restores a callback detached from the
+state it closed over. PR 3's lambda-to-partial refactor in
+``mc.controller``/``cpu.core`` established the convention; this pass keeps
+it from regressing.
+
+* ``CB001`` a ``lambda`` (or a function defined inside the enclosing
+  function) passed to ``Engine.schedule`` / ``Engine.schedule_in``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.lint.base import LintPass, ModuleSource
+from repro.lint.findings import Finding, Rule
+
+_SCHEDULE_METHODS = frozenset({"schedule", "schedule_in"})
+
+
+def _callback_arg(call: ast.Call) -> Optional[ast.expr]:
+    """The callback argument of a schedule call (2nd positional)."""
+    if len(call.args) >= 2:
+        return call.args[1]
+    for kw in call.keywords:
+        if kw.arg == "callback":
+            return kw.value
+    return None
+
+
+def _nested_function_names(func: ast.AST) -> Set[str]:
+    """Names of functions defined inside ``func`` (closure candidates)."""
+    names: Set[str] = set()
+    for node in ast.walk(func):
+        if node is func:
+            continue
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            names.add(node.name)
+    return names
+
+
+class CallbackPass(LintPass):
+    """Flags lambdas/closures scheduled on the event heap (``CB001``)."""
+
+    name = "schedulable-callback"
+    rules: Tuple[Rule, ...] = (
+        Rule("CB001", "sched-callback",
+             "unsnapshottable callback passed to the event heap"),
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        functions: List[ast.AST] = [
+            node for node in ast.walk(module.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        for func in functions:
+            nested = _nested_function_names(func)
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                if not (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _SCHEDULE_METHODS
+                ):
+                    continue
+                callback = _callback_arg(node)
+                if callback is None:
+                    continue
+                if isinstance(callback, ast.Lambda):
+                    yield self.finding(
+                        "CB001", module, callback,
+                        "lambda scheduled on the event heap: lambdas have "
+                        "no (owner, method, args) snapshot descriptor; use "
+                        "a bound method or functools.partial",
+                    )
+                elif (
+                    isinstance(callback, ast.Name)
+                    and callback.id in nested
+                ):
+                    yield self.finding(
+                        "CB001", module, callback,
+                        f"nested function `{callback.id}` scheduled on the "
+                        "event heap: closures capture cells no snapshot "
+                        "descriptor can restore; use a bound method or "
+                        "functools.partial",
+                    )

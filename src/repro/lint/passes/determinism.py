@@ -1,0 +1,282 @@
+"""Determinism pass: sources of run-to-run divergence in sim-critical code.
+
+The whole reproduction rests on "same seed, same bits": the result cache
+keys on inputs only, checkpoint restore is bit-identical, and the security
+argument is probabilistic *over seeds*. This pass forbids, inside the
+sim-critical packages, the constructs that silently break that property:
+
+* ``DET001`` wall-clock reads (``time.time``/``monotonic``/``perf_counter``,
+  ``datetime.now``/``utcnow``/``today``) — simulated behaviour must depend
+  on engine cycles only; wall-clock profiling lives in the quarantined
+  :mod:`repro.obs.profile`.
+* ``DET002`` module-level RNG state (``random.random()``,
+  ``np.random.seed``/``rand``/...): global streams are perturbed by any
+  other consumer and by import order; draw from
+  :class:`repro.sim.rng.RngStreams` instead.
+* ``DET003`` ``os.environ`` reads outside :mod:`repro.sim.config` (the
+  designated env home): an env var that changes simulated behaviour is an
+  input the cache key and the snapshot metadata never see.
+* ``DET004`` ``id()``-based keys: CPython addresses vary per process, so
+  any container keyed (or probed) by ``id(x)`` iterates and resolves
+  differently across runs and across checkpoint restores.
+* ``DET005`` iteration over non-literal sets: set order depends on
+  ``PYTHONHASHSEED`` for str/object elements; iterate ``sorted(s)`` or keep
+  an insertion-ordered dict instead. Literal sets of constants are allowed
+  (membership tables), as is any ``sorted(...)`` wrapper.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Set, Tuple
+
+from repro.lint.astutil import call_name, dotted_name
+from repro.lint.base import LintPass, ModuleSource
+from repro.lint.findings import Finding, Rule
+
+#: time.* attributes that read the host clock.
+_CLOCK_TIME_ATTRS = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+    "perf_counter_ns", "process_time", "process_time_ns", "clock",
+})
+
+#: datetime-ish constructors that read the host clock.
+_CLOCK_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+
+#: np.random module-level functions that touch the global bit generator.
+#: (``default_rng``/``SeedSequence``/``Generator`` construct fresh streams
+#: and are the RNG pass's business, not global state.)
+_NUMPY_GLOBAL_EXEMPT = frozenset({"default_rng", "SeedSequence", "Generator",
+                                  "BitGenerator", "PCG64", "Philox",
+                                  "RandomState"})
+
+#: dict/set methods whose first argument acts as a key probe.
+_KEYED_METHODS = frozenset({"get", "setdefault", "pop", "add", "discard",
+                            "remove"})
+
+
+def _is_id_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "id"
+    )
+
+
+def _find_id_calls(node: ast.AST) -> Iterator[ast.Call]:
+    for sub in ast.walk(node):
+        if _is_id_call(sub):
+            yield sub
+
+
+def _is_set_expression(node: ast.AST, local_sets: Set[str]) -> bool:
+    """Statically set-typed expressions whose iteration order is unstable."""
+    if isinstance(node, ast.Call):
+        parts = call_name(node)
+        if parts and parts[-1] in ("set", "frozenset"):
+            return True
+        return False
+    if isinstance(node, ast.SetComp):
+        return True
+    if isinstance(node, ast.Set):
+        # A literal set of constants is a fixed membership table; flag only
+        # sets built from non-literal elements.
+        return any(not isinstance(e, ast.Constant) for e in node.elts)
+    if isinstance(node, ast.Name):
+        return node.id in local_sets
+    return False
+
+
+def _walk_scope(scope: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``scope`` without descending into nested function bodies.
+
+    Each function gets its own scope walk (with its own local set
+    bindings), so descending here would visit every loop twice.
+    """
+    stack = [scope]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if child is not scope and isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            stack.append(child)
+
+
+def _local_set_bindings(func: ast.AST) -> Set[str]:
+    """Names bound to set constructors/literals within one function body."""
+    names: Set[str] = set()
+    for node in _walk_scope(func):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                value = node.value
+                if isinstance(value, (ast.Set, ast.SetComp)):
+                    names.add(target.id)
+                elif isinstance(value, ast.Call):
+                    parts = call_name(value)
+                    if parts and parts[-1] in ("set", "frozenset"):
+                        names.add(target.id)
+    return names
+
+
+class DeterminismPass(LintPass):
+    """Flags nondeterminism sources in sim-critical code (``DET001``-``DET005``)."""
+
+    name = "determinism"
+    rules: Tuple[Rule, ...] = (
+        Rule("DET001", "wall-clock",
+             "wall-clock read in sim-critical code"),
+        Rule("DET002", "global-rng",
+             "module-level RNG global state in sim-critical code"),
+        Rule("DET003", "env-read",
+             "os.environ read outside the sim.config env home"),
+        Rule("DET004", "id-key",
+             "id()-based container key"),
+        Rule("DET005", "set-iter",
+             "iteration over a non-literal set"),
+    )
+
+    #: Modules (dotted parts) where env reads are the designed behaviour.
+    ENV_ALLOWLIST: Tuple[Tuple[str, ...], ...] = (("sim", "config"),)
+
+    def applies_to(self, module: ModuleSource) -> bool:
+        return module.is_sim_critical
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        env_allowed = module.parts in self.ENV_ALLOWLIST
+        # Map each function body to its locally inferred set bindings so
+        # DET005 can follow ``s = set(...); for x in s``.
+        set_bindings: Dict[ast.AST, Set[str]] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                set_bindings[node] = _local_set_bindings(node)
+        module_level_sets = _local_set_bindings(module.tree)
+
+        for func, locals_ in [(module.tree, module_level_sets)] + list(
+            set_bindings.items()
+        ):
+            yield from self._check_iteration(module, func, locals_)
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(module, node, env_allowed)
+            elif isinstance(node, (ast.Attribute, ast.Subscript)):
+                yield from self._check_environ(module, node, env_allowed)
+            if isinstance(node, (ast.Subscript, ast.Dict, ast.Call)):
+                yield from self._check_id_keys(module, node)
+
+    # ------------------------------------------------------------------
+    def _check_call(self, module: ModuleSource, node: ast.Call,
+                    env_allowed: bool) -> Iterator[Finding]:
+        parts = call_name(node)
+        if not parts:
+            return
+        # DET001 — wall clock.
+        if len(parts) == 2 and parts[0] == "time" and parts[1] in _CLOCK_TIME_ATTRS:
+            yield self.finding(
+                "DET001", module, node,
+                f"wall-clock read `{'.'.join(parts)}` in sim-critical code; "
+                "simulated behaviour must depend on engine cycles only "
+                "(wall-clock profiling belongs in repro.obs.profile)",
+            )
+        elif (parts[-1] in _CLOCK_DATETIME_ATTRS and "datetime" in parts[:-1]) or (
+            len(parts) == 2 and parts[0] == "date" and parts[1] == "today"
+        ):
+            yield self.finding(
+                "DET001", module, node,
+                f"wall-clock read `{'.'.join(parts)}` in sim-critical code",
+            )
+        # DET002 — module-level RNG state.
+        if (
+            len(parts) == 2
+            and parts[0] == "random"
+            and parts[1][:1].islower()
+        ):
+            yield self.finding(
+                "DET002", module, node,
+                f"module-level RNG call `{'.'.join(parts)}` mutates global "
+                "stream state; draw from repro.sim.rng.RngStreams instead",
+            )
+        elif (
+            len(parts) == 3
+            and parts[0] in ("np", "numpy")
+            and parts[1] == "random"
+            and parts[2] not in _NUMPY_GLOBAL_EXEMPT
+            and parts[2][:1].islower()
+        ):
+            yield self.finding(
+                "DET002", module, node,
+                f"numpy global-RNG call `{'.'.join(parts)}`; use a "
+                "Generator from repro.sim.rng.RngStreams instead",
+            )
+        # DET003 — os.getenv is an environ read in function clothing.
+        if parts == ("os", "getenv") and not env_allowed:
+            yield self.finding(
+                "DET003", module, node,
+                "os.getenv read outside repro.sim.config; route the "
+                "environment variable through the designated env home so "
+                "cache keys and snapshots see it",
+            )
+
+    def _check_environ(self, module: ModuleSource, node: ast.AST,
+                       env_allowed: bool) -> Iterator[Finding]:
+        if env_allowed:
+            return
+        # Flag the *root* os.environ attribute itself, once, by looking at
+        # Attribute nodes spelling exactly ``os.environ``. Enclosing reads
+        # (``os.environ.get(...)``, ``os.environ["X"]``) contain it.
+        if isinstance(node, ast.Attribute):
+            parts = dotted_name(node)
+            if parts == ("os", "environ"):
+                yield self.finding(
+                    "DET003", module, node,
+                    "os.environ read outside repro.sim.config; an env var "
+                    "that changes simulated behaviour is an input the "
+                    "result-cache key and snapshot metadata never see",
+                )
+
+    def _check_id_keys(self, module: ModuleSource,
+                       node: ast.AST) -> Iterator[Finding]:
+        candidates = []
+        if isinstance(node, ast.Subscript):
+            candidates.append(node.slice)
+        elif isinstance(node, ast.Dict):
+            candidates.extend(k for k in node.keys if k is not None)
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _KEYED_METHODS
+                and node.args
+            ):
+                candidates.append(node.args[0])
+        for candidate in candidates:
+            for id_call in _find_id_calls(candidate):
+                yield self.finding(
+                    "DET004", module, id_call,
+                    "id()-based key: CPython object addresses differ per "
+                    "process, so lookups and iteration order diverge across "
+                    "runs and checkpoint restores; key on a stable field "
+                    "instead",
+                )
+
+    def _check_iteration(self, module: ModuleSource, scope: ast.AST,
+                         local_sets: Set[str]) -> Iterator[Finding]:
+        for node in _walk_scope(scope):
+            iters = []
+            if isinstance(node, ast.For):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                if _is_set_expression(it, local_sets):
+                    yield self.finding(
+                        "DET005", module, it,
+                        "iteration over a non-literal set: element order "
+                        "depends on PYTHONHASHSEED for str/object elements; "
+                        "iterate sorted(...) or an insertion-ordered dict",
+                    )

@@ -1,0 +1,94 @@
+"""Obs-naming pass: metric and span names are literal, convention-shaped.
+
+The metrics registry byte-compares snapshots across worker counts, so the
+series namespace must be closed and greppable: a name computed at runtime
+can collide, drift, or depend on iteration order, and nothing in the docs
+or dashboards can reference it. Span kinds are the trace's event alphabet
+(``ACT``/``ALERT``/``SAUM``/``RFM``/``REF``/...), equally closed.
+
+* ``OBS001`` non-literal name passed to ``counter``/``gauge``/``histogram``
+  (first argument) or ``span`` (third argument, the kind).
+* ``OBS002`` a literal name that breaks the registry convention: metric
+  names are dotted lower-snake (``mc.queue_depth``); span kinds are
+  upper-snake tokens (``SAUM``).
+
+The :mod:`repro.obs` package itself is exempt — its snapshot-restore path
+legitimately rebuilds series from recorded names. The wall-clock profiler
+is also out of scope: its phase names never enter deterministic,
+byte-compared artifacts.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional, Tuple
+
+from repro.lint.astutil import constant_str, first_arg
+from repro.lint.base import LintPass, ModuleSource
+from repro.lint.findings import Finding, Rule
+
+#: metric-name convention: at least two dotted lower-snake segments.
+METRIC_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+#: span-kind convention: one upper-snake token.
+SPAN_KIND_RE = re.compile(r"^[A-Z][A-Z0-9_]*$")
+
+_METRIC_METHODS = frozenset({"counter", "gauge", "histogram"})
+
+
+class ObsNamesPass(LintPass):
+    """Flags non-literal or convention-breaking obs names (``OBS001``/``OBS002``)."""
+
+    name = "obs-naming"
+    rules: Tuple[Rule, ...] = (
+        Rule("OBS001", "obs-name-literal",
+             "non-literal metric/span name passed to repro.obs"),
+        Rule("OBS002", "obs-name-convention",
+             "metric/span name breaks the registry naming convention"),
+    )
+
+    def applies_to(self, module: ModuleSource) -> bool:
+        return not module.in_package("obs")
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr in _METRIC_METHODS:
+                yield from self._check_name(
+                    module, node, first_arg(node, keyword="name"),
+                    kind="metric", method=func.attr,
+                    convention=METRIC_NAME_RE,
+                    hint="dotted lower-snake, e.g. `mc.queue_depth`",
+                )
+            elif func.attr == "span":
+                yield from self._check_name(
+                    module, node, first_arg(node, keyword="kind", position=2),
+                    kind="span kind", method="span",
+                    convention=SPAN_KIND_RE,
+                    hint="one upper-snake token, e.g. `SAUM`",
+                )
+
+    def _check_name(self, module: ModuleSource, node: ast.Call,
+                    name_arg: Optional[ast.expr], kind: str, method: str,
+                    convention: re.Pattern, hint: str) -> Iterator[Finding]:
+        if name_arg is None:
+            return
+        literal = constant_str(name_arg)
+        if literal is None:
+            yield self.finding(
+                "OBS001", module, name_arg,
+                f"non-literal {kind} passed to .{method}(): the series "
+                "namespace must be closed and greppable — pass a string "
+                "literal (and pre-resolve the handle once if the site is "
+                "hot)",
+            )
+        elif not convention.match(literal):
+            yield self.finding(
+                "OBS002", module, name_arg,
+                f"{kind} {literal!r} breaks the registry convention "
+                f"({hint})",
+            )

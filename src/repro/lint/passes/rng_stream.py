@@ -1,0 +1,90 @@
+"""RNG-stream discipline pass: every generator flows from a managed seed.
+
+The reproduction's seeding convention (:mod:`repro.sim.rng`) derives every
+stream from a single root seed by name, and the batched security kernels
+spawn via ``np.random.SeedSequence``. A generator constructed from a bare
+literal (``default_rng(0)``) silently aliases any other literal-0 stream,
+and one constructed with *no* seed (``random.Random()``,
+``default_rng()``) pulls OS entropy — the run is unrepeatable.
+
+* ``RNG001`` literal seed: the seed argument is a numeric constant. Derive
+  it from ``RngStreams.integer_seed(name)``, ``_child_seed``, or a
+  ``SeedSequence`` parameter instead.
+* ``RNG002`` unseeded construction: no seed argument at all.
+
+Any non-constant seed expression (a parameter, an attribute, a derivation
+call, arithmetic on a seed) is accepted: the pass enforces *flow from a
+parameter or stream*, not a particular spelling.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro.lint.astutil import call_name
+from repro.lint.base import LintPass, ModuleSource
+from repro.lint.findings import Finding, Rule
+
+#: Callee suffixes that construct a generator from a seed-ish first arg.
+_CONSTRUCTORS = ("default_rng", "Random", "RandomState", "SeedSequence")
+
+
+def _constructor_of(parts: Tuple[str, ...]) -> Optional[str]:
+    tail = parts[-1]
+    if tail not in _CONSTRUCTORS:
+        return None
+    if tail == "Random":
+        # ``random.Random`` or a bare ``Random`` import; leave user classes
+        # named ``*.Random`` alone only when clearly namespaced elsewhere.
+        if len(parts) == 1 or parts[0] in ("random",):
+            return "Random"
+        return None
+    return tail
+
+
+class RngStreamPass(LintPass):
+    """Flags literal-seeded and unseeded RNG constructions (``RNG001``/``RNG002``)."""
+
+    name = "rng-stream"
+    rules: Tuple[Rule, ...] = (
+        Rule("RNG001", "rng-literal-seed",
+             "RNG constructed from a bare literal seed"),
+        Rule("RNG002", "rng-unseeded",
+             "RNG constructed without a seed (entropy/clock-seeded)"),
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            parts = call_name(node)
+            if not parts:
+                continue
+            ctor = _constructor_of(parts)
+            if ctor is None:
+                continue
+            seed = node.args[0] if node.args else None
+            if seed is None:
+                for kw in node.keywords:
+                    if kw.arg in ("seed", "x", "entropy"):
+                        seed = kw.value
+                        break
+            if seed is None:
+                yield self.finding(
+                    "RNG002", module, node,
+                    f"`{'.'.join(parts)}()` with no seed draws OS entropy: "
+                    "the run cannot be reproduced; derive the seed from "
+                    "repro.sim.rng.RngStreams or a SeedSequence parameter",
+                )
+            elif isinstance(seed, ast.Constant) and isinstance(
+                seed.value, (int, float)
+            ):
+                yield self.finding(
+                    "RNG001", module, node,
+                    f"`{'.'.join(parts)}({seed.value!r})` seeds from a bare "
+                    "literal: it aliases every other stream built from the "
+                    "same constant and bypasses the root-seed derivation; "
+                    "use RngStreams.integer_seed(name) or a SeedSequence "
+                    "parameter",
+                )

@@ -1,0 +1,164 @@
+"""Renderers: text for humans, JSON for tooling, SARIF for code scanning."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.lint.findings import BASELINED, NEW, SUPPRESSED, LintResult
+from repro.lint.passes import ALL_RULES
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "repro-lint"
+TOOL_URI = "https://github.com/autorfm-repro/repro/blob/main/docs/static-analysis.md"
+
+FORMATS = ("text", "json", "sarif")
+
+
+def _rule_name(rule_id: str) -> str:
+    rule = ALL_RULES.get(rule_id)
+    return rule.name if rule is not None else rule_id
+
+
+def render_text(result: LintResult, verbose: bool = False) -> str:
+    """Human-readable report; suppressed findings only with ``verbose``."""
+    lines: List[str] = []
+    for finding in result.findings:
+        if finding.status == SUPPRESSED and not verbose:
+            continue
+        marker = {NEW: "error", BASELINED: "baselined", SUPPRESSED: "ignored"}[
+            finding.status
+        ]
+        lines.append(
+            f"{finding.location()}: {finding.rule_id} "
+            f"[{_rule_name(finding.rule_id)}] {marker}: {finding.message}"
+        )
+        if finding.status == BASELINED and verbose:
+            lines.append(f"    baseline justification: {finding.justification}")
+    for entry in result.stale_baseline:
+        lines.append(
+            f"{entry.path}: stale baseline entry for {entry.rule} "
+            f"(context {entry.context!r} no longer triggers); remove it or "
+            "run with --update-baseline"
+        )
+    new = len(result.new_findings)
+    lines.append(
+        f"{result.files_scanned} files scanned: {new} new finding(s), "
+        f"{len(result.baselined_findings)} baselined, "
+        f"{len(result.suppressed_findings)} pragma-suppressed, "
+        f"{len(result.stale_baseline)} stale baseline entr"
+        f"{'y' if len(result.stale_baseline) == 1 else 'ies'}"
+    )
+    lines.append("lint: PASS" if result.ok else "lint: FAIL (new findings)")
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Render a lint result as a machine-readable JSON document."""
+    payload: Dict = {
+        "version": 1,
+        "ok": result.ok,
+        "files_scanned": result.files_scanned,
+        "findings": [
+            {
+                "rule": finding.rule_id,
+                "rule_name": _rule_name(finding.rule_id),
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "message": finding.message,
+                "severity": finding.severity,
+                "status": finding.status,
+                "context": finding.context,
+                **(
+                    {"justification": finding.justification}
+                    if finding.justification
+                    else {}
+                ),
+            }
+            for finding in result.findings
+        ],
+        "stale_baseline": [
+            {"rule": e.rule, "path": e.path, "context": e.context}
+            for e in result.stale_baseline
+        ],
+        "summary": {
+            "new": len(result.new_findings),
+            "baselined": len(result.baselined_findings),
+            "suppressed": len(result.suppressed_findings),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_sarif(result: LintResult) -> str:
+    """SARIF 2.1.0: one run, suppressed/baselined findings marked as such."""
+    rules = [
+        {
+            "id": rule.rule_id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.summary},
+            "helpUri": TOOL_URI,
+        }
+        for rule in sorted(ALL_RULES.values(), key=lambda r: r.rule_id)
+    ]
+    results = []
+    for finding in result.findings:
+        entry: Dict = {
+            "ruleId": finding.rule_id,
+            "level": "error" if finding.status == NEW else "warning",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path.replace("\\", "/")},
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.status == SUPPRESSED:
+            entry["suppressions"] = [{"kind": "inSource"}]
+        elif finding.status == BASELINED:
+            entry["suppressions"] = [
+                {
+                    "kind": "external",
+                    "justification": finding.justification,
+                }
+            ]
+        results.append(entry)
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": TOOL_URI,
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render(result: LintResult, fmt: str, verbose: bool = False) -> str:
+    """Render ``result`` in ``fmt`` (one of :data:`FORMATS`)."""
+    if fmt == "text":
+        return render_text(result, verbose=verbose)
+    if fmt == "json":
+        return render_json(result)
+    if fmt == "sarif":
+        return render_sarif(result)
+    raise ValueError(f"unknown format {fmt!r} (choose from {FORMATS})")

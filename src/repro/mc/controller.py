@@ -20,7 +20,6 @@ event-driven at request granularity:
 from __future__ import annotations
 
 import dataclasses
-import os
 from collections import OrderedDict
 from functools import partial
 from typing import Callable, List, Optional
@@ -45,31 +44,20 @@ from repro.sim.cmdlog import (
     VICTIM_REFRESH,
     CommandLog,
 )
-from repro.sim.config import SystemConfig
+from repro.sim.config import (
+    DEFAULT_LOCATE_CACHE,
+    SystemConfig,
+    locate_cache_capacity,
+)
 from repro.sim.engine import Engine
 from repro.sim.rng import RngStreams
 from repro.sim.stats import SimStats
 
 
-#: Default bound of the per-channel ``locate`` memo (entries, i.e. distinct
-#: hot line addresses; 64Ki entries ~ a few MB of dict overhead).
-DEFAULT_LOCATE_CACHE = 1 << 16
-
-
-def locate_cache_capacity() -> int:
-    """``REPRO_LOCATE_CACHE`` env var (entries); 0 disables the memo."""
-    raw = os.environ.get("REPRO_LOCATE_CACHE")
-    if raw is None:
-        return DEFAULT_LOCATE_CACHE
-    try:
-        cap = int(raw)
-    except ValueError:
-        raise ValueError(
-            f"REPRO_LOCATE_CACHE must be an integer >= 0, got {raw!r}"
-        ) from None
-    if cap < 0:
-        raise ValueError(f"REPRO_LOCATE_CACHE must be >= 0, got {cap}")
-    return cap
+# The locate-memo env knob (REPRO_LOCATE_CACHE) moved to repro.sim.config,
+# the designated os.environ home (determinism lint DET003); the names stay
+# re-exported here for existing importers.
+__all__ = ["DEFAULT_LOCATE_CACHE", "locate_cache_capacity", "MemoryController"]
 
 
 class _ObsHooks:
@@ -386,7 +374,10 @@ class MemoryController:
             drained += len(buffer)
             for request in buffer:
                 self.queues[request.flat_bank].append(request)
-            touched = {r.flat_bank for r in buffer}
+            # Service banks in index order: iterating the raw set would
+            # order them by hash-table layout, and that order assigns the
+            # engine's tie-breaking sequence numbers (DET005).
+            touched = sorted({r.flat_bank for r in buffer})
             buffer.clear()
             for flat in touched:
                 self._try_service(flat, self.engine.now)
