@@ -1,6 +1,6 @@
 # Convenience targets for the AutoRFM reproduction.
 
-.PHONY: install test lint lint-baseline bench bench-smoke bench-security examples audit clean
+.PHONY: install test lint lint-baseline bench bench-smoke bench-security bench-sim examples audit clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -24,6 +24,11 @@ bench-smoke:
 
 bench-security:
 	PYTHONPATH=src python benchmarks/bench_security_smoke.py
+
+# Scalar-vs-batch timing backends over the lane fleet (writes
+# sim_batch_speedup into BENCH_perf.json; see docs/sim_batch.md).
+bench-sim:
+	PYTHONPATH=src python benchmarks/bench_perf_smoke.py
 
 examples:
 	python examples/quickstart.py

@@ -121,6 +121,16 @@ class Job:
     #: execution strategy, not part of the simulation's identity, and the
     #: results are bit-identical either way.
     segment_cycles: Optional[int] = None
+    #: Timing backend: "scalar" (the event-loop oracle) or "batch" (the
+    #: fused kernel in :mod:`repro.sim.batch`, which transparently falls
+    #: back to scalar for runs it does not model). Like ``segment_cycles``
+    #: — and like :attr:`SecurityJob.backend` — this is an execution
+    #: strategy, not part of the simulation's identity, so it is excluded
+    #: from the cache key: both backends produce bit-identical results
+    #: (proven by the differential suite), and a result computed by either
+    #: answers for both. Segmented jobs always run scalar (the kernel does
+    #: not checkpoint).
+    backend: str = "scalar"
 
     def __post_init__(self):
         if self.workload not in WORKLOADS:
@@ -132,6 +142,11 @@ class Job:
         if self.segment_cycles is not None and self.segment_cycles < 1:
             raise ValueError(
                 f"segment_cycles must be >= 1, got {self.segment_cycles}"
+            )
+        if self.backend not in ("scalar", "batch"):
+            raise ValueError(
+                f"unknown backend {self.backend!r}; "
+                f"expected one of ('scalar', 'batch')"
             )
 
 
@@ -464,22 +479,28 @@ class ResultCache:
 # are regenerated inside the worker from the seed (cheaper than pickling
 # them, and identical by construction). Observability travels as the
 # (picklable) ObsConfig; the live Observability object is built in the
-# worker and its deterministic outputs return on ``result.obs``. The final
-# ``ckpt`` element is a segmentation spec (or None for a straight run).
+# worker and its deterministic outputs return on ``result.obs``. The
+# ``ckpt`` element is a segmentation spec (or None for a straight run);
+# ``backend`` picks the timing backend for straight runs (segmented runs
+# are always scalar — the fused kernel does not checkpoint).
 def _execute(
     payload: Tuple[
         str, MitigationSetup, str, int, int, SystemConfig, Optional[ObsConfig],
-        Optional[dict],
+        Optional[dict], str,
     ]
 ):
-    workload, setup, mapping, requests, seed, config, obs_config, ckpt = payload
+    (workload, setup, mapping, requests, seed, config, obs_config, ckpt,
+     backend) = payload
     if ckpt is not None:
         return _execute_segmented(payload)
     traces = make_rate_traces(
         WORKLOADS[workload], config, requests=requests, seed=seed
     )
     obs = Observability(obs_config) if obs_config is not None else None
-    return simulate(traces, setup, config, mapping=mapping, seed=seed, obs=obs)
+    return simulate(
+        traces, setup, config, mapping=mapping, seed=seed, obs=obs,
+        backend=backend,
+    )
 
 
 def _latest_segment_snapshot(cache: ResultCache, key: str):
@@ -503,7 +524,8 @@ def _execute_segmented(payload: tuple) -> SimulationResult:
     boundary. Results are bit-identical to a straight run — segmentation
     changes when the simulation pauses, never what it computes.
     """
-    workload, setup, mapping, requests, seed, config, obs_config, ckpt = payload
+    (workload, setup, mapping, requests, seed, config, obs_config, ckpt,
+     _backend) = payload
     # Imported lazily: the checkpoint layer loads the whole simulator and
     # straight (non-segmented) runs must not pay for it.
     from repro.ckpt import capture, restore, save_snapshot
@@ -867,6 +889,7 @@ class ExperimentRunner:
             self.config,
             job.obs,
             ckpt,
+            job.backend,
         )
 
     def _execute_batch(self, payloads: List[tuple]) -> List[SimulationResult]:
@@ -967,6 +990,7 @@ class ExperimentRunner:
         setups: Iterable[SetupSpec],
         requests: Optional[int] = None,
         seed: int = DEFAULT_SEED,
+        backend: str = "scalar",
     ) -> Dict[str, Dict[str, float]]:
         """Slowdown of every (setup, workload) pair vs its baseline.
 
@@ -974,7 +998,9 @@ class ExperimentRunner:
         baseline is an unmitigated run of the same traces under
         ``baseline_mapping`` (default "zen", the paper's normalization).
         Returns ``{label: {workload: slowdown}}``. All runs and baselines
-        are submitted as one batch, so they share the pool and the cache.
+        are submitted as one batch, so they share the pool and the cache;
+        ``backend="batch"`` runs kernel-eligible cells on the fused timing
+        kernel (results are bit-identical either way).
         """
         names = list(workloads)
         specs = []
@@ -989,10 +1015,12 @@ class ExperimentRunner:
         batch: List[Job] = []
         for name in names:
             for _, setup, mapping, baseline_mapping in specs:
-                batch.append(Job(name, setup, mapping, requests, seed))
+                batch.append(
+                    Job(name, setup, mapping, requests, seed, backend=backend)
+                )
                 batch.append(
                     Job(name, MitigationSetup("none"), baseline_mapping,
-                        requests, seed)
+                        requests, seed, backend=backend)
                 )
         flat = self.run_many(batch)
 

@@ -183,6 +183,11 @@ def capture(system: SimulatedSystem, boundary: Optional[int] = None) -> Snapshot
     with _profiled(system, "ckpt.capture"):
         engine = system.engine
         controller = system.controller
+        # Deferred observability accumulations must land in the registry /
+        # tracer before their state is serialised; an extra flush at an
+        # arbitrary cycle never changes the final values.
+        if system.obs is not None and system.obs.enabled:
+            system.flush_obs()
         owner_ids = {id(obj): key for key, obj in _owners(system).items()}
 
         meta: Dict[str, Any] = {

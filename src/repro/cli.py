@@ -63,12 +63,13 @@ def _obs_config_from_args(args: argparse.Namespace):
 
 def _simulate_pair(workload: str, setup: MitigationSetup, args):
     runner = _runner_from_args(args)
+    backend = getattr(args, "backend", "scalar")
     baseline, run = runner.run_many(
         [
             Job(workload, MitigationSetup("none"), "zen",
-                args.requests, args.seed),
+                args.requests, args.seed, backend=backend),
             Job(workload, setup, args.mapping, args.requests, args.seed,
-                obs=_obs_config_from_args(args)),
+                obs=_obs_config_from_args(args), backend=backend),
         ]
     )
     return runner, baseline, run
@@ -152,7 +153,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     ]
     runner = _runner_from_args(args)
     matrix = runner.slowdown_matrix(
-        names, setups, requests=args.requests, seed=args.seed
+        names, setups, requests=args.requests, seed=args.seed,
+        backend=getattr(args, "backend", "scalar"),
     )
     rows = [
         [name] + [f"{matrix[tag][name]:.1%}" for tag, _, _ in setups]
@@ -528,6 +530,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the observability metrics snapshot, profiling data, and "
              "flattened result record as JSON to PATH",
     )
+    run.add_argument(
+        "--backend", choices=("scalar", "batch"), default="scalar",
+        help="timing backend: the scalar event loop or the fused batch "
+             "kernel (bit-identical results; ineligible runs fall back to "
+             "scalar automatically)",
+    )
     run.set_defaults(func=cmd_run)
 
     sweep = sub.add_parser("sweep", help="RFM vs AutoRFM across workloads")
@@ -539,6 +547,12 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--jobs", type=int, default=None,
         help="worker processes (default: REPRO_JOBS or all cores; 1 = serial)",
+    )
+    sweep.add_argument(
+        "--backend", choices=("scalar", "batch"), default="scalar",
+        help="timing backend: the scalar event loop or the fused batch "
+             "kernel (bit-identical results; ineligible runs fall back to "
+             "scalar automatically)",
     )
     sweep.set_defaults(func=cmd_sweep)
 

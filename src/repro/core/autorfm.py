@@ -30,10 +30,19 @@ class _EngineObsHooks:
     A single slotted bundle so the engine's instance dict grows by one key
     at most; metric fields stay None when the registry is disabled (e.g.
     trace-only observability).
+
+    Attached through the memory controller's hook bundle, emission is
+    deferred: counter increments accumulate in plain ints, trace records
+    queue on the controller's shared in-order ``trace_pending`` list, and
+    :meth:`flush` publishes both at the next drain boundary. Attached to
+    a bare :class:`~repro.obs.Observability` (no flusher), emission stays
+    eager.
     """
 
     __slots__ = ("tracer", "bank", "m_mitigations", "m_victims",
-                 "m_selects", "m_empty_selects")
+                 "m_selects", "m_empty_selects",
+                 "n_mitigations", "n_victims", "n_selects",
+                 "n_empty_selects", "pending", "deferred")
 
     def __init__(self, obs, bank: int, labels):
         self.tracer = obs.tracer
@@ -52,6 +61,30 @@ class _EngineObsHooks:
             self.m_empty_selects = metrics.counter(
                 "tracker.empty_selects", **labels
             )
+        self.n_mitigations = 0
+        self.n_victims = 0
+        self.n_selects = 0
+        self.n_empty_selects = 0
+        self.pending = getattr(obs, "trace_pending", None)
+        children = getattr(obs, "children", None)
+        self.deferred = children is not None
+        if children is not None:
+            children.append(self)
+
+    def flush(self) -> None:
+        """Publish accumulated counters (drain boundary)."""
+        if self.n_mitigations:
+            self.m_mitigations.inc(self.n_mitigations)
+            self.n_mitigations = 0
+        if self.n_victims:
+            self.m_victims.inc(self.n_victims)
+            self.n_victims = 0
+        if self.n_selects:
+            self.m_selects.inc(self.n_selects)
+            self.n_selects = 0
+        if self.n_empty_selects:
+            self.m_empty_selects.inc(self.n_empty_selects)
+            self.n_empty_selects = 0
 
 
 @checkpointable(
@@ -124,9 +157,20 @@ class AutoRfmEngine:
         """Publish one mitigation: SAUM busy span plus counters."""
         obs = self._obs
         if obs.m_mitigations is not None:
-            obs.m_mitigations.inc()
-            obs.m_victims.inc(victims)
-        if obs.tracer is not None:
+            if obs.deferred:
+                obs.n_mitigations += 1
+                obs.n_victims += victims
+            else:
+                obs.m_mitigations.inc()
+                obs.m_victims.inc(victims)
+        if obs.pending is not None:
+            obs.pending.append({
+                "t": now, "kind": "SAUM", "end": self.saum_busy_until,
+                "bank": obs.bank,
+                "region": self.saum if self.saum is not None else -1,
+                "row": row, "victims": victims,
+            })
+        elif obs.tracer is not None:
             obs.tracer.span(
                 now,
                 self.saum_busy_until,
@@ -182,10 +226,16 @@ class AutoRfmEngine:
         request = self.tracker.select_for_mitigation()
         if request is None:
             if obs is not None and obs.m_empty_selects is not None:
-                obs.m_empty_selects.inc()
+                if obs.deferred:
+                    obs.n_empty_selects += 1
+                else:
+                    obs.m_empty_selects.inc()
             return
         if obs is not None and obs.m_selects is not None:
-            obs.m_selects.inc()
+            if obs.deferred:
+                obs.n_selects += 1
+            else:
+                obs.m_selects.inc()
 
         if isinstance(self.policy, MigrationMitigation):
             # Row migration: relocate the aggressor instead of refreshing

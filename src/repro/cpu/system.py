@@ -201,6 +201,15 @@ class SimulatedSystem:
                 engine.run(max_events=max_events)
         return self.finalize()
 
+    def flush_obs(self) -> None:
+        """Publish deferred observability accumulations (drain boundary).
+
+        The controller aggregates metric increments and trace records
+        between refresh boundaries; anything that snapshots or serialises
+        observability state mid-run (finalize, checkpoint capture) must
+        flush first so the registry and tracer are complete."""
+        self.controller.flush_obs()
+
     def finalize(self) -> SimulationResult:
         """Check for deadlock, stamp final cycles, and package the result."""
         unfinished = [c.core_id for c in self.cores if not c.finished]
@@ -216,6 +225,7 @@ class SimulatedSystem:
             seed=self.seed,
         )
         if self.obs is not None and self.obs.enabled:
+            self.flush_obs()
             result.obs = self.obs.result()
         return result
 
@@ -231,6 +241,7 @@ def simulate(
     obs: Optional[Observability] = None,
     checkpoint_every: Optional[int] = None,
     checkpoint_dir: Optional[str] = None,
+    backend: str = "scalar",
 ) -> SimulationResult:
     """Run one full simulation and return its result.
 
@@ -247,7 +258,34 @@ def simulate(
     write-then-rename plus a manifest); restore one with
     :func:`repro.ckpt.restore`. Disabled by default and entirely free when
     disabled.
+
+    ``backend="batch"`` routes the run through the fused timing kernel
+    (:mod:`repro.sim.batch`); runs carrying options the kernel does not
+    model (observability, event budget, checkpointing, open-page,
+    same-bank refresh, write drain, per-request retry) transparently fall
+    back to this scalar path with bit-identical results.
     """
+    if backend != "scalar":
+        # Imported lazily: repro.sim.batch imports this module.
+        from repro.sim.batch import BACKENDS, SimLane, simulate_batch
+
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
+        lane = SimLane(
+            traces,
+            setup=setup,
+            config=config,
+            mapping=mapping,
+            seed=seed,
+            max_events=max_events,
+            command_log=command_log,
+            obs=obs,
+            checkpoint_every=checkpoint_every,
+            checkpoint_dir=checkpoint_dir,
+        )
+        return simulate_batch([lane], backend=backend)[0]
     system = SimulatedSystem(
         traces,
         setup=setup,

@@ -32,18 +32,47 @@ class _BankObsHooks:
 
     One slotted bundle keeps the bank's instance dict at its original
     size when observability is off; see :class:`repro.obs.Observability`.
+
+    Attached through the memory controller's hook bundle, increments
+    accumulate in plain ints and :meth:`flush` publishes them at the next
+    drain boundary; attached to a bare Observability, emission is eager.
     """
 
     __slots__ = ("m_mitigations", "m_victims", "m_selects",
-                 "m_empty_selects")
+                 "m_empty_selects", "n_mitigations", "n_victims",
+                 "n_selects", "n_empty_selects", "deferred")
 
-    def __init__(self, metrics, flat: int, labels):
+    def __init__(self, obs, flat: int, labels):
+        metrics = obs.metrics
         self.m_mitigations = metrics.counter("core.mitigations", bank=flat)
         self.m_victims = metrics.counter("core.victim_refreshes", bank=flat)
         self.m_selects = metrics.counter("tracker.selects", **labels)
         self.m_empty_selects = metrics.counter(
             "tracker.empty_selects", **labels
         )
+        self.n_mitigations = 0
+        self.n_victims = 0
+        self.n_selects = 0
+        self.n_empty_selects = 0
+        children = getattr(obs, "children", None)
+        self.deferred = children is not None
+        if children is not None:
+            children.append(self)
+
+    def flush(self) -> None:
+        """Publish accumulated counters (drain boundary)."""
+        if self.n_mitigations:
+            self.m_mitigations.inc(self.n_mitigations)
+            self.n_mitigations = 0
+        if self.n_victims:
+            self.m_victims.inc(self.n_victims)
+            self.n_victims = 0
+        if self.n_selects:
+            self.m_selects.inc(self.n_selects)
+            self.n_selects = 0
+        if self.n_empty_selects:
+            self.m_empty_selects.inc(self.n_empty_selects)
+            self.n_empty_selects = 0
 
 
 @checkpointable(
@@ -88,7 +117,7 @@ class Bank:
         if obs.metrics is None or self.rfm_tracker is None:
             return
         self._obs = _BankObsHooks(
-            obs.metrics, flat, dict(self.rfm_tracker.metric_labels)
+            obs, flat, dict(self.rfm_tracker.metric_labels)
         )
 
     # ------------------------------------------------------------------
@@ -194,18 +223,28 @@ class Bank:
         request = self.rfm_tracker.select_for_mitigation()
         if request is None:
             if obs is not None:
-                obs.m_empty_selects.inc()
+                if obs.deferred:
+                    obs.n_empty_selects += 1
+                else:
+                    obs.m_empty_selects.inc()
             return
         if obs is not None:
-            obs.m_selects.inc()
+            if obs.deferred:
+                obs.n_selects += 1
+            else:
+                obs.m_selects.inc()
         victims = self.rfm_policy.victims(request)
         if not victims:
             return
         self.stats.mitigations += 1
         self.stats.victim_refreshes += len(victims)
         if obs is not None:
-            obs.m_mitigations.inc()
-            obs.m_victims.inc(len(victims))
+            if obs.deferred:
+                obs.n_mitigations += 1
+                obs.n_victims += len(victims)
+            else:
+                obs.m_mitigations.inc()
+                obs.m_victims.inc(len(victims))
         if request.level > 1:
             self.stats.recursive_rounds += 1
         for victim in victims:

@@ -14,6 +14,7 @@ from repro.lint.findings import Rule
 from repro.lint.passes.callbacks import CallbackPass
 from repro.lint.passes.contract import ContractPass
 from repro.lint.passes.determinism import DeterminismPass
+from repro.lint.passes.obs_hotloop import ObsHotLoopPass
 from repro.lint.passes.obs_names import ObsNamesPass
 from repro.lint.passes.rng_stream import RngStreamPass
 
@@ -23,6 +24,7 @@ ALL_PASSES: Tuple[LintPass, ...] = (
     ContractPass(),
     CallbackPass(),
     ObsNamesPass(),
+    ObsHotLoopPass(),
 )
 
 ALL_RULES: Dict[str, Rule] = {
@@ -37,6 +39,7 @@ __all__ = [
     "CallbackPass",
     "ContractPass",
     "DeterminismPass",
+    "ObsHotLoopPass",
     "ObsNamesPass",
     "RngStreamPass",
 ]

@@ -1,0 +1,73 @@
+"""Obs-hot-loop pass: no per-event emission inside heap-drain loops.
+
+The observability layer is built around drain-boundary aggregation: hot
+paths accumulate into plain counters and pending lists, and a ``flush()``
+publishes the totals into the metrics registry / tracer at refresh
+boundaries (and finalize, and checkpoint capture). A per-event
+``.inc()`` / ``.observe()`` / ``.event()`` / ``.span()`` inside a
+``while``-drain body reintroduces exactly the per-event overhead that
+aggregation removed — measured at ~50% wall-clock on the perf smoke
+before the deferral landed, vs ~22% after.
+
+* ``OBS003`` a per-event emission primitive called inside a ``while``
+  loop body of a hot-path module (the ``sim``/``mc``/``dram`` packages,
+  whose ``while`` loops are the event-heap and queue drains).
+
+Batched primitives (``observe_many``, ``emit_raw``) and plain-int
+accumulator updates are the sanctioned alternatives and are not flagged.
+Justified remnants — e.g. a sample that is already strided to amortise
+its cost — belong in the checked-in baseline with their justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.lint.base import LintPass, ModuleSource
+from repro.lint.findings import Finding, Rule
+
+#: The per-event emission primitives of :mod:`repro.obs`: counter/gauge
+#: updates and tracer records. ``observe_many``/``emit_raw`` (the batched
+#: forms) are deliberately absent — calling those at a drain boundary is
+#: the pattern this rule exists to protect.
+_PER_EVENT_METHODS = frozenset({"inc", "observe", "event", "span"})
+
+#: Packages whose ``while`` loops are per-event hot paths (the engine's
+#: heap drains, the controller's queue/alert loops, the bank state
+#: machines). Analytical packages may loop over whole result sets, where
+#: a per-iteration emission is fine.
+_HOT_PACKAGES = ("sim", "mc", "dram")
+
+
+class ObsHotLoopPass(LintPass):
+    """Flags per-event obs emission inside hot drain loops (``OBS003``)."""
+
+    name = "obs-hot-loop"
+    rules: Tuple[Rule, ...] = (
+        Rule("OBS003", "obs-hot-loop",
+             "per-event metric/tracer emission inside a hot drain loop"),
+    )
+
+    def applies_to(self, module: ModuleSource) -> bool:
+        return any(module.in_package(pkg) for pkg in _HOT_PACKAGES)
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for loop in ast.walk(module.tree):
+            if not isinstance(loop, ast.While):
+                continue
+            for node in ast.walk(loop):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if not isinstance(func, ast.Attribute):
+                    continue
+                if func.attr not in _PER_EVENT_METHODS:
+                    continue
+                yield self.finding(
+                    "OBS003", module, node,
+                    f"per-event .{func.attr}() inside a hot drain loop: "
+                    "accumulate into a plain counter / pending list and "
+                    "publish via flush() at the drain boundary "
+                    "(observe_many/emit_raw) instead",
+                )

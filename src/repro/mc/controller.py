@@ -69,11 +69,25 @@ class _ObsHooks:
     one ``is None`` load-and-branch, nothing more. ``tracer``/``metrics``
     mirror :class:`~repro.obs.Observability` so the bank/engine
     ``attach_obs`` hooks accept either object.
+
+    Emission is deferred to drain boundaries: hot paths append to plain
+    per-bank int accumulators (``acts``/``alerts``/...), buffer raw
+    histogram values, and queue pre-built trace records on the single
+    shared ``trace_pending`` list (one list so records from the
+    controller, the per-bank AutoRFM engines, and the RFM layer stay in
+    exact emission order). :meth:`flush` publishes everything into the
+    registry/tracer; it runs at every REF (the natural drain boundary),
+    at :meth:`~repro.cpu.system.SimulatedSystem.finalize`, and before a
+    checkpoint capture — the flush cadence never changes the final
+    values, only when they land.
     """
 
     __slots__ = (
         "tracer", "metrics", "m_acts", "m_alerts", "m_rfm_cmds", "m_refs",
         "h_queue_depth", "h_retry_wait",
+        "acts", "alerts", "rfm_cmds", "refs",
+        "queue_depth_pending", "retry_wait_pending", "trace_pending",
+        "children",
     )
 
     def __init__(self, obs: Observability, config: SystemConfig,
@@ -87,6 +101,16 @@ class _ObsHooks:
         self.m_refs = None
         self.h_queue_depth = None
         self.h_retry_wait = None
+        self.acts = None
+        self.alerts = None
+        self.rfm_cmds = None
+        self.refs = None
+        self.queue_depth_pending = None
+        self.retry_wait_pending = None
+        self.trace_pending = [] if self.tracer is not None else None
+        # Child hook bundles (AutoRFM engines, RFM-mode banks, the RFM
+        # layer) that accumulate their own counters; flushed with ours.
+        self.children = []
         if metrics is not None:
             self.m_acts = [
                 metrics.counter("mc.act", bank=i) for i in range(n_banks)
@@ -108,6 +132,43 @@ class _ObsHooks:
             self.h_retry_wait = metrics.histogram(
                 "mc.retry_wait", LATENCY_EDGES
             )
+            self.acts = [0] * n_banks
+            self.alerts = [0] * n_banks
+            self.rfm_cmds = [0] * n_banks
+            self.refs = [0] * n_banks
+            self.queue_depth_pending = [
+                [] for _ in range(config.num_subchannels)
+            ]
+            self.retry_wait_pending = []
+
+    def flush(self) -> None:
+        """Publish every deferred accumulation (drain boundary)."""
+        if self.metrics is not None:
+            for accumulator, counters in (
+                (self.acts, self.m_acts),
+                (self.alerts, self.m_alerts),
+                (self.rfm_cmds, self.m_rfm_cmds),
+                (self.refs, self.m_refs),
+            ):
+                for flat, n in enumerate(accumulator):
+                    if n:
+                        counters[flat].inc(n)
+                        accumulator[flat] = 0
+            for sc, values in enumerate(self.queue_depth_pending):
+                if values:
+                    self.h_queue_depth[sc].observe_many(values)
+                    values.clear()
+            if self.retry_wait_pending:
+                self.h_retry_wait.observe_many(self.retry_wait_pending)
+                self.retry_wait_pending.clear()
+        pending = self.trace_pending
+        if pending:
+            self.tracer.emit_raw(pending)
+            # Clear in place: the per-bank engine bundles alias this list,
+            # so rebinding it would silently orphan their queue.
+            pending.clear()
+        for child in self.children:
+            child.flush()
 
 
 @checkpointable(
@@ -351,9 +412,11 @@ class MemoryController:
             return
         self.queues[request.flat_bank].append(request)
         obs = self._obs
-        if obs is not None and obs.h_queue_depth is not None:
+        if obs is not None and obs.queue_depth_pending is not None:
             sc = request.flat_bank // self._banks_per_sc
-            obs.h_queue_depth[sc].observe(len(self.queues[request.flat_bank]))
+            obs.queue_depth_pending[sc].append(
+                len(self.queues[request.flat_bank])
+            )
         self._try_service(request.flat_bank, self.engine.now)
 
     def drain_writes(self, sc: Optional[int] = None) -> int:
@@ -479,10 +542,12 @@ class MemoryController:
                 self.command_log.record(now, ACT, flat, row)
             obs = self._obs
             if obs is not None:
-                if obs.m_acts is not None:
-                    obs.m_acts[flat].inc()
-                if obs.tracer is not None:
-                    obs.tracer.event(now, "ACT", bank=flat, row=row)
+                if obs.acts is not None:
+                    obs.acts[flat] += 1
+                if obs.trace_pending is not None:
+                    obs.trace_pending.append(
+                        {"t": now, "kind": "ACT", "bank": flat, "row": row}
+                    )
             if not self._open_page:
                 self.engine.schedule(
                     now + self.timing.tras,
@@ -535,17 +600,18 @@ class MemoryController:
         retry_time = now + tm
         obs = self._obs
         if obs is not None:
-            if obs.m_alerts is not None:
-                obs.m_alerts[flat].inc()
-                obs.h_retry_wait.observe(tm)
-            if obs.tracer is not None:
+            if obs.alerts is not None:
+                obs.alerts[flat] += 1
+                obs.retry_wait_pending.append(tm)
+            if obs.trace_pending is not None:
                 # One record carries the whole ACT->ALERT->retry link: the
                 # declined row, how many ALERTs this request has eaten, and
                 # when the MC will retry.
-                obs.tracer.event(
-                    now, "ALERT", bank=flat, row=request.location.row,
-                    alerts=request.alerts, retry_at=retry_time,
-                )
+                obs.trace_pending.append({
+                    "t": now, "kind": "ALERT", "bank": flat,
+                    "row": request.location.row,
+                    "alerts": request.alerts, "retry_at": retry_time,
+                })
         # The MC precharges the bank so every chip holds the conflicted row
         # closed (footnote 1 of the paper).
         bank.stall_until(now + self._trp)
@@ -608,17 +674,20 @@ class MemoryController:
                 self.rfm.on_refresh(flat)
             if self.command_log is not None:
                 self.command_log.record(now, REF, flat)
-            if obs is not None and obs.m_refs is not None:
-                obs.m_refs[flat].inc()
+            if obs is not None and obs.refs is not None:
+                obs.refs[flat] += 1
             if self.queues[flat]:
                 self._wakeup(flat, self.banks[flat].ready_at)
-        if obs is not None and obs.tracer is not None:
-            obs.tracer.span(
-                now, now + self.timing.trfc, "REF", subchannel=sc
-            )
+        if obs is not None and obs.trace_pending is not None:
+            obs.trace_pending.append({
+                "t": now, "kind": "REF", "end": now + self.timing.trfc,
+                "subchannel": sc,
+            })
         self.stats.refresh_windows += 1
         if self.config.write_drain:
             self.drain_writes(sc)  # REF is a natural drain point
+        if obs is not None:
+            obs.flush()  # REF is the observability drain boundary too
         if self.keep_running():
             self.engine.schedule(
                 now + self.timing.trefi, partial(self._refresh, sc)
@@ -636,13 +705,15 @@ class MemoryController:
             self.command_log.record(now, REF, flat)
         obs = self._obs
         if obs is not None:
-            if obs.m_refs is not None:
-                obs.m_refs[flat].inc()
-            if obs.tracer is not None:
-                obs.tracer.span(
-                    now, now + self.timing.trfc_sb, "REF", bank=flat,
-                    subchannel=sc,
-                )
+            if obs.refs is not None:
+                obs.refs[flat] += 1
+            if obs.trace_pending is not None:
+                obs.trace_pending.append({
+                    "t": now, "kind": "REF",
+                    "end": now + self.timing.trfc_sb,
+                    "bank": flat, "subchannel": sc,
+                })
+            obs.flush()
         if self.queues[flat]:
             self._wakeup(flat, self.banks[flat].ready_at)
         if local == self.config.banks_per_subchannel - 1:
@@ -674,12 +745,13 @@ class MemoryController:
         alerting.victim_refreshes += 4
         obs = self._obs
         if obs is not None:
-            if obs.m_alerts is not None:
-                obs.m_alerts[flat].inc()
-            if obs.tracer is not None:
-                obs.tracer.span(
-                    now, until, "ABO", bank=flat, subchannel=sc
-                )
+            if obs.alerts is not None:
+                obs.alerts[flat] += 1
+            if obs.trace_pending is not None:
+                obs.trace_pending.append({
+                    "t": now, "kind": "ABO", "end": until,
+                    "bank": flat, "subchannel": sc,
+                })
 
     # ------------------------------------------------------------------
     # Observability hook points
@@ -687,12 +759,24 @@ class MemoryController:
     def _obs_on_rfm(self, flat: int, free_at: int) -> None:
         """Publish one blocking RFM command: counter plus stall span."""
         obs = self._obs
-        if obs.m_rfm_cmds is not None:
-            obs.m_rfm_cmds[flat].inc()
-        if obs.tracer is not None:
-            obs.tracer.span(
-                free_at - self.timing.trfm, free_at, "RFM", bank=flat
-            )
+        if obs.rfm_cmds is not None:
+            obs.rfm_cmds[flat] += 1
+        if obs.trace_pending is not None:
+            obs.trace_pending.append({
+                "t": free_at - self.timing.trfm, "kind": "RFM",
+                "end": free_at, "bank": flat,
+            })
+
+    def flush_obs(self) -> None:
+        """Publish deferred observability accumulations.
+
+        Called at every REF (the drain boundary), by
+        :meth:`~repro.cpu.system.SimulatedSystem.finalize`, and by the
+        checkpoint layer before a capture. No-op when observability is
+        off; safe to call at any cycle (cadence never changes the final
+        metrics or trace)."""
+        if self._obs is not None:
+            self._obs.flush()
 
     # ------------------------------------------------------------------
     # Wakeup bookkeeping

@@ -19,6 +19,7 @@ byte-identical for identical simulations regardless of worker count.
 
 from __future__ import annotations
 
+from collections import Counter as _Counter
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 from repro.ckpt.contract import checkpointable
 
@@ -143,6 +144,44 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+
+    def observe_many(self, values: Sequence[Union[int, float]]) -> None:
+        """Observe a batch of values; equivalent to ``observe`` per value.
+
+        This is the drain-boundary aggregation entry point: hot paths
+        buffer raw values and publish them in one call per boundary. The
+        bisect runs once per *distinct* value (via a Counter), so bursts
+        of repeated observations — queue depths, fixed retry waits — cost
+        far less than per-event emission. The final counts/sum/count/
+        min/max are identical to sequential observes for the integer
+        quantities the simulator records (for floats, the sum uses
+        ``value * n`` which can differ from repeated addition in the last
+        ulp).
+        """
+        if not values:
+            return
+        edges = self.edges
+        n_edges = len(edges)
+        counts = self.counts
+        total = 0
+        for value, n in _Counter(values).items():
+            lo, hi = 0, n_edges
+            while lo < hi:  # first edge >= value (see observe)
+                mid = (lo + hi) // 2
+                if edges[mid] < value:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            counts[lo] += n
+            total += value * n
+        self.sum += total
+        self.count += len(values)
+        lo_val = min(values)
+        hi_val = max(values)
+        if self.min is None or lo_val < self.min:
+            self.min = lo_val
+        if self.max is None or hi_val > self.max:
+            self.max = hi_val
 
     def merge(self, other: "Histogram") -> None:
         """Add another histogram's buckets in place (same edges required).

@@ -37,9 +37,15 @@ MITIGATION = "MITIGATION"
 VICTIM_REFRESH = "VICTIM_REFRESH"
 
 
+# One shared encoder: json.dumps with non-default options constructs a
+# fresh JSONEncoder per call, which is the bulk of the encoding cost when
+# a whole timeline is serialised at finalize.
+_ENCODE = json.JSONEncoder(sort_keys=True, separators=(",", ":")).encode
+
+
 def encode_event(event: Dict[str, Field]) -> str:
     """One canonical JSONL line (sorted keys, no whitespace)."""
-    return json.dumps(event, sort_keys=True, separators=(",", ":"))
+    return _ENCODE(event)
 
 
 @checkpointable(
@@ -77,6 +83,23 @@ class SpanTracer:
             raise ValueError(f"span ends ({end}) before it starts ({start})")
         self.event(start, kind, end=end, **fields)
 
+    def emit_raw(self, records: List[Dict[str, Field]]) -> None:
+        """Bulk-append pre-built records, in order (deferred emission).
+
+        The drain-boundary aggregation path builds record dicts on the hot
+        path, queues them, and hands the whole batch over here at the next
+        boundary; the result — ring contents, ``emitted`` total, stream
+        bytes — is identical to calling :meth:`event` once per record at
+        the moment each was queued. The tracer takes ownership of the
+        record dicts (callers must not mutate them afterwards).
+        """
+        self.emitted += len(records)
+        self._buffer.extend(records)
+        stream = self.stream
+        if stream is not None:
+            for record in records:
+                stream.write(encode_event(record) + "\n")
+
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
@@ -91,7 +114,9 @@ class SpanTracer:
 
     def to_jsonl(self) -> str:
         """Retained events as JSONL (one canonical line per event)."""
-        return "".join(encode_event(e) + "\n" for e in self._buffer)
+        if not self._buffer:
+            return ""
+        return "\n".join(map(_ENCODE, self._buffer)) + "\n"
 
     def write(self, path: str) -> int:
         """Write the retained timeline to ``path``; returns event count."""

@@ -14,14 +14,40 @@ from repro.ckpt.contract import checkpointable
 
 
 class _RfmObsHooks:
-    """Pre-resolved RAA metric objects (one slot on the controller)."""
+    """Pre-resolved RAA metric objects (one slot on the controller).
 
-    __slots__ = ("m_rfms", "m_ref_decrements", "m_raa_peak")
+    Attached through the memory controller's hook bundle, increments and
+    the running RAA peak accumulate in plain ints and :meth:`flush`
+    publishes them at the next drain boundary; attached to a bare
+    Observability, emission is eager.
+    """
 
-    def __init__(self, metrics):
+    __slots__ = ("m_rfms", "m_ref_decrements", "m_raa_peak",
+                 "n_rfms", "n_ref_decrements", "raa_peak", "deferred")
+
+    def __init__(self, obs):
+        metrics = obs.metrics
         self.m_rfms = metrics.counter("rfm.issued")
         self.m_ref_decrements = metrics.counter("rfm.ref_decrements")
         self.m_raa_peak = metrics.gauge("rfm.raa_peak")
+        self.n_rfms = 0
+        self.n_ref_decrements = 0
+        self.raa_peak = 0
+        children = getattr(obs, "children", None)
+        self.deferred = children is not None
+        if children is not None:
+            children.append(self)
+
+    def flush(self) -> None:
+        """Publish accumulated RAA bookkeeping (drain boundary)."""
+        if self.n_rfms:
+            self.m_rfms.inc(self.n_rfms)
+            self.n_rfms = 0
+        if self.n_ref_decrements:
+            self.m_ref_decrements.inc(self.n_ref_decrements)
+            self.n_ref_decrements = 0
+        if self.raa_peak > self.m_raa_peak.value:
+            self.m_raa_peak.set(self.raa_peak)
 
 
 @checkpointable(
@@ -66,14 +92,18 @@ class RfmController:
         metrics registry (no-op when metrics are off)."""
         if obs.metrics is None:
             return
-        self._obs = _RfmObsHooks(obs.metrics)
+        self._obs = _RfmObsHooks(obs)
 
     def on_activation(self, bank: int) -> None:
         """Count one ACT into the bank's RAA counter."""
         self.raa[bank] += 1
         obs = self._obs
-        if obs is not None and self.raa[bank] > obs.m_raa_peak.value:
-            obs.m_raa_peak.set(self.raa[bank])
+        if obs is not None:
+            if obs.deferred:
+                if self.raa[bank] > obs.raa_peak:
+                    obs.raa_peak = self.raa[bank]
+            elif self.raa[bank] > obs.m_raa_peak.value:
+                obs.m_raa_peak.set(self.raa[bank])
 
     def rfm_due(self, bank: int) -> bool:
         """RAAIMT reached: an RFM should be issued when convenient."""
@@ -87,11 +117,19 @@ class RfmController:
         """Account an issued RFM: RAA drops by RFMTH."""
         self.raa[bank] = max(0, self.raa[bank] - self.rfm_th)
         self.rfms_issued += 1
-        if self._obs is not None:
-            self._obs.m_rfms.inc()
+        obs = self._obs
+        if obs is not None:
+            if obs.deferred:
+                obs.n_rfms += 1
+            else:
+                obs.m_rfms.inc()
 
     def on_refresh(self, bank: int) -> None:
         """Account a REF: RAA drops by the refresh decrement."""
         self.raa[bank] = max(0, self.raa[bank] - self.ref_decrement)
-        if self._obs is not None:
-            self._obs.m_ref_decrements.inc()
+        obs = self._obs
+        if obs is not None:
+            if obs.deferred:
+                obs.n_ref_decrements += 1
+            else:
+                obs.m_ref_decrements.inc()

@@ -28,6 +28,10 @@ HEAP_SAMPLE_STRIDE = 4096
 #: Bucket edges for the heap-depth histogram.
 HEAP_DEPTH_EDGES = (0, 16, 64, 256, 1024, 4096, 16384, 65536)
 
+#: Sentinel bound for "drain everything": larger than any simulated cycle,
+#: so the unbounded and ``until``-bounded drains share one loop body.
+NO_BOUND = (1 << 63) - 1
+
 
 @checkpointable(
     state=("now", "_seq", "_obs_processed", "_heap"),
@@ -76,17 +80,25 @@ class Engine:
         return self._seq - len(self._heap)
 
     def run_until_empty(self) -> int:
-        """Drain the heap with no bounds checking; return the final time.
+        """Drain the heap to empty; return the final time.
 
         The common case (:func:`repro.cpu.system.simulate` with no event
-        budget) spends its whole life in this loop, so it keeps only the
-        work that must happen per event: pop, advance time, call back.
+        budget) spends its whole life in :meth:`_drain_plain`'s loop.
         """
         if self.obs is not None and self.obs.enabled:
             return self._drain_observed(None)
+        return self._drain_plain(NO_BOUND)
+
+    def _drain_plain(self, bound: int) -> int:
+        """The one uninstrumented drain loop: pop, advance time, call back.
+
+        Shared by the unbounded drain (``bound=NO_BOUND``) and the
+        ``until``-bounded drain — the sentinel keeps the loop body single
+        and branch-predictable instead of hand-copying it per caller.
+        """
         heap = self._heap
         pop = heapq.heappop
-        while heap:
+        while heap and heap[0][0] <= bound:
             time, _, callback = pop(heap)
             self.now = time
             callback(time)
@@ -110,25 +122,16 @@ class Engine:
         pop = heapq.heappop
         processed = 0
         ordinal = self._obs_processed
+        bound = NO_BOUND if until is None else until
         with obs.profiler.phase("engine"):
-            if until is None:
-                while heap:
-                    time, _, callback = pop(heap)
-                    self.now = time
-                    callback(time)
-                    processed += 1
-                    ordinal += 1
-                    if depth_hist is not None and ordinal % HEAP_SAMPLE_STRIDE == 0:
-                        depth_hist.observe(len(heap))
-            else:
-                while heap and heap[0][0] <= until:
-                    time, _, callback = pop(heap)
-                    self.now = time
-                    callback(time)
-                    processed += 1
-                    ordinal += 1
-                    if depth_hist is not None and ordinal % HEAP_SAMPLE_STRIDE == 0:
-                        depth_hist.observe(len(heap))
+            while heap and heap[0][0] <= bound:
+                time, _, callback = pop(heap)
+                self.now = time
+                callback(time)
+                processed += 1
+                ordinal += 1
+                if depth_hist is not None and ordinal % HEAP_SAMPLE_STRIDE == 0:
+                    depth_hist.observe(len(heap))
         self._obs_processed = ordinal
         obs.profiler.count("events", processed)
         if metrics is not None:
@@ -166,8 +169,10 @@ class Engine:
         """
         if until is None and max_events is None:
             return self.run_until_empty()
-        if max_events is None and self.obs is not None and self.obs.enabled:
-            return self._drain_observed(until)
+        if max_events is None:
+            if self.obs is not None and self.obs.enabled:
+                return self._drain_observed(until)
+            return self._drain_plain(until)
         processed = 0
         heap = self._heap
         pop = heapq.heappop

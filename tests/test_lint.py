@@ -82,6 +82,16 @@ POSITIVE = [
     ("OBS001", "def f(reg, name):\n    reg.counter(name)\n"),
     ("OBS002", "def f(reg):\n    reg.counter('BadName')\n"),
     ("OBS002", "def f(tr, a, b):\n    tr.span(a, b, 'lower_kind')\n"),
+    ("OBS003", "def drain(heap, m):\n"
+               "    while heap:\n"
+               "        heap.pop()\n"
+               "        m.inc()\n"),
+    ("OBS003", "def drain(heap, h):\n"
+               "    while heap:\n"
+               "        h.observe(len(heap))\n"),
+    ("OBS003", "def drain(heap, tr, t):\n"
+               "    while heap:\n"
+               "        tr.event(t, 'ACT')\n"),
 ]
 
 
@@ -139,6 +149,19 @@ NEGATIVE = [
     ("OBS001", "def f(reg, tr, a, b):\n"
                "    reg.counter('mc.acts')\n"
                "    tr.span(a, b, 'SAUM')\n"),
+    # Drain-boundary aggregation is the sanctioned pattern: plain-int
+    # accumulation inside the loop, batched publication at the boundary.
+    ("OBS003", "def drain(heap, h, tr, pending):\n"
+               "    acts = 0\n"
+               "    values = []\n"
+               "    while heap:\n"
+               "        heap.pop()\n"
+               "        acts += 1\n"
+               "        values.append(len(heap))\n"
+               "    h.observe_many(values)\n"
+               "    tr.emit_raw(pending)\n"),
+    # Per-event emission outside any while loop is not this rule's business.
+    ("OBS003", "def on_refresh(m):\n    m.inc()\n"),
 ]
 
 
@@ -171,6 +194,16 @@ def test_obs_package_exempt_from_naming():
     snippet = "def f(reg, name):\n    reg.counter(name)\n"
     assert "OBS001" not in rules_hit(snippet, path="src/repro/obs/metrics.py")
     assert "OBS001" in rules_hit(snippet, path=NON_SIM_PATH)
+
+
+def test_obs_hotloop_scoped_to_hot_packages():
+    """OBS003 fires only in the per-event packages (sim/mc/dram)."""
+    snippet = "def drain(heap, m):\n    while heap:\n        m.inc()\n"
+    assert "OBS003" in rules_hit(snippet, path=SIM_PATH)
+    assert "OBS003" in rules_hit(snippet, path="src/repro/mc/controller.py")
+    assert "OBS003" in rules_hit(snippet, path="src/repro/dram/bank.py")
+    # Analytical loops may legitimately emit per iteration.
+    assert "OBS003" not in rules_hit(snippet, path=NON_SIM_PATH)
 
 
 # ----------------------------------------------------------------------

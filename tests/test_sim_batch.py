@@ -1,0 +1,229 @@
+"""Batched timing backend: bit-identity with the scalar oracle.
+
+The fused kernel in :mod:`repro.sim.batch` must be an *invisible*
+optimisation: for every lane it either reproduces the scalar event loop's
+results exactly or routes the lane to the scalar oracle itself. These
+tests pin that contract from every direction — a differential matrix
+across mechanisms x mappings x seeds, the mid-batch fallback path, the
+ineligibility routing (observability, event budgets, checkpointing), the
+``backend=`` plumbing through :func:`repro.cpu.system.simulate` and the
+experiment runner (including cache-key blindness), and checkpoint/resume
+of a run submitted through the batch entry point.
+
+Every differential case crosses at least one refresh boundary (tREFI), so
+the periodic REF machinery — where the kernel and the oracle are most
+likely to drift — is always exercised.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.runner import ExperimentRunner, Job
+from repro.cpu.system import simulate
+from repro.mc.setup import MitigationSetup
+from repro.sim.batch import SimLane, simulate_batch
+from repro.sim.cmdlog import CommandLog
+from repro.sim.config import SystemConfig
+from repro.workloads.catalog import WORKLOADS
+from repro.workloads.rate import make_rate_traces
+
+REQUESTS = 400
+
+#: mechanism x mapping matrix: an unmitigated run, the paper's headline
+#: AutoRFM configuration, and PRAC (per-row counters + ABO alerts) — three
+#: structurally different mitigation paths through the kernel.
+MATRIX = [
+    ("none", {}, "zen"),
+    ("none", {}, "rubix"),
+    ("autorfm", dict(threshold=4, tracker="mint", policy="fractal"), "zen"),
+    ("autorfm", dict(threshold=4, tracker="mint", policy="fractal"), "rubix"),
+    ("prac", dict(prac_trh_d=100), "zen"),
+    ("prac", dict(prac_trh_d=100), "rubix"),
+]
+
+SEEDS = (1, 2, 5)
+
+
+def _traces(config, seed, requests=REQUESTS):
+    return make_rate_traces(
+        WORKLOADS["bwaves"], config, requests=requests, seed=seed
+    )
+
+
+class TestDifferentialMatrix:
+    @pytest.mark.parametrize("mech,kwargs,mapping", MATRIX)
+    def test_batch_matches_scalar(self, mech, kwargs, mapping):
+        config = SystemConfig()
+        setup = MitigationSetup(mechanism=mech, **kwargs)
+        for seed in SEEDS:
+            traces = _traces(config, seed)
+            log_scalar = CommandLog()
+            ref = simulate(
+                traces, setup=setup, config=config, mapping=mapping,
+                seed=seed, command_log=log_scalar,
+            )
+            # Every case must actually cross a refresh boundary.
+            assert ref.stats.cycles > config.timing.trefi
+            log_batch = CommandLog()
+            report = {}
+            got = simulate_batch(
+                [SimLane(traces, setup, config, mapping, seed,
+                         command_log=log_batch)],
+                report=report,
+            )[0]
+            assert report["lanes"][0]["path"] == "kernel"
+            assert report["lanes"][0]["reason"] is None
+            assert got.stats == ref.stats
+            assert log_batch.records == log_scalar.records
+
+    def test_scalar_backend_forces_oracle(self):
+        config = SystemConfig()
+        traces = _traces(config, 1)
+        report = {}
+        simulate_batch(
+            [SimLane(traces, MitigationSetup("none"), config, "zen", 1)],
+            backend="scalar",
+            report=report,
+        )
+        assert report["lanes"][0] == {
+            "path": "scalar", "reason": "scalar-backend", "events": None,
+        }
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            simulate_batch([], backend="bogus")
+
+
+class TestFallbackRouting:
+    def test_midbatch_fallback_lane_rides_with_kernel_lanes(self):
+        """One batch, mixed fates: a kernel lane completes on the fast
+        path while an ``rfm`` lane abandons it mid-run (the kernel does
+        not model RFM commands) and reruns on the oracle — with results
+        identical to a direct scalar run, and the routing visible in the
+        report."""
+        config = SystemConfig()
+        traces = _traces(config, 2)
+        setups = [
+            MitigationSetup("none"),
+            MitigationSetup("rfm", threshold=4),
+        ]
+        report = {}
+        results = simulate_batch(
+            [SimLane(traces, s, config, "zen", 2) for s in setups],
+            report=report,
+        )
+        assert [e["path"] for e in report["lanes"]] == ["kernel", "scalar"]
+        assert report["lanes"][1]["reason"] == "rfm-command"
+        for setup, got in zip(setups, results):
+            ref = simulate(
+                traces, setup=setup, config=config, mapping="zen", seed=2
+            )
+            assert got.stats == ref.stats
+
+    def test_observability_lane_routes_scalar_with_outputs(self):
+        from repro.obs import ObsConfig, Observability
+
+        config = SystemConfig()
+        traces = _traces(config, 1)
+        obs = Observability(ObsConfig(metrics=True, trace=True))
+        report = {}
+        got = simulate_batch(
+            [SimLane(traces, MitigationSetup("none"), config, "zen", 1,
+                     obs=obs)],
+            report=report,
+        )[0]
+        assert report["lanes"][0]["reason"] == "observability"
+        assert got.obs is not None and got.obs.trace_events > 0
+
+    def test_max_events_lane_routes_scalar(self):
+        config = SystemConfig()
+        traces = _traces(config, 1)
+        report = {}
+        got = simulate_batch(
+            [SimLane(traces, MitigationSetup("none"), config, "zen", 1,
+                     max_events=50_000_000)],
+            report=report,
+        )[0]
+        assert report["lanes"][0]["reason"] == "max-events"
+        ref = simulate(traces, config=config, mapping="zen", seed=1)
+        assert got.stats == ref.stats
+
+
+class TestSimulateBackendKnob:
+    def test_simulate_backend_batch_is_bit_identical(self):
+        config = SystemConfig()
+        setup = MitigationSetup("autorfm", threshold=4, policy="fractal")
+        traces = _traces(config, 3)
+        ref = simulate(traces, setup, config, mapping="rubix", seed=3)
+        got = simulate(
+            traces, setup, config, mapping="rubix", seed=3, backend="batch"
+        )
+        assert got.stats == ref.stats
+
+    def test_simulate_rejects_unknown_backend(self):
+        config = SystemConfig()
+        with pytest.raises(ValueError, match="unknown backend"):
+            simulate(_traces(config, 1), config=config, backend="bogus")
+
+
+class TestRunnerBackend:
+    def test_job_backend_excluded_from_cache_key(self, tmp_path):
+        runner = ExperimentRunner(
+            config=SystemConfig(), jobs=1,
+            cache_dir=str(tmp_path / "cache"), requests=REQUESTS,
+        )
+        scalar = Job("bwaves", seed=3)
+        batch = Job("bwaves", seed=3, backend="batch")
+        assert runner.key_for(scalar) == runner.key_for(batch)
+
+    def test_job_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            Job("bwaves", backend="bogus")
+
+    def test_runner_batch_results_answer_scalar_jobs(self, tmp_path):
+        """A result computed by the batch backend is cached under the
+        backend-blind key, so the scalar twin is a cache hit — and equal."""
+        setup = MitigationSetup("autorfm", threshold=4, policy="fractal")
+        runner = ExperimentRunner(
+            config=SystemConfig(), jobs=1,
+            cache_dir=str(tmp_path / "cache"), requests=REQUESTS,
+        )
+        got = runner.run(Job("bwaves", setup, "rubix", seed=3,
+                             backend="batch"))
+        executed = runner.simulations_run
+        ref = runner.run(Job("bwaves", setup, "rubix", seed=3))
+        assert runner.simulations_run == executed  # cache answered
+        assert got.stats == ref.stats
+
+
+class TestBatchedCheckpointResume:
+    def test_checkpointed_lane_snapshots_and_resumes(self, tmp_path):
+        """A lane submitted through the batch entry point with checkpoint
+        options routes to the scalar oracle (the kernel does not model
+        snapshots), produces bit-identical results, leaves restorable
+        snapshots behind, and a restore from the newest one resumes to
+        the same final stats."""
+        from repro.ckpt import load_latest, restore
+
+        config = SystemConfig()
+        setup = MitigationSetup("autorfm", threshold=4, policy="fractal")
+        traces = _traces(config, 2)
+        ref = simulate(
+            traces, setup, config, mapping="rubix", seed=2
+        )
+        ckpt_dir = str(tmp_path / "snapshots")
+        report = {}
+        got = simulate_batch(
+            [SimLane(traces, setup, config, "rubix", 2,
+                     checkpoint_every=ref.stats.cycles // 3,
+                     checkpoint_dir=ckpt_dir)],
+            report=report,
+        )[0]
+        assert report["lanes"][0]["reason"] == "checkpoint"
+        assert got.stats == ref.stats
+
+        snapshot = load_latest(ckpt_dir)
+        assert snapshot is not None
+        resumed = restore(snapshot).run()
+        assert resumed.stats == ref.stats
