@@ -1,6 +1,6 @@
 # Convenience targets for the AutoRFM reproduction.
 
-.PHONY: install test lint lint-baseline bench bench-smoke bench-security bench-sim examples audit clean
+.PHONY: install test lint lint-baseline payload-verify bench bench-smoke bench-security bench-sim examples audit clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -15,6 +15,11 @@ lint:
 
 lint-baseline:
 	PYTHONPATH=src python -m repro lint --update-baseline src/repro
+
+# Corpus integrity: every scenario file must match its pinned source and
+# compiled-shape digests in corpus.json (see docs/payload_dsl.md).
+payload-verify:
+	PYTHONPATH=src python -m repro payload verify
 
 bench:
 	pytest benchmarks/ --benchmark-only

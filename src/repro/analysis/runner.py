@@ -606,9 +606,52 @@ class SecurityJob:
     #: Key for a Rubix-style static row permutation in attack space
     #: (None = identity mapping).
     rubix_key: Optional[int] = None
+    #: Corpus scenario replacing the ``attack``/``rows`` generator: the
+    #: pattern is compiled from the named payload
+    #: (:func:`repro.payload.compile_scenario` under the ``acts`` budget),
+    #: and the scenario's name, manifest version, and parameters all enter
+    #: the cache key — a corpus version bump re-executes instead of
+    #: answering from entries computed against the old payload.
+    scenario: Optional[str] = None
+    #: Manifest version of ``scenario``; auto-filled at construction. Pass
+    #: it explicitly only to assert an expected corpus version.
+    scenario_version: Optional[str] = None
+    #: Placeholder overrides, normalized to sorted ``(name, value)`` pairs
+    #: (hashable and deterministic key material). A plain dict is accepted
+    #: and normalized.
+    scenario_params: Tuple[Tuple[str, int], ...] = ()
     backend: str = "numpy"
 
     def __post_init__(self):
+        if self.scenario is not None:
+            from repro.payload import load_scenario
+
+            meta = load_scenario(self.scenario)
+            if self.scenario_version is None:
+                object.__setattr__(self, "scenario_version", meta.version)
+            elif self.scenario_version != meta.version:
+                raise ValueError(
+                    f"scenario {self.scenario!r} is version {meta.version} "
+                    f"in the corpus, not {self.scenario_version!r}"
+                )
+            declared = dict(meta.params)
+            raw = (
+                self.scenario_params.items()
+                if isinstance(self.scenario_params, dict)
+                else self.scenario_params
+            )
+            normalized = tuple(sorted((str(k), int(v)) for k, v in raw))
+            for name, _ in normalized:
+                if name not in declared:
+                    raise ValueError(
+                        f"scenario {self.scenario!r} declares no parameter "
+                        f"{name!r} (has {sorted(declared)})"
+                    )
+            object.__setattr__(self, "scenario_params", normalized)
+        elif self.scenario_version is not None or self.scenario_params:
+            raise ValueError(
+                "scenario_version/scenario_params require a scenario"
+            )
         if self.attack not in _SECURITY_ATTACKS:
             raise ValueError(
                 f"unknown attack {self.attack!r}; expected one of "
@@ -639,6 +682,12 @@ def security_job_key(
     backends produce the identical artifact)."""
     fields = dataclasses.asdict(job)
     fields.pop("backend")
+    if fields.get("scenario") is None:
+        # Only scenario jobs carry the corpus keys, so every pre-corpus
+        # cache entry stays addressable under its original hash.
+        fields.pop("scenario", None)
+        fields.pop("scenario_version", None)
+        fields.pop("scenario_params", None)
     payload = {"schema": schema_version, "kind": "security", "job": fields}
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
@@ -678,7 +727,16 @@ def _execute_security(job: SecurityJob) -> List[dict]:
         tracker_spec_from_strings,
     )
 
-    pattern = build_pattern(job.attack, list(job.rows), job.acts)
+    if job.scenario is not None:
+        from repro.payload import compile_scenario
+
+        pattern = list(
+            compile_scenario(
+                job.scenario, params=dict(job.scenario_params), acts=job.acts
+            ).rows
+        )
+    else:
+        pattern = build_pattern(job.attack, list(job.rows), job.acts)
     cipher = (
         KCipher(job.rows_per_bank, job.rubix_key)
         if job.rubix_key is not None

@@ -187,17 +187,26 @@ def cmd_security(args: argparse.Namespace) -> int:
     print(f"\nFractal Mitigation transitive-safety bound: TRH-D >= "
           f"{fm_safe_trhd()} (Appendix B)")
     if args.seeds:
+        from repro.payload import PayloadError, parse_params
         from repro.security.thresholds import threshold_sweep
 
         acts = args.attack_acts or 20_000
-        points = threshold_sweep(
-            args.windows,
-            seeds=args.seeds,
-            acts=acts,
-            tracker=args.tracker,
-            policy=args.policy,
-            backend=args.backend,
-        )
+        scenario = getattr(args, "scenario", None)
+        try:
+            scenario_params = parse_params(getattr(args, "param", None) or [])
+            points = threshold_sweep(
+                args.windows,
+                seeds=args.seeds,
+                acts=acts,
+                tracker=args.tracker,
+                policy=args.policy,
+                backend=args.backend,
+                scenario=scenario,
+                scenario_params=scenario_params or None,
+            )
+        except PayloadError as exc:
+            print(f"payload error: {exc}", file=sys.stderr)
+            return 2
         sweep_rows = [
             [
                 p.window,
@@ -215,7 +224,8 @@ def cmd_security(args: argparse.Namespace) -> int:
                  "mean pressure", "mitigations"],
                 sweep_rows,
                 title=(
-                    f"empirical (ABCD)^K sweep: {args.tracker}/{args.policy}"
+                    f"empirical {scenario or '(ABCD)^K'} sweep: "
+                    f"{args.tracker}/{args.policy}"
                     f", {args.seeds} seeds x {acts} ACTs"
                     f" [{args.backend}]"
                 ),
@@ -365,6 +375,113 @@ def cmd_storage(_args: argparse.Namespace) -> int:
     print(render_table(["state", "size"], rows,
                        title="AutoRFM storage overheads (Section VI-C)"))
     return 0
+
+
+def cmd_payload(args: argparse.Namespace) -> int:
+    """Inspect, compile, replay, and verify the attack-payload corpus."""
+    from repro.payload import (
+        PayloadError,
+        compile_scenario,
+        load_scenario,
+        normalize,
+        parse_params,
+        scenario_names,
+        scenario_source,
+        verify_corpus,
+    )
+
+    try:
+        if args.payload_cmd == "list":
+            rows = []
+            for name in scenario_names():
+                s = load_scenario(name)
+                params = ", ".join(f"{k}={v}" for k, v in s.params) or "-"
+                rows.append(
+                    [name, s.version, s.default_acts, params, s.description]
+                )
+            print(render_table(
+                ["scenario", "version", "acts", "params", "description"],
+                rows, title="attack-payload corpus",
+            ))
+            return 0
+
+        if args.payload_cmd == "show":
+            s = load_scenario(args.name)
+            source = scenario_source(args.name)
+            print(f"# {s.name} v{s.version} — {s.description}")
+            print(f"# provenance: {s.provenance}")
+            print(f"# default_acts: {s.default_acts}")
+            print()
+            print(normalize(source) if args.normalize else source, end="")
+            return 0
+
+        if args.payload_cmd == "compile":
+            compiled = compile_scenario(
+                args.name, params=parse_params(args.param or []),
+                acts=args.acts,
+            )
+            ops = ", ".join(
+                f"{op}={n}" for op, n in sorted(compiled.op_counts().items())
+            )
+            print(f"{compiled.name}: {compiled.acts} activations ({ops})")
+            print(f"rows_sha256: {compiled.rows_digest()}")
+            if args.rows:
+                print(" ".join(str(r) for r in compiled.rows))
+            else:
+                head = " ".join(str(r) for r in compiled.rows[:16])
+                more = len(compiled.rows) - 16
+                print(f"rows: {head}" + (f" … (+{more})" if more > 0 else ""))
+            return 0
+
+        if args.payload_cmd == "run":
+            from repro.analysis.runner import ExperimentRunner, SecurityJob
+
+            scenario = load_scenario(args.name)
+            acts = args.acts if args.acts is not None else scenario.default_acts
+            job = SecurityJob(
+                acts=acts,
+                window=args.window,
+                tracker=args.tracker,
+                policy=args.policy,
+                seeds=args.seeds,
+                scenario=args.name,
+                scenario_params=tuple(
+                    sorted(parse_params(args.param or []).items())
+                ),
+                backend=args.backend,
+            )
+            results = ExperimentRunner().run_security(job)
+            pressures = [r.max_pressure for r in results]
+            print(
+                f"{args.name} v{scenario.version}: {args.seeds} seeds x "
+                f"{acts} ACTs vs {args.tracker}/{args.policy} "
+                f"(window {args.window}) [{args.backend}]"
+            )
+            print(
+                f"worst pressure {max(pressures):.1f}, mean "
+                f"{sum(pressures) / len(pressures):.1f}, "
+                f"{sum(r.mitigations for r in results)} mitigations"
+            )
+            return 0
+
+        # verify (optionally --update to re-pin the manifest digests)
+        if args.update:
+            from repro.payload.corpus import pin_manifest
+
+            doc = pin_manifest()
+            print(f"re-pinned {len(doc.get('scenarios', {}))} scenario "
+                  "digest(s) in corpus.json")
+            return 0
+        problems = verify_corpus()
+        if problems:
+            for problem in problems:
+                print(f"corpus: {problem}", file=sys.stderr)
+            return 1
+        print(f"corpus OK: {len(scenario_names())} scenario(s) verified")
+        return 0
+    except PayloadError as exc:
+        print(f"payload error: {exc}", file=sys.stderr)
+        return 2
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -575,6 +692,15 @@ def build_parser() -> argparse.ArgumentParser:
     security.add_argument(
         "--backend", default="numpy", choices=["numpy", "scalar"],
     )
+    security.add_argument(
+        "--scenario", default=None, metavar="NAME",
+        help="replay a corpus payload instead of the (ABCD)^K generator "
+             "(see 'repro payload list')",
+    )
+    security.add_argument(
+        "--param", action="append", metavar="NAME=VALUE",
+        help="scenario placeholder override (repeatable)",
+    )
     security.set_defaults(func=cmd_security)
 
     audit = sub.add_parser(
@@ -601,6 +727,72 @@ def build_parser() -> argparse.ArgumentParser:
 
     storage = sub.add_parser("storage", help="Section VI-C storage overheads")
     storage.set_defaults(func=cmd_storage)
+
+    payload = sub.add_parser(
+        "payload", help="the attack-payload DSL corpus (list/show/compile/run/verify)"
+    )
+    payload_sub = payload.add_subparsers(dest="payload_cmd", required=True)
+
+    p_list = payload_sub.add_parser("list", help="list corpus scenarios")
+
+    p_show = payload_sub.add_parser("show", help="print a scenario's source")
+    p_show.add_argument("name")
+    p_show.add_argument(
+        "--normalize", action="store_true",
+        help="print the canonical formatting (format∘parse) instead of "
+             "the file bytes",
+    )
+
+    p_compile = payload_sub.add_parser(
+        "compile", help="compile a scenario and print its shape"
+    )
+    p_compile.add_argument("name")
+    p_compile.add_argument(
+        "--param", action="append", metavar="NAME=VALUE",
+        help="placeholder override (repeatable)",
+    )
+    p_compile.add_argument(
+        "--acts", type=int, default=None,
+        help="activation budget (default: the manifest's default_acts)",
+    )
+    p_compile.add_argument(
+        "--rows", action="store_true",
+        help="dump the full compiled row sequence",
+    )
+
+    p_run = payload_sub.add_parser(
+        "run", help="replay a scenario through the Monte-Carlo engine"
+    )
+    p_run.add_argument("name")
+    p_run.add_argument(
+        "--param", action="append", metavar="NAME=VALUE",
+        help="placeholder override (repeatable)",
+    )
+    p_run.add_argument("--acts", type=int, default=None)
+    p_run.add_argument("--window", type=int, default=4)
+    p_run.add_argument(
+        "--tracker", default="mint",
+        choices=["mint", "mint-transitive", "graphene", "para"],
+    )
+    p_run.add_argument(
+        "--policy", default="fractal", choices=["fractal", "blast"],
+    )
+    p_run.add_argument("--seeds", type=int, default=50)
+    p_run.add_argument(
+        "--backend", default="numpy", choices=["numpy", "scalar"],
+    )
+
+    p_verify = payload_sub.add_parser(
+        "verify", help="check every manifest digest against the corpus"
+    )
+    p_verify.add_argument(
+        "--update", action="store_true",
+        help="re-pin the manifest digests (maintainer action: review the "
+             "diff and bump versions before committing)",
+    )
+
+    for sub_parser in (p_list, p_show, p_compile, p_run, p_verify):
+        sub_parser.set_defaults(func=cmd_payload)
 
     reproduce = sub.add_parser(
         "reproduce", help="run the bench for a paper experiment (or 'list')"

@@ -16,6 +16,7 @@ from repro.lint.passes.contract import ContractPass
 from repro.lint.passes.determinism import DeterminismPass
 from repro.lint.passes.obs_hotloop import ObsHotLoopPass
 from repro.lint.passes.obs_names import ObsNamesPass
+from repro.lint.passes.payload_literals import PayloadLiteralPass
 from repro.lint.passes.rng_stream import RngStreamPass
 
 ALL_PASSES: Tuple[LintPass, ...] = (
@@ -25,6 +26,7 @@ ALL_PASSES: Tuple[LintPass, ...] = (
     CallbackPass(),
     ObsNamesPass(),
     ObsHotLoopPass(),
+    PayloadLiteralPass(),
 )
 
 ALL_RULES: Dict[str, Rule] = {
@@ -41,5 +43,6 @@ __all__ = [
     "DeterminismPass",
     "ObsHotLoopPass",
     "ObsNamesPass",
+    "PayloadLiteralPass",
     "RngStreamPass",
 ]

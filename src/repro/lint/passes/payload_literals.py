@@ -1,0 +1,77 @@
+"""Payload-literal pass: attack sequences belong in the DSL, not in code.
+
+The payload DSL (:mod:`repro.payload`) is the single source of truth for
+activation sequences: programs are versioned in the corpus, replayed
+identically by every engine, and covered by the differential battery. A
+hard-coded row/activation sequence literal in an attack-generation module
+is a second, untracked pattern implementation — it drifts silently, never
+enters the corpus manifest, and bypasses the cache-key provenance that
+``(scenario, version, params)`` provides.
+
+* ``PAY001`` a list/tuple literal of :data:`_MIN_SEQUENCE` or more plain
+  integer constants inside the ``workloads``/``security`` packages (the
+  attack-generation surface). Express the sequence as a ``*.payload``
+  program (or a :func:`repro.payload.parse`-able generator like
+  ``hammer_program``) instead.
+
+Short literals — a handful of thresholds, a config tuple — stay below the
+bar on purpose; the rule targets inlined *sequences*, not parameters.
+Deliberate exceptions belong in the baseline or under a
+``# repro: lint-ignore[PAY001]`` pragma with justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.lint.base import LintPass, ModuleSource
+from repro.lint.findings import Finding, Rule
+
+#: Packages that generate or replay attack patterns: the only places an
+#: inline activation sequence could masquerade as a payload.
+_PAYLOAD_PACKAGES = ("workloads", "security")
+
+#: Fewest integer elements that read as a *sequence* rather than a couple
+#: of scalar parameters. Eight is comfortably above every legitimate
+#: constant tuple in the scanned packages and below any useful hammer.
+_MIN_SEQUENCE = 8
+
+
+def _is_int_sequence(node: ast.AST) -> bool:
+    """A list/tuple literal made purely of >=8 plain int constants."""
+    if not isinstance(node, (ast.List, ast.Tuple)):
+        return False
+    if len(node.elts) < _MIN_SEQUENCE:
+        return False
+    return all(
+        isinstance(e, ast.Constant)
+        and isinstance(e.value, int)
+        and not isinstance(e.value, bool)
+        for e in node.elts
+    )
+
+
+class PayloadLiteralPass(LintPass):
+    """Flags hard-coded activation-sequence literals (``PAY001``)."""
+
+    name = "payload-literal"
+    rules: Tuple[Rule, ...] = (
+        Rule("PAY001", "payload-literal",
+             "hard-coded activation-sequence literal in attack code"),
+    )
+
+    def applies_to(self, module: ModuleSource) -> bool:
+        return any(module.in_package(pkg) for pkg in _PAYLOAD_PACKAGES)
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not _is_int_sequence(node):
+                continue
+            yield self.finding(
+                "PAY001", module, node,
+                f"literal sequence of {len(node.elts)} integers in attack "
+                "code: express it as a payload-DSL program (corpus "
+                "scenario or repro.payload.parse-able generator) so it is "
+                "versioned, replayable, and differentially tested",
+            )

@@ -1,0 +1,64 @@
+"""Attack-payload DSL: scenarios as data, not Python.
+
+A payload is a tiny PyRAM-style program over six primitives — ``act``,
+``pre``, ``ref``, ``rfm``, ``nop``, ``sync_ref`` — with ``for``-style
+repetition and ``{param}`` placeholders.  Four pure stages take it from
+text to both replay forms:
+
+1. :func:`parse` — text → AST, with line-accurate
+   :class:`PayloadError`\\ s;
+2. :func:`resolve` — bind placeholders (strict: missing *and* unused
+   parameters are errors);
+3. :func:`unroll` — flatten loops under an explicit activation budget
+   (the knob that bounds even ``for *:`` hammers);
+4. :func:`compile_payload` — emit a :class:`CompiledPayload`: the logical
+   row sequence for the Monte-Carlo engines
+   (:func:`repro.security.montecarlo.run_attack`,
+   :func:`repro.security.kernels.run_attack_batch`) and, via
+   :meth:`CompiledPayload.to_trace`, a timed trace for
+   :func:`repro.cpu.system.simulate` on either timing backend.
+
+The versioned scenario corpus lives in :mod:`repro.payload.corpus`; the
+differential battery in ``tests/test_payload*.py`` certifies that every
+corpus scenario replays identically through the scalar oracle and the
+numpy kernels, and bit-identically through both timing backends.  See
+``docs/payload_dsl.md``.
+"""
+
+from repro.payload.corpus import (
+    Scenario,
+    compile_scenario,
+    load_scenario,
+    scenario_names,
+    scenario_source,
+    verify_corpus,
+)
+from repro.payload.nodes import PayloadError, Program, format_program
+from repro.payload.parser import normalize, parse, parse_params
+from repro.payload.pipeline import (
+    CompiledPayload,
+    compile_payload,
+    count_activations,
+    resolve,
+    unroll,
+)
+
+__all__ = [
+    "PayloadError",
+    "Program",
+    "CompiledPayload",
+    "Scenario",
+    "parse",
+    "normalize",
+    "parse_params",
+    "format_program",
+    "resolve",
+    "unroll",
+    "compile_payload",
+    "count_activations",
+    "compile_scenario",
+    "load_scenario",
+    "scenario_names",
+    "scenario_source",
+    "verify_corpus",
+]

@@ -1,0 +1,227 @@
+"""The versioned attack-scenario corpus: named payloads + manifest.
+
+Scenarios live as ``*.payload`` DSL files next to ``corpus.json``, the
+manifest that makes them *versioned artifacts*: each entry pins a name, a
+semantic version, the default parameters, provenance, and two
+expected-shape digests —
+
+* ``source_sha256`` over the payload file bytes (the program itself), and
+* ``rows_sha256`` over the logical row sequence compiled under the
+  default parameters and activation budget (the program's *behaviour*).
+
+:func:`verify_corpus` recomputes both for every entry; any drift —
+editing a payload without bumping its version and digests, a manifest
+entry whose file is gone, a payload file the manifest does not know — is
+reported and fails CI (``repro payload verify`` / ``make payload-verify``).
+
+Scenario identity for caching is ``(name, version, params)``; see
+:class:`repro.analysis.runner.SecurityJob`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.payload.nodes import PayloadError, Program
+from repro.payload.parser import parse
+from repro.payload.pipeline import CompiledPayload, compile_payload, resolve, unroll
+
+__all__ = [
+    "CORPUS_DIR",
+    "Scenario",
+    "scenario_names",
+    "load_scenario",
+    "scenario_source",
+    "compile_scenario",
+    "verify_corpus",
+    "load_manifest",
+]
+
+#: The corpus ships inside the package: payloads are data, not code.
+CORPUS_DIR = os.path.dirname(os.path.abspath(__file__))
+_MANIFEST = os.path.join(CORPUS_DIR, "corpus.json")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One manifest entry: a named, versioned, parameterized payload."""
+
+    name: str
+    version: str
+    file: str
+    description: str
+    provenance: str
+    params: Tuple[Tuple[str, int], ...] = field(default_factory=tuple)
+    default_acts: int = 4000
+    source_sha256: str = ""
+    rows_sha256: str = ""
+
+    def default_params(self) -> Dict[str, int]:
+        """The manifest's declared parameters as a fresh mutable dict."""
+        return dict(self.params)
+
+    def path(self) -> str:
+        """Absolute path of the scenario's ``.payload`` file."""
+        return os.path.join(CORPUS_DIR, self.file)
+
+
+def load_manifest() -> dict:
+    """The raw ``corpus.json`` document."""
+    try:
+        with open(_MANIFEST, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except FileNotFoundError:
+        raise PayloadError(f"corpus manifest missing: {_MANIFEST}") from None
+    except json.JSONDecodeError as exc:
+        raise PayloadError(f"corpus manifest unreadable: {exc}") from None
+
+
+def scenario_names() -> List[str]:
+    """Every scenario name, sorted."""
+    return sorted(load_manifest().get("scenarios", {}))
+
+
+def load_scenario(name: str) -> Scenario:
+    """The manifest entry for ``name`` (:class:`PayloadError` if unknown)."""
+    scenarios = load_manifest().get("scenarios", {})
+    if name not in scenarios:
+        known = ", ".join(sorted(scenarios)) or "none"
+        raise PayloadError(
+            f"unknown scenario {name!r} (corpus has: {known})"
+        )
+    raw = scenarios[name]
+    return Scenario(
+        name=name,
+        version=raw["version"],
+        file=raw["file"],
+        description=raw.get("description", ""),
+        provenance=raw.get("provenance", ""),
+        params=tuple(sorted(raw.get("params", {}).items())),
+        default_acts=int(raw.get("default_acts", 4000)),
+        source_sha256=raw.get("source_sha256", ""),
+        rows_sha256=raw.get("rows_sha256", ""),
+    )
+
+
+def scenario_source(name: str) -> str:
+    """The payload DSL text of scenario ``name``."""
+    scenario = load_scenario(name)
+    try:
+        with open(scenario.path(), "r", encoding="utf-8") as handle:
+            return handle.read()
+    except FileNotFoundError:
+        raise PayloadError(
+            f"scenario {name!r} names a missing file {scenario.file!r}"
+        ) from None
+
+
+def scenario_program(name: str) -> Program:
+    """The parsed (unresolved) program of scenario ``name``."""
+    return parse(scenario_source(name))
+
+
+def compile_scenario(
+    name: str,
+    params: Optional[Mapping[str, int]] = None,
+    acts: Optional[int] = None,
+) -> CompiledPayload:
+    """Full pipeline for a corpus scenario: parse → resolve → unroll → compile.
+
+    ``params`` overrides a subset of the manifest defaults (an override
+    the scenario does not declare is an error — the manifest is the
+    parameter schema).  ``acts`` is the unroll activation budget (default:
+    the manifest's ``default_acts``).
+    """
+    scenario = load_scenario(name)
+    defaults = scenario.default_params()
+    overrides = dict(params or {})
+    unknown = sorted(set(overrides) - set(defaults))
+    if unknown:
+        raise PayloadError(
+            f"scenario {name!r} does not take parameter(s) "
+            + ", ".join(unknown)
+            + (f" (declared: {', '.join(sorted(defaults))})" if defaults
+               else " (it takes none)")
+        )
+    defaults.update(overrides)
+    budget = scenario.default_acts if acts is None else acts
+    program = resolve(parse(scenario_source(name)), defaults)
+    return compile_payload(unroll(program, budget), name=name)
+
+
+# ----------------------------------------------------------------------
+# Integrity verification
+# ----------------------------------------------------------------------
+def _source_digest(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def verify_corpus() -> List[str]:
+    """Recompute every manifest digest; return the list of problems.
+
+    An empty list means the corpus is intact: every scenario file parses,
+    matches its pinned source digest, and compiles (under its default
+    parameters and budget) to exactly the pinned row sequence.  Also
+    flags orphan ``*.payload`` files the manifest does not version.
+    """
+    problems: List[str] = []
+    manifest = load_manifest()
+    scenarios = manifest.get("scenarios", {})
+    if not scenarios:
+        problems.append("manifest lists no scenarios")
+    for name in sorted(scenarios):
+        try:
+            scenario = load_scenario(name)
+            source = scenario_source(name)
+        except PayloadError as exc:
+            problems.append(f"{name}: {exc}")
+            continue
+        got_source = _source_digest(source)
+        if got_source != scenario.source_sha256:
+            problems.append(
+                f"{name}: source drift — {scenario.file} hashes to "
+                f"{got_source[:12]}…, manifest pins "
+                f"{scenario.source_sha256[:12]}… (bump the version and "
+                f"re-pin with 'repro payload verify --update')"
+            )
+        try:
+            compiled = compile_scenario(name)
+        except PayloadError as exc:
+            problems.append(f"{name}: does not compile — {exc}")
+            continue
+        if compiled.rows_digest() != scenario.rows_sha256:
+            problems.append(
+                f"{name}: shape drift — compiled rows hash to "
+                f"{compiled.rows_digest()[:12]}…, manifest pins "
+                f"{scenario.rows_sha256[:12]}…"
+            )
+        if compiled.acts == 0:
+            problems.append(f"{name}: compiles to zero activations")
+    manifest_files = {scenarios[n]["file"] for n in scenarios}
+    for entry in sorted(os.listdir(CORPUS_DIR)):
+        if entry.endswith(".payload") and entry not in manifest_files:
+            problems.append(
+                f"orphan payload file {entry!r}: not versioned in the "
+                "manifest"
+            )
+    return problems
+
+
+def pin_manifest() -> dict:
+    """Recompute and rewrite every digest in ``corpus.json`` (maintainer
+    helper behind ``repro payload verify --update``); returns the updated
+    document."""
+    manifest = load_manifest()
+    for name in sorted(manifest.get("scenarios", {})):
+        entry = manifest["scenarios"][name]
+        source = scenario_source(name)
+        entry["source_sha256"] = _source_digest(source)
+        entry["rows_sha256"] = compile_scenario(name).rows_digest()
+    with open(_MANIFEST, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return manifest

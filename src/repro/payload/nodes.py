@@ -1,0 +1,322 @@
+"""Payload-DSL syntax tree: expressions, instructions, loops, programs.
+
+A payload program is a small PyRAM-style description of a DRAM command
+stream (see :mod:`repro.payload.parser` for the concrete grammar).  The
+nodes here are plain immutable data; every node remembers the 1-based
+source line it came from so the whole pipeline — parse, resolve, unroll,
+compile — can point errors at the offending payload line rather than at a
+Python stack frame.
+
+The node vocabulary is deliberately tiny:
+
+* :class:`Instr` — one primitive (``act``/``pre``/``ref``/``rfm``/``nop``/
+  ``sync_ref``), optionally carrying an argument expression (the row for
+  ``act``, the idle count for ``nop``);
+* :class:`Loop` — ``for``-style repetition: a fixed trip count, a counted
+  loop binding an index variable, or the unbounded ``for *:`` whose
+  expansion is cut by the unroll stage's activation budget;
+* expressions — integer arithmetic over literals, ``{param}``
+  placeholders, and loop variables.
+
+:func:`format_program` renders any program back to canonical text; the
+round-trip ``format(parse(text)) == normalize(text)`` is pinned by the
+property suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Mapping, Optional, Tuple, Union
+
+__all__ = [
+    "PayloadError",
+    "Expr",
+    "Num",
+    "Param",
+    "Var",
+    "Neg",
+    "BinOp",
+    "Stmt",
+    "Instr",
+    "Loop",
+    "Program",
+    "INSTRUCTION_OPS",
+    "ARG_REQUIRED_OPS",
+    "ARG_FORBIDDEN_OPS",
+    "format_program",
+]
+
+
+class PayloadError(Exception):
+    """Any failure in the payload pipeline, anchored to a source line.
+
+    This is the *only* exception the DSL is allowed to raise for malformed
+    input, unknown parameters, budget violations, or out-of-range rows —
+    the fuzz suite feeds the parser random token soup and asserts nothing
+    else ever escapes.
+    """
+
+    def __init__(self, message: str, line: Optional[int] = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Num:
+    """An integer literal."""
+
+    value: int
+
+    def format(self) -> str:
+        """Render as payload-DSL source text."""
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Param:
+    """A ``{name}`` placeholder bound by the resolve stage."""
+
+    name: str
+
+    def format(self) -> str:
+        """Render as payload-DSL source text."""
+        return "{" + self.name + "}"
+
+
+@dataclass(frozen=True)
+class Var:
+    """A loop-index variable (bound by an enclosing ``for x in n:``)."""
+
+    name: str
+
+    def format(self) -> str:
+        """Render as payload-DSL source text."""
+        return self.name
+
+
+@dataclass(frozen=True)
+class Neg:
+    """Unary minus."""
+
+    operand: "Expr"
+
+    def format(self) -> str:
+        """Render as payload-DSL source text."""
+        return f"-{_format_factor(self.operand)}"
+
+
+@dataclass(frozen=True)
+class BinOp:
+    """Binary arithmetic: ``+``, ``-``, or ``*``."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+    def format(self) -> str:
+        """Render as payload-DSL source text, minimally parenthesized."""
+        if self.op == "*":
+            return (
+                f"{_format_factor(self.left)}*{_format_factor(self.right)}"
+            )
+        right = self.right
+        right_text = (
+            f"({right.format()})"
+            if isinstance(right, BinOp) and right.op in "+-"
+            else right.format()
+        )
+        return f"{self.left.format()}{self.op}{right_text}"
+
+
+Expr = Union[Num, Param, Var, Neg, BinOp]
+
+
+def _format_factor(expr: Expr) -> str:
+    """Render ``expr`` parenthesized when it binds looser than ``*``."""
+    if isinstance(expr, BinOp) and expr.op in "+-":
+        return f"({expr.format()})"
+    if isinstance(expr, Neg):
+        return f"({expr.format()})"
+    return expr.format()
+
+
+def eval_expr(
+    expr: Expr,
+    params: Mapping[str, int],
+    variables: Mapping[str, int],
+    line: Optional[int] = None,
+) -> int:
+    """Evaluate ``expr`` to an integer under the given bindings."""
+    if isinstance(expr, Num):
+        return expr.value
+    if isinstance(expr, Param):
+        if expr.name not in params:
+            raise PayloadError(
+                f"unbound parameter {{{expr.name}}}", line
+            )
+        return params[expr.name]
+    if isinstance(expr, Var):
+        if expr.name not in variables:
+            raise PayloadError(f"unbound loop variable {expr.name!r}", line)
+        return variables[expr.name]
+    if isinstance(expr, Neg):
+        return -eval_expr(expr.operand, params, variables, line)
+    if isinstance(expr, BinOp):
+        left = eval_expr(expr.left, params, variables, line)
+        right = eval_expr(expr.right, params, variables, line)
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        return left * right
+    raise PayloadError(f"unknown expression node {expr!r}", line)
+
+
+def expr_params(expr: Expr) -> Tuple[str, ...]:
+    """Sorted parameter names referenced anywhere in ``expr``."""
+    names: set = set()
+    _collect_params(expr, names)
+    return tuple(sorted(names))
+
+
+def _collect_params(expr: Expr, out: set) -> None:
+    if isinstance(expr, Param):
+        out.add(expr.name)
+    elif isinstance(expr, Neg):
+        _collect_params(expr.operand, out)
+    elif isinstance(expr, BinOp):
+        _collect_params(expr.left, out)
+        _collect_params(expr.right, out)
+
+
+def substitute(expr: Expr, params: Mapping[str, int]) -> Expr:
+    """Replace every bound ``{param}`` in ``expr`` with its literal value."""
+    if isinstance(expr, Param):
+        if expr.name in params:
+            return Num(int(params[expr.name]))
+        return expr
+    if isinstance(expr, Neg):
+        return Neg(substitute(expr.operand, params))
+    if isinstance(expr, BinOp):
+        return BinOp(
+            expr.op,
+            substitute(expr.left, params),
+            substitute(expr.right, params),
+        )
+    return expr
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+#: The primitive vocabulary.
+INSTRUCTION_OPS: Tuple[str, ...] = (
+    "act", "pre", "ref", "rfm", "nop", "sync_ref",
+)
+#: Ops that must carry an argument expression.
+ARG_REQUIRED_OPS: Tuple[str, ...] = ("act",)
+#: Ops that must not carry one (``nop`` may carry an optional count).
+ARG_FORBIDDEN_OPS: Tuple[str, ...] = ("pre", "ref", "rfm", "sync_ref")
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One primitive command.
+
+    ``arg`` is the row expression for ``act`` and the optional idle count
+    for ``nop`` (default 1); the other ops carry no argument.
+    """
+
+    op: str
+    arg: Optional[Expr] = None
+    line: int = 0
+
+    def format(self) -> str:
+        """Render as a single payload-DSL source line (no indentation)."""
+        if self.arg is None:
+            return self.op
+        return f"{self.op} {self.arg.format()}"
+
+
+@dataclass(frozen=True)
+class Loop:
+    """``for``-repetition.
+
+    ``count is None`` means the unbounded ``for *:`` form — expansion is
+    bounded only by the unroll stage's activation budget.  ``var`` names
+    the loop-index variable of the ``for x in n:`` form (bound to
+    ``0..n-1`` in the body); plain ``for n:`` repeats without binding.
+    """
+
+    count: Optional[Expr]
+    body: Tuple["Stmt", ...]
+    var: Optional[str] = None
+    line: int = 0
+
+    def header(self) -> str:
+        """Render the ``for ...:`` header line (no indentation)."""
+        if self.count is None:
+            return "for *:"
+        if self.var is not None:
+            return f"for {self.var} in {self.count.format()}:"
+        return f"for {self.count.format()}:"
+
+
+Stmt = Union[Instr, Loop]
+
+
+@dataclass(frozen=True)
+class Program:
+    """A parsed payload: a statement list plus leading doc comments."""
+
+    body: Tuple[Stmt, ...]
+    comments: Tuple[str, ...] = field(default_factory=tuple)
+
+    def params(self) -> Tuple[str, ...]:
+        """Sorted placeholder names the program references."""
+        names: set = set()
+        _collect_stmt_params(self.body, names)
+        return tuple(sorted(names))
+
+
+def _collect_stmt_params(body: Tuple[Stmt, ...], out: set) -> None:
+    for stmt in body:
+        if isinstance(stmt, Instr):
+            if stmt.arg is not None:
+                _collect_params(stmt.arg, out)
+        else:
+            if stmt.count is not None:
+                _collect_params(stmt.count, out)
+            _collect_stmt_params(stmt.body, out)
+
+
+# ----------------------------------------------------------------------
+# Canonical rendering
+# ----------------------------------------------------------------------
+_INDENT = "    "
+
+
+def format_program(program: Program) -> str:
+    """Canonical text of ``program``: 4-space indent, one trailing newline.
+
+    Leading comment lines are preserved verbatim (they are the scenario's
+    in-file documentation); comments elsewhere are dropped by the parser.
+    """
+    lines: List[str] = [f"# {c}" if c else "#" for c in program.comments]
+    _format_body(program.body, 0, lines)
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _format_body(body: Tuple[Stmt, ...], depth: int, out: List[str]) -> None:
+    pad = _INDENT * depth
+    for stmt in body:
+        if isinstance(stmt, Instr):
+            out.append(pad + stmt.format())
+        else:
+            out.append(pad + stmt.header())
+            _format_body(stmt.body, depth + 1, out)

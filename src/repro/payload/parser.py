@@ -1,0 +1,352 @@
+"""Payload-DSL parser: text → :class:`~repro.payload.nodes.Program`.
+
+The concrete grammar (line-oriented, indentation-scoped, Python-flavored
+like PyRAM payloads):
+
+.. code-block:: text
+
+    program   := {comment | blank} {statement}
+    statement := instr NEWLINE
+               | "for" "*" ":" NEWLINE block
+               | "for" expr ":" NEWLINE block
+               | "for" IDENT "in" expr ":" NEWLINE block
+    block     := INDENT {statement} DEDENT          (4-space indents)
+    instr     := "act" expr | "nop" [expr]
+               | "pre" | "ref" | "rfm" | "sync_ref"
+    expr      := term {("+" | "-") term}
+    term      := factor {"*" factor}
+    factor    := INT | "{" IDENT "}" | IDENT | "(" expr ")" | "-" factor
+
+``{name}`` placeholders are free parameters bound by the resolve stage; a
+bare identifier is a loop-index variable and must be bound by an enclosing
+``for x in n:`` (checked here, so the error lands on the payload line that
+uses it).  Comments run ``#`` to end of line; the comment block *before*
+the first statement is kept on the program as its documentation and
+survives :func:`~repro.payload.nodes.format_program` round-trips.
+
+Every malformed input raises :class:`~repro.payload.nodes.PayloadError`
+with the 1-based source line — never a raw traceback; the fuzz suite
+enforces this with random token soup.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.payload.nodes import (
+    ARG_FORBIDDEN_OPS,
+    ARG_REQUIRED_OPS,
+    BinOp,
+    Expr,
+    INSTRUCTION_OPS,
+    Instr,
+    Loop,
+    Neg,
+    Num,
+    Param,
+    PayloadError,
+    Program,
+    Stmt,
+    Var,
+    format_program,
+)
+
+__all__ = ["parse", "normalize", "parse_params"]
+
+_INDENT_WIDTH = 4
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:"
+    r"(?P<int>\d+)"
+    r"|(?P<param>\{[A-Za-z_][A-Za-z0-9_]*\})"
+    r"|(?P<ident>[A-Za-z_][A-Za-z0-9_]*)"
+    r"|(?P<punct>[+\-*():])"
+    r")"
+)
+
+_KEYWORDS = frozenset({"for", "in"}) | frozenset(INSTRUCTION_OPS)
+
+
+def _tokenize(text: str, line: int) -> List[Tuple[str, str]]:
+    """``(kind, text)`` tokens of one logical line (comments stripped)."""
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        rest = text[pos:]
+        if rest.lstrip() == "" or rest.lstrip().startswith("#"):
+            break
+        match = _TOKEN_RE.match(text, pos)
+        if match is None or match.end() == pos:
+            bad = text[pos:].strip().split()[0]
+            raise PayloadError(f"unexpected character(s) {bad!r}", line)
+        pos = match.end()
+        for kind in ("int", "param", "ident", "punct"):
+            value = match.group(kind)
+            if value is not None:
+                tokens.append((kind, value))
+                break
+    return tokens
+
+
+class _ExprParser:
+    """Recursive-descent expression parser over one token list."""
+
+    def __init__(self, tokens: Sequence[Tuple[str, str]], line: int,
+                 variables: Set[str]):
+        self.tokens = list(tokens)
+        self.pos = 0
+        self.line = line
+        self.variables = variables
+
+    def peek(self) -> Optional[Tuple[str, str]]:
+        if self.pos < len(self.tokens):
+            return self.tokens[self.pos]
+        return None
+
+    def next(self) -> Tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise PayloadError("unexpected end of expression", self.line)
+        self.pos += 1
+        return token
+
+    def expr(self) -> Expr:
+        node = self.term()
+        while True:
+            token = self.peek()
+            if token is None or token[1] not in ("+", "-"):
+                return node
+            self.next()
+            node = BinOp(token[1], node, self.term())
+
+    def term(self) -> Expr:
+        node = self.factor()
+        while True:
+            token = self.peek()
+            if token is None or token[1] != "*":
+                return node
+            self.next()
+            node = BinOp("*", node, self.factor())
+
+    def factor(self) -> Expr:
+        kind, text = self.next()
+        if kind == "int":
+            return Num(int(text))
+        if kind == "param":
+            return Param(text[1:-1])
+        if kind == "ident":
+            if text in _KEYWORDS:
+                raise PayloadError(
+                    f"keyword {text!r} cannot appear in an expression",
+                    self.line,
+                )
+            if text not in self.variables:
+                raise PayloadError(
+                    f"unbound loop variable {text!r} (did you mean "
+                    f"{{{text}}}?)",
+                    self.line,
+                )
+            return Var(text)
+        if text == "(":
+            node = self.expr()
+            closing = self.next()
+            if closing[1] != ")":
+                raise PayloadError("expected ')'", self.line)
+            return node
+        if text == "-":
+            return Neg(self.factor())
+        raise PayloadError(f"unexpected token {text!r} in expression",
+                           self.line)
+
+
+def _parse_expr(tokens: Sequence[Tuple[str, str]], line: int,
+                variables: Set[str]) -> Expr:
+    parser = _ExprParser(tokens, line, variables)
+    node = parser.expr()
+    extra = parser.peek()
+    if extra is not None:
+        raise PayloadError(
+            f"unexpected token {extra[1]!r} after expression", line
+        )
+    return node
+
+
+def _indent_of(raw: str, line: int) -> int:
+    """Indentation depth of ``raw`` in 4-space units."""
+    if raw.startswith("\t") or raw.lstrip(" ").startswith("\t"):
+        raise PayloadError("indent with spaces, not tabs", line)
+    spaces = len(raw) - len(raw.lstrip(" "))
+    if spaces % _INDENT_WIDTH:
+        raise PayloadError(
+            f"indentation must be a multiple of {_INDENT_WIDTH} spaces",
+            line,
+        )
+    return spaces // _INDENT_WIDTH
+
+
+def parse(text: str) -> Program:
+    """Parse payload ``text`` into a :class:`Program`.
+
+    Raises :class:`PayloadError` (with the offending 1-based line) for any
+    syntactic problem: bad tokens, bad indentation, empty loop bodies,
+    missing/extra instruction arguments, or unbound loop variables.
+    """
+    if not isinstance(text, str):
+        raise PayloadError(
+            f"payload must be text, got {type(text).__name__}"
+        )
+    comments: List[str] = []
+    seen_statement = False
+    # Parse into a virtual root loop body via an indent stack.  Each stack
+    # entry is (depth, body, bound_vars); a "for" pushes one level.
+    root: List[Stmt] = []
+    stack: List[Tuple[int, List[Stmt], Set[str]]] = [(0, root, set())]
+    expect_block_line: Optional[int] = None
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        stripped = raw.strip()
+        if not stripped:
+            continue
+        if stripped.startswith("#"):
+            if not seen_statement:
+                comments.append(stripped[1:].strip())
+            continue
+        depth = _indent_of(raw, lineno)
+        if expect_block_line is not None:
+            if depth != stack[-1][0]:
+                raise PayloadError(
+                    f"expected an indented block under the 'for' on line "
+                    f"{expect_block_line}",
+                    lineno,
+                )
+            expect_block_line = None
+        else:
+            while stack and depth < stack[-1][0]:
+                stack.pop()
+            if not stack or depth != stack[-1][0]:
+                raise PayloadError("unexpected indent", lineno)
+        seen_statement = True
+        body, variables = stack[-1][1], stack[-1][2]
+        tokens = _tokenize(stripped, lineno)
+        if not tokens:
+            continue
+        stmt, block_vars = _parse_statement(tokens, lineno, variables)
+        body.append(stmt)
+        if isinstance(stmt, Loop):
+            # Loop bodies are filled in place: push the (still-empty)
+            # mutable body list; it is frozen on finalize below.
+            stack.append((depth + 1, stmt.body, block_vars))  # type: ignore[arg-type]
+            expect_block_line = lineno
+
+    if expect_block_line is not None:
+        raise PayloadError(
+            "'for' has an empty body", expect_block_line
+        )
+    if not seen_statement:
+        raise PayloadError("payload has no statements", 1)
+    return Program(body=_freeze(root), comments=tuple(comments))
+
+
+def _parse_statement(
+    tokens: List[Tuple[str, str]], line: int, variables: Set[str]
+) -> Tuple[Stmt, Set[str]]:
+    kind, head = tokens[0]
+    if kind == "ident" and head == "for":
+        return _parse_for(tokens, line, variables)
+    if kind != "ident" or head not in INSTRUCTION_OPS:
+        raise PayloadError(
+            f"unknown instruction {head!r} (expected one of "
+            f"{', '.join(INSTRUCTION_OPS)} or 'for')",
+            line,
+        )
+    rest = tokens[1:]
+    if head in ARG_FORBIDDEN_OPS:
+        if rest:
+            raise PayloadError(f"{head!r} takes no argument", line)
+        return Instr(head, None, line), variables
+    if not rest:
+        if head in ARG_REQUIRED_OPS:
+            raise PayloadError(f"{head!r} needs a row expression", line)
+        return Instr(head, None, line), variables  # bare "nop" == nop 1
+    return Instr(head, _parse_expr(rest, line, variables), line), variables
+
+
+def _parse_for(
+    tokens: List[Tuple[str, str]], line: int, variables: Set[str]
+) -> Tuple[Loop, Set[str]]:
+    if tokens[-1][1] != ":":
+        raise PayloadError("'for' header must end with ':'", line)
+    inner = tokens[1:-1]
+    if not inner:
+        raise PayloadError("'for' needs a count, 'x in n', or '*'", line)
+    # The mutable-body trick: Loop is frozen, so the body tuple is built
+    # as a list here and converted by _freeze once parsing completes.
+    if len(inner) == 1 and inner[0][1] == "*":
+        loop = Loop(count=None, body=[], line=line)  # type: ignore[arg-type]
+        return loop, set(variables)
+    if len(inner) >= 2 and inner[0][0] == "ident" and inner[1] == ("ident", "in"):
+        var = inner[0][1]
+        if var in _KEYWORDS:
+            raise PayloadError(
+                f"{var!r} is a keyword and cannot name a loop variable",
+                line,
+            )
+        if var in variables:
+            raise PayloadError(
+                f"loop variable {var!r} is already bound", line
+            )
+        count = _parse_expr(inner[2:], line, variables)
+        loop = Loop(count=count, body=[], var=var, line=line)  # type: ignore[arg-type]
+        return loop, variables | {var}
+    count = _parse_expr(inner, line, variables)
+    loop = Loop(count=count, body=[], line=line)  # type: ignore[arg-type]
+    return loop, set(variables)
+
+
+def _freeze(body: List[Stmt]) -> Tuple[Stmt, ...]:
+    """Deep-convert the parser's mutable body lists into tuples."""
+    frozen: List[Stmt] = []
+    for stmt in body:
+        if isinstance(stmt, Loop):
+            frozen.append(
+                Loop(
+                    count=stmt.count,
+                    body=_freeze(list(stmt.body)),
+                    var=stmt.var,
+                    line=stmt.line,
+                )
+            )
+        else:
+            frozen.append(stmt)
+    return tuple(frozen)
+
+
+def normalize(text: str) -> str:
+    """Canonical form of payload ``text``: ``format_program(parse(text))``.
+
+    Idempotent by construction (pinned by the property suite):
+    ``normalize(normalize(t)) == normalize(t)``.
+    """
+    return format_program(parse(text))
+
+
+def parse_params(pairs: Sequence[str]) -> dict:
+    """CLI helper: ``["victim=7000", "burst=32"]`` → ``{"victim": 7000, ...}``.
+
+    Raises :class:`PayloadError` on anything that is not ``name=integer``.
+    """
+    params = {}
+    for pair in pairs:
+        name, sep, value = pair.partition("=")
+        name = name.strip()
+        if not sep or not name:
+            raise PayloadError(f"expected name=value, got {pair!r}")
+        try:
+            params[name] = int(value.strip())
+        except ValueError:
+            raise PayloadError(
+                f"parameter {name!r} needs an integer value, got "
+                f"{value.strip()!r}"
+            ) from None
+    return params

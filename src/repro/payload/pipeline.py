@@ -1,0 +1,421 @@
+"""Payload pipeline stages: resolve → unroll → compile.
+
+:func:`resolve` binds ``{param}`` placeholders to integers (strict: a
+missing or an unknown parameter is an error naming the offender and, for
+missing ones, the payload line that needs it).  :func:`unroll` expands the
+loop structure into a flat instruction list under an explicit activation
+budget — the single knob that makes every payload, including the unbounded
+``for *:`` hammers, a bounded artifact.  :func:`compile_payload` turns the
+flat list into a :class:`CompiledPayload`: the logical per-bank row
+sequence the security engines replay
+(:func:`repro.security.montecarlo.run_attack`,
+:func:`repro.security.kernels.run_attack_batch`) and, via
+:meth:`CompiledPayload.to_trace`, the timed memory-request
+:class:`~repro.workloads.trace.Trace` the full simulator consumes on both
+timing backends.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.payload.nodes import (
+    Expr,
+    Instr,
+    Loop,
+    Num,
+    Param,
+    PayloadError,
+    Program,
+    Stmt,
+    eval_expr,
+    expr_params,
+    substitute,
+)
+
+__all__ = [
+    "resolve",
+    "unroll",
+    "compile_payload",
+    "CompiledPayload",
+    "DEFAULT_REF_GAP",
+    "count_activations",
+]
+
+#: Instruction-expansion guard: unroll may emit at most
+#: ``budget * _INSTRS_PER_ACT_CAP + _INSTR_FLOOR`` instructions, so a
+#: degenerate payload (a million ``pre``/``nop`` lines per activation)
+#: fails loudly instead of exhausting memory while chasing its budget.
+_INSTRS_PER_ACT_CAP = 64
+_INSTR_FLOOR = 4096
+
+#: Idle instructions a ``ref``/``rfm``/``sync_ref`` contributes to the
+#: timed trace: an IPC≈1 stand-in for tRFC/tRFM-scale stalls (the demand
+#: stream cannot issue REF/RFM itself — the controller owns the refresh
+#: machinery — so timing payloads express refresh alignment as computed
+#: quiet time).  Override per-compile with ``to_trace(ref_gap=...)``.
+DEFAULT_REF_GAP = 700
+
+
+# ----------------------------------------------------------------------
+# resolve
+# ----------------------------------------------------------------------
+def resolve(program: Program, params: Optional[Mapping[str, int]] = None) -> Program:
+    """Bind every ``{param}`` placeholder in ``program`` to its value.
+
+    Strict on both sides: a placeholder with no binding raises (naming the
+    parameter and the first line that needs it), and a binding no
+    placeholder consumes raises (catching misspelled parameter names
+    before they silently produce the default pattern).
+    """
+    params = dict(params or {})
+    for name, value in params.items():
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise PayloadError(
+                f"parameter {name!r} must be an integer, got {value!r}"
+            )
+    needed = program.params()
+    missing = [n for n in needed if n not in params]
+    if missing:
+        line = _first_param_line(program.body, set(missing))
+        raise PayloadError(
+            "missing parameter(s): " + ", ".join(missing), line
+        )
+    extra = sorted(set(params) - set(needed))
+    if extra:
+        raise PayloadError(
+            "unused parameter(s): " + ", ".join(extra)
+            + (f" (payload takes {', '.join(needed)})" if needed
+               else " (payload takes none)")
+        )
+    return Program(
+        body=_resolve_body(program.body, params),
+        comments=program.comments,
+    )
+
+
+def _resolve_body(
+    body: Tuple[Stmt, ...], params: Mapping[str, int]
+) -> Tuple[Stmt, ...]:
+    out: List[Stmt] = []
+    for stmt in body:
+        if isinstance(stmt, Instr):
+            arg = substitute(stmt.arg, params) if stmt.arg is not None else None
+            out.append(Instr(stmt.op, arg, stmt.line))
+        else:
+            count = (
+                substitute(stmt.count, params)
+                if stmt.count is not None else None
+            )
+            out.append(
+                Loop(
+                    count=count,
+                    body=_resolve_body(stmt.body, params),
+                    var=stmt.var,
+                    line=stmt.line,
+                )
+            )
+    return tuple(out)
+
+
+def _first_param_line(body: Tuple[Stmt, ...], names: set) -> Optional[int]:
+    for stmt in body:
+        if isinstance(stmt, Instr):
+            if stmt.arg is not None and set(expr_params(stmt.arg)) & names:
+                return stmt.line
+        else:
+            if stmt.count is not None and set(expr_params(stmt.count)) & names:
+                return stmt.line
+            line = _first_param_line(stmt.body, names)
+            if line is not None:
+                return line
+    return None
+
+
+# ----------------------------------------------------------------------
+# unroll
+# ----------------------------------------------------------------------
+def count_activations(program: Program, budget: Optional[int] = None) -> int:
+    """Analytic activation count of a fully-resolved ``program``.
+
+    For finite programs this is the closed-form loop product-sum; an
+    unbounded ``for *:`` contributes whatever remains of ``budget``.  The
+    property suite pins ``len(unroll(p, b).rows) ==
+    min(count_activations(p), b)`` for finite programs.
+    """
+    total = _count_body(program.body, {})
+    if total is None:
+        if budget is None:
+            raise PayloadError(
+                "program is unbounded (for *); supply a budget"
+            )
+        return budget
+    return total if budget is None else min(total, budget)
+
+
+def _count_body(
+    body: Tuple[Stmt, ...], variables: Dict[str, int]
+) -> Optional[int]:
+    """Activations of one body; None when it contains ``for *:``."""
+    total = 0
+    for stmt in body:
+        if isinstance(stmt, Instr):
+            total += 1 if stmt.op == "act" else 0
+            continue
+        if stmt.count is None:
+            return None
+        count = eval_expr(stmt.count, {}, variables, stmt.line)
+        if count < 0:
+            raise PayloadError(
+                f"loop count evaluates to {count} (must be >= 0)",
+                stmt.line,
+            )
+        if stmt.var is None:
+            inner = _count_body(stmt.body, variables)
+            if inner is None:
+                return None
+            total += count * inner
+        else:
+            for i in range(count):
+                variables[stmt.var] = i
+                inner = _count_body(stmt.body, variables)
+                del variables[stmt.var]
+                if inner is None:
+                    return None
+                total += inner
+    return total
+
+
+class _BudgetDone(Exception):
+    """Internal flow control: the activation budget is exhausted."""
+
+
+class _Unroller:
+    def __init__(self, budget: int, max_instructions: int):
+        self.budget = budget
+        self.max_instructions = max_instructions
+        self.instrs: List[Instr] = []
+        self.acts = 0
+
+    def emit(self, instr: Instr, variables: Dict[str, int]) -> None:
+        if instr.op == "act":
+            if self.acts >= self.budget:
+                raise _BudgetDone
+            row = eval_expr(instr.arg, {}, variables, instr.line)
+            if row < 0:
+                raise PayloadError(
+                    f"act row evaluates to {row} (rows are non-negative)",
+                    instr.line,
+                )
+            self.acts += 1
+            self.instrs.append(Instr("act", Num(row), instr.line))
+        elif instr.op == "nop":
+            count = (
+                eval_expr(instr.arg, {}, variables, instr.line)
+                if instr.arg is not None else 1
+            )
+            if count < 0:
+                raise PayloadError(
+                    f"nop count evaluates to {count} (must be >= 0)",
+                    instr.line,
+                )
+            self.instrs.append(Instr("nop", Num(count), instr.line))
+        else:
+            self.instrs.append(Instr(instr.op, None, instr.line))
+        if len(self.instrs) > self.max_instructions:
+            raise PayloadError(
+                f"unroll exceeded the instruction cap "
+                f"({self.max_instructions}) before reaching its "
+                f"activation budget ({self.budget}); the payload emits "
+                f"too few activations per instruction",
+                instr.line,
+            )
+
+    def run_body(
+        self, body: Tuple[Stmt, ...], variables: Dict[str, int]
+    ) -> None:
+        for stmt in body:
+            if isinstance(stmt, Instr):
+                self.emit(stmt, variables)
+                continue
+            if stmt.count is None:
+                while True:
+                    acts_before = self.acts
+                    self.run_body(stmt.body, variables)
+                    if self.acts == acts_before:
+                        raise PayloadError(
+                            "'for *' body performs no activations: the "
+                            "loop can never reach its budget",
+                            stmt.line,
+                        )
+                continue
+            count = eval_expr(stmt.count, {}, variables, stmt.line)
+            if count < 0:
+                raise PayloadError(
+                    f"loop count evaluates to {count} (must be >= 0)",
+                    stmt.line,
+                )
+            if stmt.var is None:
+                for _ in range(count):
+                    self.run_body(stmt.body, variables)
+            else:
+                for i in range(count):
+                    variables[stmt.var] = i
+                    self.run_body(stmt.body, variables)
+                variables.pop(stmt.var, None)  # zero-trip loops never bind
+
+
+def unroll(
+    program: Program,
+    budget: int,
+    max_instructions: Optional[int] = None,
+) -> List[Instr]:
+    """Expand ``program`` into a flat instruction list.
+
+    ``budget`` is the activation budget — the hard cap on emitted ``act``
+    instructions.  Expansion stops exactly when the budget is reached
+    (mid-loop-body if need be), which is also what terminates the
+    unbounded ``for *:`` form; finite programs that run out of statements
+    first simply emit fewer activations.  The program must be fully
+    resolved (no ``{param}`` placeholders) and every evaluated row and
+    count must be in range; violations raise :class:`PayloadError` with
+    the payload line.
+
+    ``max_instructions`` guards against payloads that emit unboundedly
+    many non-``act`` instructions while chasing their budget (default:
+    ``budget * 64 + 4096``).
+    """
+    if budget < 0:
+        raise PayloadError(f"activation budget must be >= 0, got {budget}")
+    leftover = program.params()
+    if leftover:
+        raise PayloadError(
+            "cannot unroll an unresolved program; still missing: "
+            + ", ".join(leftover),
+            _first_param_line(program.body, set(leftover)),
+        )
+    if max_instructions is None:
+        max_instructions = budget * _INSTRS_PER_ACT_CAP + _INSTR_FLOOR
+    unroller = _Unroller(budget, max_instructions)
+    try:
+        unroller.run_body(program.body, {})
+    except _BudgetDone:
+        # The budget cut the program mid-stream: anything emitted after
+        # the final activation belongs to the iteration the cut interrupted,
+        # so expansion ends *exactly* at act #budget (this is what keeps
+        # DSL hammers byte-identical to their generator twins).
+        while unroller.instrs and unroller.instrs[-1].op != "act":
+            unroller.instrs.pop()
+    return unroller.instrs
+
+
+# ----------------------------------------------------------------------
+# compile
+# ----------------------------------------------------------------------
+@dataclass
+class CompiledPayload:
+    """One compiled payload: flat instructions plus both replay forms.
+
+    ``rows`` is the logical per-bank activation sequence (the ``act``
+    stream) consumed directly by the Monte-Carlo engines;
+    :meth:`to_trace` lays the same instruction stream out as a timed
+    memory-request trace for :func:`repro.cpu.system.simulate` on either
+    timing backend.
+    """
+
+    name: str
+    instrs: Tuple[Instr, ...]
+    rows: List[int]
+
+    @property
+    def acts(self) -> int:
+        return len(self.rows)
+
+    def op_counts(self) -> Dict[str, int]:
+        """Instruction-mix histogram (op → occurrences)."""
+        counts: Dict[str, int] = {}
+        for instr in self.instrs:
+            counts[instr.op] = counts.get(instr.op, 0) + 1
+        return counts
+
+    def rows_digest(self) -> str:
+        """sha256 over the logical row sequence (the manifest shape pin)."""
+        payload = ",".join(str(r) for r in self.rows)
+        return hashlib.sha256(payload.encode("ascii")).hexdigest()
+
+    def to_trace(
+        self,
+        mapping,
+        *,
+        subchannel: int = 0,
+        bank: int = 0,
+        column: int = 0,
+        ref_gap: int = DEFAULT_REF_GAP,
+    ):
+        """The timed :class:`~repro.workloads.trace.Trace` of this payload.
+
+        Every ``act`` becomes one read request on the line that ``mapping``
+        assigns to ``(subchannel, bank, row, column)``; ``nop k``
+        contributes ``k`` idle (non-memory) instructions of gap before the
+        next request; ``pre`` is free (the closed-page policy precharges
+        implicitly); ``ref``/``rfm``/``sync_ref`` contribute ``ref_gap``
+        idle instructions each (see :data:`DEFAULT_REF_GAP`).  Idle time
+        after the final request lands in ``tail_instructions``.
+        """
+        from repro.mapping.base import LineLocation
+        from repro.workloads.trace import Trace
+
+        gaps: List[int] = []
+        addrs: List[int] = []
+        pending = 0
+        for instr in self.instrs:
+            if instr.op == "act":
+                addrs.append(
+                    mapping.line_for(
+                        LineLocation(
+                            subchannel=subchannel,
+                            bank=bank,
+                            row=instr.arg.value,  # type: ignore[union-attr]
+                            column=column,
+                        )
+                    )
+                )
+                gaps.append(pending)
+                pending = 0
+            elif instr.op == "nop":
+                pending += instr.arg.value  # type: ignore[union-attr]
+            elif instr.op in ("ref", "rfm", "sync_ref"):
+                pending += ref_gap
+            # "pre" adds nothing: closed-page precharge is implicit.
+        return Trace(
+            gaps=gaps,
+            addrs=addrs,
+            writes=[False] * len(addrs),
+            tail_instructions=pending,
+            name=self.name or "payload",
+        )
+
+
+def compile_payload(
+    instrs: Sequence[Instr], name: str = ""
+) -> CompiledPayload:
+    """Compile a flat (unrolled) instruction list into both replay forms."""
+    rows: List[int] = []
+    for instr in instrs:
+        if isinstance(instr, Loop):
+            raise PayloadError(
+                "compile takes the *unrolled* instruction stream; call "
+                "unroll() first",
+                instr.line,
+            )
+        if instr.op == "act":
+            if not isinstance(instr.arg, Num):
+                raise PayloadError(
+                    "act row is not a literal; resolve() and unroll() "
+                    "must run before compile",
+                    instr.line,
+                )
+            rows.append(instr.arg.value)
+    return CompiledPayload(name=name, instrs=tuple(instrs), rows=rows)

@@ -83,12 +83,17 @@ def montecarlo_tolerated_threshold(
     policy: str = "fractal",
     base_row: int = 70_000,
     backend: str = "numpy",
+    scenario: Optional[str] = None,
+    scenario_params: Optional[dict] = None,
 ) -> SweepPoint:
     """Empirical tolerated threshold of one window via batched replays.
 
-    Replays the (ABCD)^K round-robin pattern — optimal against MINT
-    (Appendix A) — with W unique aggressor rows, across ``seeds`` seeds in
-    one vectorized program.
+    By default replays the (ABCD)^K round-robin pattern — optimal against
+    MINT (Appendix A) — with W unique aggressor rows, across ``seeds``
+    seeds in one vectorized program. Passing ``scenario`` instead compiles
+    a named payload from the versioned corpus
+    (:func:`repro.payload.compile_scenario`), with ``scenario_params``
+    overriding the manifest's declared placeholder defaults.
     """
     from repro.security.kernels import (
         build_pattern,
@@ -97,9 +102,18 @@ def montecarlo_tolerated_threshold(
         tracker_spec_from_strings,
     )
 
-    pattern = build_pattern(
-        "round_robin", [base_row + 10 * i for i in range(window)], acts
-    )
+    if scenario is not None:
+        from repro.payload import compile_scenario
+
+        pattern = list(
+            compile_scenario(scenario, params=scenario_params, acts=acts).rows
+        )
+    elif scenario_params:
+        raise ValueError("scenario_params requires a scenario")
+    else:
+        pattern = build_pattern(
+            "round_robin", [base_row + 10 * i for i in range(window)], acts
+        )
     results = run_attack_batch(
         [pattern],
         tracker_spec_from_strings(tracker, window),
@@ -128,13 +142,20 @@ def threshold_sweep(
     tracker: str = "mint",
     policy: str = "fractal",
     backend: str = "numpy",
+    scenario: Optional[str] = None,
+    scenario_params: Optional[dict] = None,
 ) -> List[SweepPoint]:
     """Empirical tolerated thresholds across windows (Table III's
-    Monte-Carlo companion to the Appendix-A analytical model)."""
+    Monte-Carlo companion to the Appendix-A analytical model).
+
+    ``scenario`` swaps the default window-optimal (ABCD)^K generator for a
+    named payload from the versioned corpus, replayed against every window.
+    """
     return [
         montecarlo_tolerated_threshold(
             w, seeds=seeds, acts=acts, tracker=tracker, policy=policy,
-            backend=backend,
+            backend=backend, scenario=scenario,
+            scenario_params=scenario_params,
         )
         for w in windows
     ]

@@ -37,6 +37,24 @@ def lines_for_rows(
     ]
 
 
+def hammer_program(num_rows: int) -> str:
+    """The payload-DSL source of a round-robin hammer over ``num_rows`` rows.
+
+    One unbounded loop cycling ``{r0}..{rN}``, each activation preceded by
+    ``{gap}`` idle slots — :func:`hammer_trace` binds the placeholders and
+    cuts the loop at the request budget, so the hammer generator *is* a
+    corpus-style payload rather than a second pattern implementation.
+    """
+    if num_rows < 1:
+        raise ValueError("need at least one target row")
+    lines = ["# Round-robin maximal-rate hammer (generated).", "for *:"]
+    for i in range(num_rows):
+        lines.append("    nop {gap}")
+        lines.append("    act {r%d}" % i)
+        lines.append("    pre")
+    return "\n".join(lines) + "\n"
+
+
 def hammer_trace(
     mapping: MemoryMapping,
     rows: Sequence[int],
@@ -51,19 +69,23 @@ def hammer_trace(
     row must be precharged first), which is the maximal-rate hammer the
     closed-page policy admits. ``gap`` inserts compute between requests to
     throttle the attacker below the memory system's saturation point.
+
+    Implemented through the payload DSL (parse → resolve → unroll →
+    compile of :func:`hammer_program`): the DSL pipeline is the single
+    activation-sequence implementation, and this generator is pinned
+    byte-identical to its historical output by ``tests/test_payload.py``.
     """
+    from repro.payload import compile_payload, parse, resolve, unroll
+
     if not rows:
         raise ValueError("need at least one target row")
     if num_requests < 0:
         raise ValueError("num_requests must be non-negative")
-    lines = lines_for_rows(mapping, subchannel, bank, rows)
-    n = len(lines)
-    return Trace(
-        gaps=[gap] * num_requests,
-        addrs=[lines[i % n] for i in range(num_requests)],
-        writes=[False] * num_requests,
-        name="hammer",
-    )
+    params = {"gap": gap}
+    params.update({f"r{i}": int(row) for i, row in enumerate(rows)})
+    program = resolve(parse(hammer_program(len(rows))), params)
+    compiled = compile_payload(unroll(program, num_requests), name="hammer")
+    return compiled.to_trace(mapping, subchannel=subchannel, bank=bank)
 
 
 def subarray_dos_trace(

@@ -92,6 +92,10 @@ POSITIVE = [
     ("OBS003", "def drain(heap, tr, t):\n"
                "    while heap:\n"
                "        tr.event(t, 'ACT')\n"),
+    ("PAY001", "ROWS = [70000, 70010, 70020, 70030, "
+               "70040, 70050, 70060, 70070]\n"),
+    ("PAY001", "def attack():\n"
+               "    return (1, 2, 3, 4, 5, 6, 7, 8, 9)\n"),
 ]
 
 
@@ -102,7 +106,10 @@ POSITIVE = [
 )
 def test_positive_fixture_is_flagged(rule_id, snippet):
     """Each violation fixture triggers exactly the rule it seeds."""
-    assert rule_id in rules_hit(snippet), snippet
+    path = SIM_PATH
+    if rule_id == "PAY001":
+        path = "src/repro/workloads/fixture.py"  # the pass's home packages
+    assert rule_id in rules_hit(snippet, path=path), snippet
 
 
 # ----------------------------------------------------------------------
@@ -162,6 +169,13 @@ NEGATIVE = [
                "    tr.emit_raw(pending)\n"),
     # Per-event emission outside any while loop is not this rule's business.
     ("OBS003", "def on_refresh(m):\n    m.inc()\n"),
+    # Short parameter tuples stay below the sequence bar.
+    ("PAY001", "WINDOWS = (4, 8, 16, 32)\n"),
+    # Derived sequences (comprehensions) are not inlined literals.
+    ("PAY001", "def rows(base):\n"
+               "    return [base + 10 * i for i in range(64)]\n"),
+    # Non-integer element kills the sequence reading.
+    ("PAY001", "XS = [1, 2, 3, 4, 5, 6, 7, 'x']\n"),
 ]
 
 
@@ -175,6 +189,8 @@ def test_negative_fixture_is_clean(rule_id, snippet):
     path = SIM_PATH
     if rule_id == "DET003":
         path = "src/repro/sim/config.py"  # the allowlisted env home
+    elif rule_id == "PAY001":
+        path = "src/repro/security/fixture.py"  # the pass's home packages
     assert rule_id not in rules_hit(snippet, path=path), snippet
 
 
@@ -194,6 +210,16 @@ def test_obs_package_exempt_from_naming():
     snippet = "def f(reg, name):\n    reg.counter(name)\n"
     assert "OBS001" not in rules_hit(snippet, path="src/repro/obs/metrics.py")
     assert "OBS001" in rules_hit(snippet, path=NON_SIM_PATH)
+
+
+def test_payload_literal_scoped_to_attack_packages():
+    """PAY001 fires only where attack patterns are generated."""
+    snippet = "ROWS = [1, 2, 3, 4, 5, 6, 7, 8]\n"
+    assert "PAY001" in rules_hit(snippet, path="src/repro/workloads/mix.py")
+    assert "PAY001" in rules_hit(snippet, path="src/repro/security/audit.py")
+    # Tables elsewhere (configs, analytical constants) are fine.
+    assert "PAY001" not in rules_hit(snippet, path=SIM_PATH)
+    assert "PAY001" not in rules_hit(snippet, path=NON_SIM_PATH)
 
 
 def test_obs_hotloop_scoped_to_hot_packages():

@@ -22,6 +22,7 @@ from repro.lint.passes import (
     ContractPass,
     DeterminismPass,
     ObsNamesPass,
+    PayloadLiteralPass,
     RngStreamPass,
 )
 
@@ -79,6 +80,12 @@ CLEAN_PINS = [
     (ContractPass(), "sim/engine.py"),
     (ContractPass(), "dram/bank.py"),
     (ObsNamesPass(), "mc/controller.py"),
+    # The attack-generation surface holds no inlined activation sequences:
+    # patterns flow from the payload DSL (or parameterized generators).
+    (PayloadLiteralPass(), "workloads/attacks.py"),
+    (PayloadLiteralPass(), "workloads/adversarial.py"),
+    (PayloadLiteralPass(), "security/thresholds.py"),
+    (PayloadLiteralPass(), "security/kernels.py"),
 ]
 
 
