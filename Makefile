@@ -1,6 +1,6 @@
 # Convenience targets for the AutoRFM reproduction.
 
-.PHONY: install test lint lint-baseline payload-verify bench bench-smoke bench-security bench-sim examples audit clean
+.PHONY: install test lint lint-baseline payload-verify bench bench-smoke bench-security bench-sim bench-svc examples audit clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -34,6 +34,12 @@ bench-security:
 # sim_batch_speedup into BENCH_perf.json; see docs/sim_batch.md).
 bench-sim:
 	PYTHONPATH=src python benchmarks/bench_perf_smoke.py
+
+# Sweep-service throughput: cold jobs/sec through the daemon's worker
+# pool and warm cache-hit latency (writes svc_jobs_per_second and
+# svc_hit_latency_ms into BENCH_perf.json; see docs/sweep_service.md).
+bench-svc:
+	PYTHONPATH=src python benchmarks/bench_svc_smoke.py
 
 examples:
 	python examples/quickstart.py

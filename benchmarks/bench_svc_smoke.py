@@ -1,0 +1,112 @@
+"""Sweep-service smoke: daemon job throughput and warm-cache hit latency.
+
+Starts a real :class:`~repro.svc.SweepService` on a scratch socket,
+pushes a small batch of distinct jobs through it, and records
+
+* ``svc_jobs_per_second`` — end-to-end daemon throughput (submit through
+  result) for cold jobs executed by the worker pool, and
+* ``svc_hit_latency_ms`` — the round-trip latency of answering a job from
+  the warm shared cache (no worker involved),
+
+into ``BENCH_perf.json`` via the shared read-merge-update helper, next to
+the simulator and security smoke numbers.
+
+Run standalone:  PYTHONPATH=src python benchmarks/bench_svc_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import threading
+import time
+
+import pytest
+
+from bench_perf_smoke import OUTPUT, write_report
+from repro.analysis.runner import Job
+from repro.mc.setup import MitigationSetup
+from repro.svc import SweepClient, SweepService
+
+#: Cold batch: distinct seeds so nothing dedups or hits.
+COLD_JOBS = 4
+#: Warm round-trips against one cached entry.
+HIT_ROUNDS = 20
+REQUESTS = 300
+WORKERS = 2
+SETUP = MitigationSetup(mechanism="autorfm", tracker="mint", threshold=4)
+
+skip_perf = pytest.mark.skipif(
+    os.environ.get("REPRO_SKIP_PERF_TESTS", "") == "1",
+    reason="perf tests disabled via REPRO_SKIP_PERF_TESTS=1",
+)
+
+
+def run_smoke() -> dict:
+    """Drive one daemon through a cold batch and a warm hit loop."""
+    scratch = tempfile.mkdtemp(prefix="rsvc-", dir="/tmp")
+    service = SweepService(
+        scratch + "/b.sock",
+        workers=WORKERS,
+        requests=REQUESTS,
+        cache_dir=scratch + "/cache",
+        poll_interval=0.02,
+    )
+    thread = threading.Thread(target=service.run, daemon=True)
+    thread.start()
+    if not service.wait_ready(10):
+        raise RuntimeError("sweep-service daemon failed to start")
+    try:
+        jobs = [
+            Job("xz", SETUP, "rubix", REQUESTS, seed)
+            for seed in range(1, COLD_JOBS + 1)
+        ]
+        with SweepClient(service.socket_path) as client:
+            start = time.perf_counter()
+            ids = client.submit(jobs)
+            for job_id in ids:
+                client.result(job_id, wait=True, timeout=600)
+            cold_wall = time.perf_counter() - start
+
+            # Warm loop: resubmitting the first job answers from the
+            # shared cache without touching a worker.
+            hit_start = time.perf_counter()
+            for _ in range(HIT_ROUNDS):
+                (hit_id,) = client.submit([jobs[0]])
+                response = client.result(hit_id, wait=True, timeout=60)
+                assert response["from_cache"]
+            hit_wall = time.perf_counter() - hit_start
+
+            counters = client.cache_stats()["metrics"]["counters"]
+        assert counters["svc.cache_hits"] >= HIT_ROUNDS
+    finally:
+        service.stop()
+        thread.join(timeout=15)
+        shutil.rmtree(scratch, ignore_errors=True)
+
+    return {
+        "svc_workers": WORKERS,
+        "svc_cold_jobs": COLD_JOBS,
+        "svc_requests": REQUESTS,
+        "svc_jobs_per_second": round(COLD_JOBS / cold_wall, 3),
+        "svc_hit_latency_ms": round(1000.0 * hit_wall / HIT_ROUNDS, 2),
+    }
+
+
+@skip_perf
+def test_svc_smoke():
+    metrics = run_smoke()
+    write_report(metrics)
+    assert metrics["svc_jobs_per_second"] > 0
+    # A warm hit never runs a simulation: it must answer in well under a
+    # worker-spawn's worth of time.
+    assert metrics["svc_hit_latency_ms"] < 5_000
+
+
+if __name__ == "__main__":
+    metrics = run_smoke()
+    write_report(metrics)
+    print(json.dumps(metrics, indent=2, sort_keys=True))
+    print(f"\nwrote {OUTPUT}")

@@ -51,6 +51,15 @@ from repro.workloads.rate import make_rate_traces
 #: like straight ones), which moved the sampling points of observed runs.
 CACHE_SCHEMA_VERSION = 2
 
+#: Schema version of the *job wire format* — the plain-JSON form a
+#: :class:`Job` / :class:`SecurityJob` takes when it travels out of
+#: process (to the ``repro.svc`` sweep daemon, or any other scheduler).
+#: Distinct from :data:`CACHE_SCHEMA_VERSION` on purpose: the cache
+#: schema names result *artifacts*, the wire schema names job
+#: *descriptions*. Bump whenever a field changes meaning in a way an old
+#: daemon would silently misread.
+JOB_WIRE_SCHEMA_VERSION = 1
+
 DEFAULT_SEED = 1
 
 
@@ -200,6 +209,105 @@ def result_from_dict(data: dict) -> SimulationResult:
     )
 
 
+# ----------------------------------------------------------------------
+# Job wire format — jobs as explicit, versioned JSON payloads.
+#
+# The sweep-service daemon (``repro.svc``) receives job descriptions from
+# arbitrary clients over a socket; those payloads must be self-describing
+# (``kind`` + ``schema``) and must round-trip through JSON losslessly, so
+# a daemon-executed job computes the *same cache key* as an in-process
+# one. The differential suite in tests/test_svc_service.py rests on that.
+# ----------------------------------------------------------------------
+def _check_wire(data: dict, kind: str) -> None:
+    if not isinstance(data, dict):
+        raise ValueError(f"job wire payload must be an object, got {type(data).__name__}")
+    if data.get("kind") != kind:
+        raise ValueError(f"expected a {kind!r} job payload, got kind={data.get('kind')!r}")
+    schema = data.get("schema")
+    if schema != JOB_WIRE_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported job wire schema {schema!r} "
+            f"(this build speaks {JOB_WIRE_SCHEMA_VERSION})"
+        )
+
+
+def job_to_wire(job: Job) -> dict:
+    """Versioned plain-JSON form of a simulation :class:`Job`."""
+    return {
+        "kind": "sim",
+        "schema": JOB_WIRE_SCHEMA_VERSION,
+        "workload": job.workload,
+        "setup": dataclasses.asdict(job.setup),
+        "mapping": job.mapping,
+        "requests": job.requests,
+        "seed": job.seed,
+        "obs": dataclasses.asdict(job.obs) if job.obs is not None else None,
+        "segment_cycles": job.segment_cycles,
+        "backend": job.backend,
+    }
+
+
+def job_from_wire(data: dict) -> Job:
+    """Inverse of :func:`job_to_wire`; validates kind and schema version."""
+    _check_wire(data, "sim")
+    obs = data.get("obs")
+    return Job(
+        workload=data["workload"],
+        setup=MitigationSetup(**data["setup"]),
+        mapping=data["mapping"],
+        requests=data.get("requests"),
+        seed=data.get("seed", DEFAULT_SEED),
+        obs=ObsConfig(**obs) if obs is not None else None,
+        segment_cycles=data.get("segment_cycles"),
+        backend=data.get("backend", "scalar"),
+    )
+
+
+def security_job_to_wire(job: "SecurityJob") -> dict:
+    """Versioned plain-JSON form of a :class:`SecurityJob`."""
+    fields = dataclasses.asdict(job)
+    fields["rows"] = list(job.rows)
+    fields["scenario_params"] = [list(p) for p in job.scenario_params]
+    fields.update(kind="security", schema=JOB_WIRE_SCHEMA_VERSION)
+    return fields
+
+
+def security_job_from_wire(data: dict) -> "SecurityJob":
+    """Inverse of :func:`security_job_to_wire`."""
+    _check_wire(data, "security")
+    fields = {
+        k: v for k, v in data.items() if k not in ("kind", "schema")
+    }
+    unknown = set(fields) - {f.name for f in dataclasses.fields(SecurityJob)}
+    if unknown:
+        raise ValueError(f"unknown SecurityJob wire fields: {sorted(unknown)}")
+    fields["rows"] = tuple(fields.get("rows", ()))
+    fields["scenario_params"] = tuple(
+        (str(name), int(value))
+        for name, value in fields.get("scenario_params", ())
+    )
+    return SecurityJob(**fields)
+
+
+def any_job_to_wire(job: Union[Job, "SecurityJob"]) -> dict:
+    """Wire form of either job flavour (dispatch on the dataclass)."""
+    if isinstance(job, Job):
+        return job_to_wire(job)
+    if isinstance(job, SecurityJob):
+        return security_job_to_wire(job)
+    raise TypeError(f"not a runner job: {type(job).__name__}")
+
+
+def any_job_from_wire(data: dict) -> Union[Job, "SecurityJob"]:
+    """Decode either job flavour (dispatch on the ``kind`` field)."""
+    kind = data.get("kind") if isinstance(data, dict) else None
+    if kind == "sim":
+        return job_from_wire(data)
+    if kind == "security":
+        return security_job_from_wire(data)
+    raise ValueError(f"unknown job wire kind {kind!r}")
+
+
 def job_key(
     job: Job,
     config: SystemConfig,
@@ -228,6 +336,10 @@ def job_key(
 #: ``repro.ckpt.snapshot.SNAPSHOT_SUFFIX``; duplicated here so the cache
 #: never needs to import the checkpoint layer just to enumerate files).
 _SNAPSHOT_SUFFIX = ".ckpt.gz"
+
+#: Lockfile serializing concurrent :meth:`ResultCache.prune` calls on one
+#: shared cache directory (see :class:`repro.analysis.storage.DirectoryLock`).
+PRUNE_LOCK_NAME = ".prune.lock"
 
 
 def cache_size_limit_bytes() -> Optional[int]:
@@ -348,28 +460,60 @@ class ResultCache:
 
     def prune(self, max_bytes: int) -> dict:
         """Evict least-recently-used files until the cache fits
-        ``max_bytes``; returns ``{"removed": n, "freed_bytes": b}``.
+        ``max_bytes``; returns ``{"removed": n, "freed_bytes": b,
+        "skipped": bool}``.
 
         Eviction order is file mtime (oldest first) across results and
         segment snapshots alike — a result that keeps hitting keeps its
         mtime fresh via :meth:`get`'s touch, so hot entries survive.
+
+        Multi-client safety: concurrent pruners are serialized by an
+        ``O_EXCL`` lockfile (a busy lock means another process is already
+        pruning, so this call returns ``skipped=True`` and removes
+        nothing), and every victim is re-``stat``-ed immediately before
+        its unlink — an entry whose mtime advanced since the scan was
+        hit-touched by a concurrent :meth:`get` and is spared. Together
+        with :meth:`get`'s touch-*before*-read ordering this closes the
+        race where a pruner deletes the entry another worker just hit.
         """
         if max_bytes < 0:
             raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
-        entries = self._entries()
+        from repro.analysis.storage import DirectoryLock
+
+        lock = DirectoryLock(os.path.join(self.directory, PRUNE_LOCK_NAME))
+        if not lock.acquire():
+            return {"removed": 0, "freed_bytes": 0, "skipped": True}
+        try:
+            return self._prune_locked(self._entries(), max_bytes)
+        finally:
+            lock.release()
+
+    def _prune_locked(
+        self, entries: List[Tuple[str, int, float]], max_bytes: int
+    ) -> dict:
+        """The eviction walk proper, already holding the prune lock.
+
+        Split out so the regression tests can interleave a hit between
+        the scan (``entries``) and the deletions deterministically.
+        """
         total = sum(size for _, size, _ in entries)
         removed = 0
         freed = 0
-        for name, size, _ in sorted(entries, key=lambda e: e[2]):
+        for name, size, scanned_mtime in sorted(entries, key=lambda e: e[2]):
             if total - freed <= max_bytes:
                 break
+            path = os.path.join(self.directory, name)
             try:
-                os.unlink(os.path.join(self.directory, name))
+                if os.stat(path).st_mtime > scanned_mtime:
+                    # Hit-touched since the scan: the entry is hot again
+                    # and another worker may be mid-read; spare it.
+                    continue
+                os.unlink(path)
             except OSError:
                 continue
             removed += 1
             freed += size
-        return {"removed": removed, "freed_bytes": freed}
+        return {"removed": removed, "freed_bytes": freed, "skipped": False}
 
     def prune_to_limit(self) -> Optional[dict]:
         """Apply the ``REPRO_CACHE_MAX_MB`` budget (None = no limit set)."""
@@ -378,12 +522,28 @@ class ResultCache:
             return None
         return self.prune(limit)
 
+    def _touch(self, key: str) -> None:
+        """Refresh ``key``'s mtime *before* reading it (atomic hit-touch).
+
+        The touch-then-read ordering is what makes prune-vs-get safe for
+        concurrent workers: a pruner re-stats each victim before its
+        unlink, so an entry touched here is spared even if the pruner's
+        scan predates the hit. (Touching a file that is about to miss —
+        corrupt, stale schema — is harmless: it just survives one more
+        eviction round.)
+        """
+        try:
+            os.utime(self._path(key))
+        except OSError:
+            pass
+
     def get(self, key: str) -> Optional[SimulationResult]:
         """Look up one result; None (a miss) if absent, corrupt, or stale.
 
         A hit refreshes the file's mtime, which is what :meth:`prune`
         orders eviction by — entries that keep answering stay resident.
         """
+        self._touch(key)
         try:
             with open(self._path(key)) as f:
                 data = json.load(f)
@@ -394,10 +554,6 @@ class ResultCache:
             self.misses += 1
             return None
         self.hits += 1
-        try:
-            os.utime(self._path(key))
-        except OSError:
-            pass
         return result
 
     def put(self, key: str, result: SimulationResult) -> None:
@@ -416,6 +572,7 @@ class ResultCache:
 
     def get_security(self, key: str) -> Optional[List[dict]]:
         """Look up one security batch (list of per-seed stat dicts)."""
+        self._touch(key)
         try:
             with open(self._path(key)) as f:
                 data = json.load(f)
@@ -428,10 +585,6 @@ class ResultCache:
             self.misses += 1
             return None
         self.hits += 1
-        try:
-            os.utime(self._path(key))
-        except OSError:
-            pass
         return raw
 
     def put_security(self, key: str, results: List[dict]) -> None:
@@ -503,8 +656,14 @@ def _execute(
     )
 
 
-def _latest_segment_snapshot(cache: ResultCache, key: str):
-    """Newest loadable segment snapshot for ``key`` (corrupt ones skipped)."""
+def latest_segment_snapshot(cache: ResultCache, key: str):
+    """Newest loadable segment snapshot for ``key`` (corrupt ones skipped).
+
+    This is the resume-from-segment API: segmented workers call it on
+    startup to skip completed work, and the sweep-service daemon calls it
+    after a worker dies to report (and resume from) the newest valid
+    restore point rather than re-running the shard from cycle 0.
+    """
     from repro.ckpt import SnapshotError, load_snapshot
 
     for boundary in reversed(cache.snapshot_boundaries(key)):
@@ -513,6 +672,49 @@ def _latest_segment_snapshot(cache: ResultCache, key: str):
         except (FileNotFoundError, SnapshotError):
             continue
     return None
+
+
+#: Backwards-compatible private alias (pre-service name).
+_latest_segment_snapshot = latest_segment_snapshot
+
+
+def build_sim_payload(
+    job: Job,
+    config: SystemConfig,
+    requests: int,
+    key: str,
+    cache_dir: Optional[str] = None,
+    schema_version: int = CACHE_SCHEMA_VERSION,
+    resume: bool = False,
+) -> tuple:
+    """The picklable worker payload for one simulation job.
+
+    Shared by :meth:`ExperimentRunner._payload` and the sweep-service
+    worker spawner, so a daemon-executed job is fed to :func:`_execute`
+    exactly as an in-process one would be. ``cache_dir=None`` disables
+    segment snapshots (the job degrades to a straight run).
+    """
+    resolved = job.requests if job.requests is not None else requests
+    ckpt = None
+    if job.segment_cycles is not None and cache_dir is not None:
+        ckpt = {
+            "segment_cycles": job.segment_cycles,
+            "resume": resume,
+            "cache_dir": cache_dir,
+            "key": key,
+            "schema": schema_version,
+        }
+    return (
+        job.workload,
+        job.setup,
+        job.mapping,
+        resolved,
+        job.seed,
+        config,
+        job.obs,
+        ckpt,
+        job.backend,
+    )
 
 
 def _execute_segmented(payload: tuple) -> SimulationResult:
@@ -925,29 +1127,17 @@ class ExperimentRunner:
         return results  # type: ignore[return-value]
 
     def _payload(self, job: Job, key: str, resume: bool = False) -> tuple:
-        requests = job.requests if job.requests is not None else self.requests
-        ckpt = None
-        if job.segment_cycles is not None and self.cache is not None:
-            # Segment snapshots are content-addressed into the result
-            # cache; without a cache there is nowhere to persist them, so
-            # the job degrades to a straight run (results are identical).
-            ckpt = {
-                "segment_cycles": job.segment_cycles,
-                "resume": resume,
-                "cache_dir": self.cache.directory,
-                "key": key,
-                "schema": self.schema_version,
-            }
-        return (
-            job.workload,
-            job.setup,
-            job.mapping,
-            requests,
-            job.seed,
+        # Segment snapshots are content-addressed into the result cache;
+        # without a cache there is nowhere to persist them, so the job
+        # degrades to a straight run (results are identical).
+        return build_sim_payload(
+            job,
             self.config,
-            job.obs,
-            ckpt,
-            job.backend,
+            self.requests,
+            key,
+            cache_dir=self.cache.directory if self.cache is not None else None,
+            schema_version=self.schema_version,
+            resume=resume,
         )
 
     def _execute_batch(self, payloads: List[tuple]) -> List[SimulationResult]:

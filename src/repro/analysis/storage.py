@@ -126,6 +126,90 @@ def load_checkpoint_manifest(directory: str) -> Dict[str, Any]:
     return payload
 
 
+# ----------------------------------------------------------------------
+# Inter-process directory locks
+# ----------------------------------------------------------------------
+
+class DirectoryLock:
+    """A best-effort inter-process mutex built on ``O_CREAT | O_EXCL``.
+
+    The lock is a small file holding the owner's pid. ``acquire`` is
+    non-blocking: it either creates the file atomically (lock taken),
+    steals a *stale* lock (the recorded pid no longer exists, i.e. the
+    owner died without releasing), or reports the lock as busy. This is
+    exactly the coordination the shared result cache needs: concurrent
+    pruners must not interleave their scan/delete cycles, but a pruner
+    finding the lock busy can simply skip its turn — pruning is periodic
+    maintenance, not a correctness-critical step.
+
+    Used by :meth:`repro.analysis.runner.ResultCache.prune` and by the
+    sweep-service daemon (which owns pruning for all its clients).
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._held = False
+
+    def acquire(self) -> bool:
+        """Try to take the lock; True on success (never blocks)."""
+        for _ in range(2):  # second pass: retry after stealing a stale lock
+            try:
+                fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                if not self._owner_is_dead():
+                    return False
+                try:  # steal: the recorded owner is gone
+                    os.unlink(self.path)
+                except OSError:
+                    return False
+                continue
+            except OSError:
+                return False
+            with os.fdopen(fd, "w") as handle:
+                handle.write(str(os.getpid()))
+            self._held = True
+            return True
+        return False
+
+    def _owner_is_dead(self) -> bool:
+        """True when the lockfile's recorded pid no longer exists."""
+        try:
+            with open(self.path) as handle:
+                pid = int(handle.read().strip())
+        except (OSError, ValueError):
+            # Unreadable/corrupt lockfile: treat as stale.
+            return True
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return True
+        except PermissionError:
+            return False
+        return False
+
+    def release(self) -> None:
+        """Drop the lock if held (idempotent)."""
+        if not self._held:
+            return
+        self._held = False
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+    def __enter__(self) -> "DirectoryLock":
+        if not self.acquire():
+            raise LockBusyError(f"lock busy: {self.path}")
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+class LockBusyError(RuntimeError):
+    """Raised by ``DirectoryLock.__enter__`` when the lock is taken."""
+
+
 def checkpoint_inventory(directory: str) -> List[Dict[str, Any]]:
     """Audit a checkpoint directory against its manifest.
 

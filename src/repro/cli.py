@@ -10,6 +10,10 @@ Commands:
   optional Monte-Carlo attack replay.
 * ``workloads`` — the Table V catalog.
 * ``storage``   — Section VI-C storage overheads.
+* ``serve``     — run the sweep-service daemon on a Unix socket.
+* ``submit`` / ``status`` / ``result`` / ``cancel`` — thin clients for a
+  running daemon; ``submit`` falls back to in-process execution when no
+  daemon is listening.
 """
 
 from __future__ import annotations
@@ -583,6 +587,162 @@ def cmd_resume(args: argparse.Namespace) -> int:
     return 0
 
 
+def _svc_job_from_args(args: argparse.Namespace, workload: str) -> Job:
+    """The simulation job a ``submit`` invocation describes."""
+    return Job(
+        workload,
+        _setup_from_args(args),
+        args.mapping,
+        args.requests,
+        args.seed,
+        segment_cycles=getattr(args, "segment_cycles", None),
+        backend=getattr(args, "backend", "scalar"),
+    )
+
+
+def _print_sim_result_dict(tag: str, data: dict) -> None:
+    """Headline metrics of one wire-form simulation result."""
+    stats = data["stats"]
+    mitigations = sum(b["mitigations"] for b in stats["banks"])
+    rfm = sum(b["rfm_commands"] for b in stats["banks"])
+    rows = [
+        ["cycles", stats["cycles"]],
+        ["mitigations", mitigations],
+        ["RFM commands", rfm],
+        ["seed", data["seed"]],
+        ["mapping", data["mapping"]],
+    ]
+    print(render_table(["metric", "value"], rows, title=tag))
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the sweep-service daemon in the foreground."""
+    from repro.svc import SweepService
+
+    service = SweepService(
+        args.socket,
+        workers=args.workers,
+        requests=args.requests,
+        cache_dir=args.cache_dir,
+        cache_max_mb=args.cache_max_mb,
+    )
+    print(f"repro.svc listening on {service.socket_path} "
+          f"({args.workers} worker(s)); Ctrl-C to stop")
+    try:
+        service.run()
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit jobs to the daemon (in-process fallback without one)."""
+    from repro.analysis.runner import result_to_dict
+    from repro.svc import SweepClient, daemon_available
+
+    names = args.workloads or ["bwaves"]
+    unknown = [n for n in names if n not in WORKLOADS]
+    if unknown:
+        print(f"unknown workloads: {unknown}", file=sys.stderr)
+        return 2
+    jobs = [_svc_job_from_args(args, name) for name in names]
+
+    if daemon_available(args.socket):
+        with SweepClient(args.socket) as client:
+            job_ids = client.submit(jobs, priority=args.priority)
+            for name, job_id in zip(names, job_ids):
+                print(f"submitted {job_id}  {name}")
+            if not args.wait:
+                return 0
+            for name, job_id in zip(names, job_ids):
+                response = client.result(job_id, wait=True)
+                tag = "cache hit" if response["from_cache"] else "executed"
+                _print_sim_result_dict(
+                    f"{job_id} {name} ({tag})", response["result"]
+                )
+        return 0
+
+    print("no daemon on the socket; executing in-process", file=sys.stderr)
+    runner = _runner_from_args(args)
+    results = runner.run_many(jobs)
+    for name, result in zip(names, results):
+        _print_sim_result_dict(f"{name} (in-process)",
+                               result_to_dict(result))
+    return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    """Show the daemon's job table (or one job)."""
+    from repro.svc import SweepClient
+
+    try:
+        with SweepClient(args.socket) as client:
+            records = client.status(args.id)
+    except OSError:
+        print("no daemon is listening; start one with `repro serve`",
+              file=sys.stderr)
+        return 2
+    rows = [
+        [r["id"], r["kind"], r["state"], r["priority"], r["attempts"],
+         "yes" if r["from_cache"] else "no", r["error"] or "-"]
+        for r in records
+    ]
+    print(render_table(
+        ["id", "kind", "state", "prio", "attempts", "cached", "error"],
+        rows, title="sweep-service jobs",
+    ))
+    return 0
+
+
+def cmd_result(args: argparse.Namespace) -> int:
+    """Fetch one job's result from the daemon."""
+    import json
+
+    from repro.svc import ServiceError, SweepClient
+
+    try:
+        with SweepClient(args.socket) as client:
+            response = client.result(
+                args.id, wait=args.wait, timeout=args.timeout
+            )
+    except OSError:
+        print("no daemon is listening; start one with `repro serve`",
+              file=sys.stderr)
+        return 2
+    except ServiceError as exc:
+        print(f"service error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(response["result"], indent=2, sort_keys=True))
+        return 0
+    if response["kind"] == "sim":
+        tag = "cache hit" if response["from_cache"] else "executed"
+        _print_sim_result_dict(f"{args.id} ({tag})", response["result"])
+    else:
+        pressures = [r["max_pressure"] for r in response["result"]]
+        print(f"{args.id}: {len(pressures)} seed(s), worst pressure "
+              f"{max(pressures):.1f}")
+    return 0
+
+
+def cmd_cancel(args: argparse.Namespace) -> int:
+    """Cancel a queued or running job on the daemon."""
+    from repro.svc import ServiceError, SweepClient
+
+    try:
+        with SweepClient(args.socket) as client:
+            state = client.cancel(args.id)
+    except OSError:
+        print("no daemon is listening; start one with `repro serve`",
+              file=sys.stderr)
+        return 2
+    except ServiceError as exc:
+        print(f"service error: {exc}", file=sys.stderr)
+        return 1
+    print(f"{args.id}: {state}")
+    return 0
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     """Inspect or prune the persistent result cache."""
     from repro.analysis.runner import (
@@ -590,6 +750,34 @@ def cmd_cache(args: argparse.Namespace) -> int:
         cache_size_limit_bytes,
         default_cache_dir,
     )
+
+    if getattr(args, "daemon", False):
+        from repro.svc import SweepClient
+
+        try:
+            with SweepClient(args.socket) as client:
+                payload = client.cache_stats()
+        except OSError:
+            print("no daemon is listening; start one with `repro serve`",
+                  file=sys.stderr)
+            return 2
+        stats = payload["cache"]
+        rows = [
+            ["directory", stats["directory"]],
+            ["results", stats["results"]],
+            ["total KiB", f"{stats['total_bytes'] / 1024:.1f}"],
+            ["queue depth", payload["queue_depth"]],
+            ["workers busy", f"{payload['workers']['busy']}"
+                             f"/{payload['workers']['total']}"],
+        ]
+        metrics = payload["metrics"]
+        for name, value in sorted(metrics.get("counters", {}).items()):
+            rows.append([name, value])
+        for name, value in sorted(metrics.get("gauges", {}).items()):
+            rows.append([name, value])
+        print(render_table(["cache (daemon)", "value"], rows,
+                           title="sweep-service cache"))
+        return 0
 
     cache = ResultCache(args.dir or default_cache_dir())
     if args.prune:
@@ -884,7 +1072,116 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-mb", type=float, default=None,
         help="size budget in MiB for --prune (default: REPRO_CACHE_MAX_MB)",
     )
+    cache.add_argument(
+        "--daemon", action="store_true",
+        help="query a running sweep-service daemon instead of reading the "
+             "cache directory (adds service metrics and queue state)",
+    )
+    cache.add_argument(
+        "--socket", default=None,
+        help="daemon socket for --daemon (default: REPRO_SVC_SOCKET)",
+    )
     cache.set_defaults(func=cmd_cache)
+
+    serve = sub.add_parser(
+        "serve", help="run the sweep-service daemon on a Unix socket"
+    )
+    serve.add_argument(
+        "--socket", default=None,
+        help="Unix socket path (default: REPRO_SVC_SOCKET or a per-user "
+             "/tmp path)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="concurrent worker processes (default 2)",
+    )
+    serve.add_argument(
+        "--requests", type=int, default=None,
+        help="default request slice for jobs that leave it unset",
+    )
+    serve.add_argument(
+        "--cache-dir", default=None,
+        help="shared result-cache directory (default: REPRO_CACHE_DIR)",
+    )
+    serve.add_argument(
+        "--cache-max-mb", type=float, default=None,
+        help="prune the shared cache to this budget after completions "
+             "(default: REPRO_CACHE_MAX_MB)",
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit simulation jobs to the sweep service"
+    )
+    submit.add_argument("--workloads", nargs="*", default=None)
+    submit.add_argument("--mechanism", choices=MECHANISMS, default="autorfm")
+    submit.add_argument("--threshold", type=int, default=4)
+    submit.add_argument("--tracker", choices=TRACKERS, default="mint")
+    submit.add_argument("--policy", choices=POLICIES, default="fractal")
+    submit.add_argument("--mapping", choices=("zen", "rubix"),
+                        default="rubix")
+    submit.add_argument("--requests", type=int, default=2500)
+    submit.add_argument("--seed", type=int, default=1)
+    submit.add_argument(
+        "--segment-cycles", type=int, default=None,
+        help="snapshot segment length in cycles (enables crash resume)",
+    )
+    submit.add_argument(
+        "--backend", choices=("scalar", "batch"), default="scalar",
+    )
+    submit.add_argument(
+        "--priority", type=int, default=0,
+        help="queue priority (higher dispatches first; FIFO within a "
+             "priority)",
+    )
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="block until every submitted job finishes and print results",
+    )
+    submit.add_argument(
+        "--socket", default=None,
+        help="daemon socket (default: REPRO_SVC_SOCKET); without a live "
+             "daemon the jobs execute in-process",
+    )
+    submit.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the in-process fallback",
+    )
+    submit.set_defaults(func=cmd_submit)
+
+    status = sub.add_parser(
+        "status", help="list the sweep service's jobs"
+    )
+    status.add_argument("id", nargs="?", default=None,
+                        help="one job id (default: all jobs)")
+    status.add_argument("--socket", default=None)
+    status.set_defaults(func=cmd_status)
+
+    result = sub.add_parser(
+        "result", help="fetch one job's result from the sweep service"
+    )
+    result.add_argument("id")
+    result.add_argument(
+        "--wait", action="store_true",
+        help="block until the job finishes",
+    )
+    result.add_argument(
+        "--timeout", type=float, default=None,
+        help="give up after this many seconds of --wait",
+    )
+    result.add_argument(
+        "--json", action="store_true",
+        help="print the raw result payload as JSON",
+    )
+    result.add_argument("--socket", default=None)
+    result.set_defaults(func=cmd_result)
+
+    cancel = sub.add_parser(
+        "cancel", help="cancel a queued or running sweep-service job"
+    )
+    cancel.add_argument("id")
+    cancel.add_argument("--socket", default=None)
+    cancel.set_defaults(func=cmd_cancel)
 
     return parser
 

@@ -18,6 +18,7 @@ from repro.lint.passes.obs_hotloop import ObsHotLoopPass
 from repro.lint.passes.obs_names import ObsNamesPass
 from repro.lint.passes.payload_literals import PayloadLiteralPass
 from repro.lint.passes.rng_stream import RngStreamPass
+from repro.lint.passes.svc_clock import SvcClockPass
 
 ALL_PASSES: Tuple[LintPass, ...] = (
     DeterminismPass(),
@@ -27,6 +28,7 @@ ALL_PASSES: Tuple[LintPass, ...] = (
     ObsNamesPass(),
     ObsHotLoopPass(),
     PayloadLiteralPass(),
+    SvcClockPass(),
 )
 
 ALL_RULES: Dict[str, Rule] = {
@@ -45,4 +47,5 @@ __all__ = [
     "ObsNamesPass",
     "PayloadLiteralPass",
     "RngStreamPass",
+    "SvcClockPass",
 ]

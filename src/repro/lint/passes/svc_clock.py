@@ -1,0 +1,85 @@
+"""Service-clock pass: wall-clock quarantine inside :mod:`repro.svc`.
+
+The sweep service's core guarantee is deterministic scheduling — dispatch
+order is a pure function of ``(priority, submit sequence)``. The easiest
+way to lose that guarantee is for some queue or scheduling path to grow a
+casual ``time.time()`` read or a ``time.sleep()`` backoff. This pass
+holds the package to the design in :mod:`repro.svc.clock`:
+
+* ``SVC001`` — direct host-clock access (``time.time``/``monotonic``/
+  ``perf_counter``/..., ``datetime.now``/``utcnow``/``today``, and
+  ``time.sleep``) anywhere in :mod:`repro.svc` *except* the quarantined
+  ``svc/clock.py`` itself. Heartbeat ages and wait timeouts go through
+  the :class:`~repro.svc.clock.Clock` object; everything else in the
+  package must not know what time it is.
+
+This is the service-layer sibling of ``DET001``: DET guards simulated
+behaviour, SVC001 guards scheduling determinism.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.lint.astutil import call_name
+from repro.lint.base import LintPass, ModuleSource
+from repro.lint.findings import Finding, Rule
+
+#: time.* attributes that read the host clock or block on it.
+_CLOCK_TIME_ATTRS = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+    "perf_counter_ns", "process_time", "process_time_ns", "clock",
+    "sleep",
+})
+
+#: datetime-ish constructors that read the host clock.
+_CLOCK_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+
+#: The one module allowed to touch the host clock: the quarantine itself.
+_QUARANTINE: Tuple[str, ...] = ("svc", "clock")
+
+
+class SvcClockPass(LintPass):
+    """Flags host-clock access outside the svc quarantine (``SVC001``)."""
+
+    name = "svc-clock"
+    rules: Tuple[Rule, ...] = (
+        Rule("SVC001", "svc-wall-clock",
+             "host-clock access in repro.svc outside the Clock quarantine"),
+    )
+
+    def applies_to(self, module: ModuleSource) -> bool:
+        return module.in_package("svc") and module.parts != _QUARANTINE
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            parts = call_name(node)
+            if not parts:
+                continue
+            if (
+                len(parts) == 2
+                and parts[0] == "time"
+                and parts[1] in _CLOCK_TIME_ATTRS
+            ):
+                yield self.finding(
+                    "SVC001", module, node,
+                    f"host-clock access `{'.'.join(parts)}` in repro.svc; "
+                    "scheduling must stay a pure function of (priority, "
+                    "submit sequence) — route heartbeat/timeout time through "
+                    "repro.svc.clock.CLOCK",
+                )
+            elif (
+                parts[-1] in _CLOCK_DATETIME_ATTRS
+                and "datetime" in parts[:-1]
+            ) or (
+                len(parts) == 2 and parts[0] == "date"
+                and parts[1] == "today"
+            ):
+                yield self.finding(
+                    "SVC001", module, node,
+                    f"host-clock read `{'.'.join(parts)}` in repro.svc; "
+                    "route wall-clock access through repro.svc.clock.CLOCK",
+                )

@@ -1,0 +1,57 @@
+"""repro.svc — the async sweep-job service.
+
+A long-running daemon (:class:`SweepService`) that turns the one-shot
+experiment runner into a multi-client job farm over a local Unix socket:
+deterministic ``(priority, submit sequence)`` scheduling, per-job worker
+processes with heartbeat crash detection, resume-from-segment-snapshot
+retries, and a shared dedup'd :class:`~repro.analysis.runner.ResultCache`
+whose pruning the daemon alone owns. :class:`SweepClient` is the matching
+synchronous client; ``repro serve`` / ``repro submit`` wrap both on the
+command line. See ``docs/sweep_service.md`` for the protocol and the
+crash-recovery guarantees.
+"""
+
+from repro.svc.client import (
+    ServiceError,
+    SweepClient,
+    daemon_available,
+)
+from repro.svc.clock import CLOCK, Clock
+from repro.svc.protocol import MAX_LINE_BYTES, OPS, PROTOCOL_VERSION
+from repro.svc.queue import (
+    ACTIVE_STATES,
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    JobRecord,
+    SweepQueue,
+)
+from repro.svc.scheduler import SweepService, default_socket_path
+from repro.svc.workers import WorkerHandle, worker_main
+
+__all__ = [
+    "ACTIVE_STATES",
+    "CANCELLED",
+    "CLOCK",
+    "Clock",
+    "DONE",
+    "FAILED",
+    "JobRecord",
+    "MAX_LINE_BYTES",
+    "OPS",
+    "PROTOCOL_VERSION",
+    "QUEUED",
+    "RUNNING",
+    "ServiceError",
+    "SweepClient",
+    "SweepQueue",
+    "SweepService",
+    "TERMINAL_STATES",
+    "WorkerHandle",
+    "daemon_available",
+    "default_socket_path",
+    "worker_main",
+]

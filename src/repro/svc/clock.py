@@ -1,0 +1,66 @@
+"""The sweep service's quarantined wall clock.
+
+Everything in :mod:`repro.svc` that must know about real time — worker
+heartbeat ages, heartbeat touch intervals, client wait timeouts — goes
+through the :class:`Clock` object defined here, and nothing else in the
+package may read the host clock at all (the ``SVC001`` lint pass enforces
+it). Two properties follow by construction:
+
+* **Queue ordering stays deterministic.** Dispatch order is a pure
+  function of ``(priority, submit sequence)``; no scheduling decision can
+  accidentally grow a wall-clock dependence, because the only clock in
+  scope lives behind an object the ordering code never receives.
+* **Tests can substitute time.** A fake ``Clock`` makes heartbeat-timeout
+  paths testable without real sleeps.
+
+This mirrors the simulator's own quarantine: deterministic metrics live
+in :mod:`repro.obs.metrics`, wall-clock profiling in the separately
+quarantined :mod:`repro.obs.profile`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+
+class Clock:
+    """Monotonic-ish wall-clock access for heartbeats and timeouts only.
+
+    Values returned by :meth:`now` are *seconds on the host clock* and
+    must never flow into queue ordering, cache keys, or any deterministic
+    artifact — they exist to answer "has this worker gone quiet?" and
+    "has this wait expired?".
+    """
+
+    def now(self) -> float:
+        """Seconds on a monotonic clock (never goes backwards)."""
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        """Block the calling thread for ``seconds``."""
+        time.sleep(seconds)
+
+    def touch(self, path: str) -> None:
+        """Stamp ``path``'s mtime with the current wall time (heartbeat)."""
+        with open(path, "a"):
+            pass
+        os.utime(path)
+
+    def age_of(self, path: str) -> float:
+        """Seconds since ``path`` was last touched (inf if unreadable).
+
+        Heartbeat files are stamped with wall time (``os.utime``), so the
+        age is computed against ``time.time`` rather than the monotonic
+        clock.
+        """
+        try:
+            mtime = os.stat(path).st_mtime
+        except OSError:
+            return float("inf")
+        return max(0.0, time.time() - mtime)
+
+
+#: The package-wide clock instance. Import *this object*; constructing
+#: private clocks scatters the quarantine.
+CLOCK = Clock()

@@ -1,0 +1,563 @@
+"""The sweep-service daemon: an asyncio job farm over a Unix socket.
+
+:class:`SweepService` turns the one-shot experiment runner into a
+long-running, multi-client service:
+
+* **Submit/status/result/cancel API** — newline-delimited JSON over a
+  local Unix socket (:mod:`repro.svc.protocol`); any number of clients
+  share one daemon.
+* **Deterministic scheduling** — jobs dispatch in ``(priority, submit
+  sequence)`` order from :class:`~repro.svc.queue.SweepQueue`; no
+  wall-clock value ever participates in an ordering decision (the
+  ``SVC001`` lint pass holds the package to that).
+* **Shared, dedup'd artifact store** — the content-addressed
+  :class:`~repro.analysis.runner.ResultCache` is the only result channel:
+  cache hits answer without executing, a job whose key is already in
+  flight completes together with its twin instead of re-running, and the
+  daemon (alone) owns pruning.
+* **Crash recovery** — each job runs in its own worker process with a
+  heartbeat file; a dead or silent worker is detected, and its job is
+  re-queued at the head of its priority class with ``resume=True`` so a
+  segmented sweep restarts from the newest valid segment snapshot in the
+  cache (via :func:`repro.analysis.runner.latest_segment_snapshot`
+  machinery inside the worker) rather than from cycle 0.
+* **Observability** — queue depth, worker states, cache hit/miss/eviction
+  and job lifecycle counts are published through a
+  :class:`~repro.obs.MetricsRegistry` and served over the ``cache`` op.
+
+The daemon is single-event-loop: every op handler and every scheduling
+step runs on one asyncio loop, so record state needs no locking.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+from typing import Dict, Optional, Union
+
+from repro.analysis.runner import (
+    CACHE_SCHEMA_VERSION,
+    Job,
+    ResultCache,
+    SecurityJob,
+    any_job_from_wire,
+    build_sim_payload,
+    default_cache_dir,
+    default_requests,
+    job_key,
+    result_to_dict,
+    security_job_key,
+)
+from repro.obs import MetricsRegistry
+from repro.sim.config import SystemConfig
+from repro.svc import protocol
+from repro.svc.clock import CLOCK, Clock
+from repro.svc.queue import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    JobRecord,
+    SweepQueue,
+)
+from repro.svc.workers import HEARTBEAT_INTERVAL, WorkerHandle
+
+#: Default worker crash retries per job before it is marked failed.
+DEFAULT_MAX_RETRIES = 2
+
+#: Default seconds of heartbeat silence before a live worker is presumed
+#: hung and recycled.
+DEFAULT_HEARTBEAT_TIMEOUT = 30.0
+
+
+def default_socket_path() -> str:
+    """``REPRO_SVC_SOCKET`` or a per-user path under ``/tmp``.
+
+    Unix socket paths are length-limited (~107 bytes), so the default
+    deliberately avoids deep directories.
+    """
+    override = os.environ.get("REPRO_SVC_SOCKET")
+    if override:
+        return override
+    import tempfile
+
+    return os.path.join(
+        tempfile.gettempdir(), f"repro-svc-{os.getuid()}.sock"
+    )
+
+
+class SweepService:
+    """A long-running sweep-job daemon (one instance per socket path)."""
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        *,
+        config: Optional[SystemConfig] = None,
+        workers: int = 2,
+        requests: Optional[int] = None,
+        cache_dir: Optional[str] = None,
+        schema_version: int = CACHE_SCHEMA_VERSION,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        heartbeat_interval: float = HEARTBEAT_INTERVAL,
+        heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+        poll_interval: float = 0.05,
+        cache_max_mb: Optional[float] = None,
+        clock: Clock = CLOCK,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.socket_path = socket_path or default_socket_path()
+        self.config = config if config is not None else SystemConfig()
+        self.workers = workers
+        self._requests = requests
+        self.schema_version = schema_version
+        self.cache = ResultCache(
+            cache_dir or default_cache_dir(), schema_version
+        )
+        self.max_retries = max_retries
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.poll_interval = poll_interval
+        self.cache_max_mb = cache_max_mb
+        self.clock = clock
+
+        self.queue = SweepQueue()
+        #: cache key -> job_id of the record currently executing that key.
+        self._inflight: Dict[str, str] = {}
+        self._slots: Dict[int, WorkerHandle] = {}
+        self._next_slot = 0
+        #: Heartbeat files live next to the socket.
+        self.run_dir = self.socket_path + ".d"
+
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._wake: Optional[asyncio.Event] = None
+        self._stopping = False
+        self._ready = threading.Event()
+
+        # Pre-resolved metric handles (repro.obs convention: resolve once,
+        # increment on the hot path).
+        self.metrics = MetricsRegistry()
+        m = self.metrics
+        self._m_submitted = m.counter("svc.jobs_submitted")
+        self._m_completed = m.counter("svc.jobs_completed")
+        self._m_failed = m.counter("svc.jobs_failed")
+        self._m_cancelled = m.counter("svc.jobs_cancelled")
+        self._m_deduped = m.counter("svc.jobs_deduped")
+        self._m_retried = m.counter("svc.jobs_retried")
+        self._m_cache_hits = m.counter("svc.cache_hits")
+        self._m_cache_misses = m.counter("svc.cache_misses")
+        self._m_evictions = m.counter("svc.cache_evictions")
+        self._m_restarts = m.counter("svc.worker_restarts")
+        self._g_depth = m.gauge("svc.queue_depth")
+        self._g_busy = m.gauge("svc.workers_busy")
+        self._g_total = m.gauge("svc.workers_total")
+        self._g_total.set(workers)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def requests(self) -> int:
+        return (
+            self._requests if self._requests is not None
+            else default_requests()
+        )
+
+    def run(self) -> None:
+        """Run the daemon until a ``shutdown`` op or :meth:`stop` call.
+
+        Blocking; usable as a thread target (the test harness) or as the
+        ``repro serve`` foreground process.
+        """
+        asyncio.run(self._main())
+
+    def stop(self) -> None:
+        """Request shutdown from any thread."""
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            loop.call_soon_threadsafe(self._begin_shutdown)
+
+    def wait_ready(self, timeout: float = 10.0) -> bool:
+        """Block until the daemon is accepting connections."""
+        return self._ready.wait(timeout)
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._wake = asyncio.Event()
+        os.makedirs(self.run_dir, exist_ok=True)
+        os.makedirs(self.cache.directory, exist_ok=True)
+        if os.path.exists(self.socket_path):
+            os.unlink(self.socket_path)  # stale socket from a dead daemon
+        self._server = await asyncio.start_unix_server(
+            self._handle_client,
+            path=self.socket_path,
+            limit=protocol.MAX_LINE_BYTES,
+        )
+        self._ready.set()
+        try:
+            await self._scheduler_loop()
+        finally:
+            self._server.close()
+            await self._server.wait_closed()
+            for handle in list(self._slots.values()):
+                handle.kill()
+            self._slots.clear()
+            try:
+                os.unlink(self.socket_path)
+            except OSError:
+                pass
+            self._ready.clear()
+
+    def _begin_shutdown(self) -> None:
+        if self._stopping:
+            return
+        self._stopping = True
+        # Unblock every waiting `result` call; their records keep their
+        # current state so clients can see what was left unfinished.
+        for record in self.queue.records.values():
+            if record.event is not None:
+                record.event.set()
+        if self._wake is not None:
+            self._wake.set()
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    async def _scheduler_loop(self) -> None:
+        assert self._wake is not None
+        while not self._stopping:
+            self._reap_workers()
+            self._dispatch()
+            self._update_gauges()
+            self._wake.clear()
+            try:
+                await asyncio.wait_for(
+                    self._wake.wait(), timeout=self.poll_interval
+                )
+            except asyncio.TimeoutError:
+                pass
+
+    def _dispatch(self) -> None:
+        """Fill free worker slots in deterministic queue order."""
+        while len(self._slots) < self.workers:
+            record = self.queue.pop()
+            if record is None:
+                return
+            # Dedup against an in-flight twin: same key, one execution.
+            primary_id = self._inflight.get(record.key)
+            if primary_id is not None:
+                primary = self.queue.get(primary_id)
+                if primary is not None and primary.state == RUNNING:
+                    record.merged_into = primary_id
+                    record.transition(RUNNING)
+                    primary.followers.append(record)
+                    self._m_deduped.inc()
+                    continue
+            # The shared store answers before any execution.
+            if self._cached_payload(record) is not None:
+                record.from_cache = True
+                self._m_cache_hits.inc()
+                self._finish(record, DONE)
+                continue
+            self._m_cache_misses.inc()
+            self._spawn(record)
+
+    def _spawn(self, record: JobRecord) -> None:
+        slot = self._next_slot
+        self._next_slot += 1
+        resume = record.attempts > 0
+        if resume:
+            boundaries = self.cache.snapshot_boundaries(record.key)
+            record.resumed_from = boundaries[-1] if boundaries else None
+        if record.kind == "sim":
+            payload: object = build_sim_payload(
+                record.job,  # type: ignore[arg-type]
+                self.config,
+                self.requests,
+                record.key,
+                cache_dir=self.cache.directory,
+                schema_version=self.schema_version,
+                resume=resume,
+            )
+        else:
+            payload = record.job  # SecurityJob: picklable as-is
+        spec = {
+            "kind": record.kind,
+            "payload": payload,
+            "cache_dir": self.cache.directory,
+            "schema": self.schema_version,
+            "key": record.key,
+            "interval": self.heartbeat_interval,
+        }
+        handle = WorkerHandle.spawn(
+            slot,
+            record.job_id,
+            spec,
+            os.path.join(self.run_dir, f"heartbeat-{slot}"),
+            clock=self.clock,
+        )
+        self._slots[slot] = handle
+        record.attempts += 1
+        record.worker_slot = slot
+        record.worker_pid = handle.pid
+        record.transition(RUNNING)
+        self._inflight[record.key] = record.job_id
+
+    def _reap_workers(self) -> None:
+        """Harvest finished workers; recycle dead or silent ones."""
+        for slot, handle in list(self._slots.items()):
+            record = self.queue.get(handle.job_id)
+            assert record is not None
+            if handle.alive():
+                if handle.heartbeat_age() > self.heartbeat_timeout:
+                    handle.kill()
+                    del self._slots[slot]
+                    self._crashed(record, "heartbeat timeout")
+                continue
+            handle.reap()
+            del self._slots[slot]
+            if record.state == CANCELLED:
+                continue  # cancel() already killed and accounted for it
+            if handle.exitcode == 0:
+                if self._cached_payload(record) is not None:
+                    self._finish(record, DONE)
+                else:
+                    record.error = "worker exited without publishing a result"
+                    self._finish(record, FAILED)
+            else:
+                self._crashed(record, f"worker exit code {handle.exitcode}")
+
+    def _crashed(self, record: JobRecord, reason: str) -> None:
+        self._m_restarts.inc()
+        self._inflight.pop(record.key, None)
+        if record.attempts > self.max_retries:
+            record.error = f"{reason} (after {record.attempts} attempts)"
+            self._finish(record, FAILED)
+            return
+        self._m_retried.inc()
+        record.error = reason
+        self.queue.requeue(record)
+        if self._wake is not None:
+            self._wake.set()
+
+    def _finish(self, record: JobRecord, state: str) -> None:
+        """Terminal transition, follower resolution, cache upkeep."""
+        record.transition(state)
+        if state == DONE:
+            self._m_completed.inc()
+        elif state == FAILED:
+            self._m_failed.inc()
+        if record.event is not None:
+            record.event.set()
+        self._inflight.pop(record.key, None)
+        for follower in record.followers:
+            follower.from_cache = True
+            follower.error = record.error
+            self._finish(follower, state)
+        record.followers = []
+        self._prune_cache()
+
+    def _prune_cache(self) -> None:
+        """The daemon owns eviction for every client sharing this cache."""
+        if self.cache_max_mb is not None:
+            outcome: Optional[dict] = self.cache.prune(
+                int(self.cache_max_mb * 1024 * 1024)
+            )
+        else:
+            outcome = self.cache.prune_to_limit()
+        if outcome and outcome.get("removed"):
+            self._m_evictions.inc(outcome["removed"])
+
+    def _update_gauges(self) -> None:
+        self._g_depth.set(self.queue.depth())
+        self._g_busy.set(len(self._slots))
+
+    # ------------------------------------------------------------------
+    # Job identity and result access
+    # ------------------------------------------------------------------
+    def key_for(self, job: Union[Job, SecurityJob]) -> str:
+        """The daemon's cache key for ``job`` (same as an in-process run)."""
+        if isinstance(job, Job):
+            requests = (
+                job.requests if job.requests is not None else self.requests
+            )
+            return job_key(job, self.config, requests, self.schema_version)
+        return security_job_key(job, self.schema_version)
+
+    def _cached_payload(self, record: JobRecord) -> Optional[object]:
+        """The servable result payload for ``record`` (None on a miss)."""
+        if record.kind == "sim":
+            result = self.cache.get(record.key)
+            return result_to_dict(result) if result is not None else None
+        return self.cache.get_security(record.key)
+
+    # ------------------------------------------------------------------
+    # Client protocol
+    # ------------------------------------------------------------------
+    async def _handle_client(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            while not self._stopping:
+                try:
+                    line = await reader.readline()
+                except (ValueError, ConnectionError):
+                    break  # over-long line or torn connection
+                if not line:
+                    break
+                response = await self._serve_one(line)
+                writer.write(protocol.encode(response))
+                try:
+                    await writer.drain()
+                except ConnectionError:
+                    break
+        finally:
+            writer.close()
+
+    async def _serve_one(self, line: bytes) -> dict:
+        try:
+            op, message = protocol.parse_request(protocol.decode(line))
+        except protocol.ProtocolError as exc:
+            return protocol.error(str(exc))
+        try:
+            if op == "ping":
+                return protocol.ok(
+                    protocol=protocol.PROTOCOL_VERSION,
+                    server="repro.svc",
+                    workers=self.workers,
+                )
+            if op == "submit":
+                return self._op_submit(message)
+            if op == "status":
+                return self._op_status(message)
+            if op == "result":
+                return await self._op_result(message)
+            if op == "cancel":
+                return self._op_cancel(message)
+            if op == "cache":
+                return self._op_cache()
+            # shutdown
+            self._begin_shutdown()
+            return protocol.ok(stopping=True)
+        except (ValueError, TypeError, KeyError) as exc:
+            return protocol.error(str(exc))
+
+    def _op_submit(self, message: dict) -> dict:
+        jobs = message.get("jobs")
+        if not isinstance(jobs, list) or not jobs:
+            return protocol.error("submit needs a non-empty 'jobs' list")
+        priority = int(message.get("priority", 0))
+        decoded = []
+        for wire in jobs:
+            job = any_job_from_wire(wire)  # raises ValueError on bad wire
+            kind = "sim" if isinstance(job, Job) else "security"
+            decoded.append((kind, job, self.key_for(job)))
+        job_ids = []
+        keys = []
+        for kind, job, key in decoded:
+            record = self.queue.submit(kind, job, key, priority)
+            record.event = asyncio.Event()
+            job_ids.append(record.job_id)
+            keys.append(key)
+            self._m_submitted.inc()
+        self._update_gauges()
+        if self._wake is not None:
+            self._wake.set()
+        return protocol.ok(job_ids=job_ids, keys=keys)
+
+    def _record_for(self, message: dict) -> JobRecord:
+        job_id = message.get("id")
+        record = self.queue.get(job_id) if isinstance(job_id, str) else None
+        if record is None:
+            raise ValueError(f"unknown job id {job_id!r}")
+        return record
+
+    def _op_status(self, message: dict) -> dict:
+        if message.get("id") is not None:
+            records = [self._record_for(message)]
+        else:
+            records = sorted(
+                self.queue.records.values(), key=lambda r: r.seq
+            )
+        return protocol.ok(jobs=[
+            r.status_record(
+                snapshots=len(self.cache.snapshot_boundaries(r.key))
+            )
+            for r in records
+        ])
+
+    async def _op_result(self, message: dict) -> dict:
+        record = self._record_for(message)
+        if message.get("wait") and record.state in (QUEUED, RUNNING):
+            timeout = message.get("timeout")
+            assert record.event is not None
+            try:
+                await asyncio.wait_for(
+                    record.event.wait(),
+                    timeout=float(timeout) if timeout is not None else None,
+                )
+            except asyncio.TimeoutError:
+                return protocol.error(
+                    f"timed out waiting for {record.job_id}",
+                    state=record.state,
+                )
+        if record.state != DONE:
+            return protocol.error(
+                f"job {record.job_id} is {record.state}, not done",
+                state=record.state,
+                job_error=record.error,
+            )
+        payload = self._cached_payload(record)
+        if payload is None:
+            return protocol.error(
+                f"result for {record.job_id} was evicted from the cache",
+                state=record.state,
+            )
+        return protocol.ok(
+            state=record.state,
+            kind=record.kind,
+            from_cache=record.from_cache,
+            result=payload,
+        )
+
+    def _op_cancel(self, message: dict) -> dict:
+        record = self._record_for(message)
+        if record.state == QUEUED:
+            record.transition(CANCELLED)
+            self._m_cancelled.inc()
+            if record.event is not None:
+                record.event.set()
+        elif record.state == RUNNING:
+            if record.worker_slot is not None:
+                handle = self._slots.pop(record.worker_slot, None)
+                if handle is not None:
+                    handle.kill()
+            self._inflight.pop(record.key, None)
+            record.transition(CANCELLED)
+            self._m_cancelled.inc()
+            if record.event is not None:
+                record.event.set()
+            # Followers of a cancelled primary go back to the queue: the
+            # twin's cancellation says nothing about *their* desired state.
+            for follower in record.followers:
+                self.queue.requeue(follower)
+            record.followers = []
+        self._update_gauges()
+        return protocol.ok(state=record.state)
+
+    def _op_cache(self) -> dict:
+        return protocol.ok(
+            cache=self.cache.stats(),
+            metrics=self.metrics.snapshot(),
+            queue_depth=self.queue.depth(),
+            workers={
+                "total": self.workers,
+                "busy": len(self._slots),
+            },
+        )

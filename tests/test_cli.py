@@ -101,3 +101,27 @@ class TestCliParser:
     def test_rejects_unknown_mechanism(self):
         with pytest.raises(SystemExit):
             main(["run", "--mechanism", "magic"])
+
+
+class TestCliSubmitFallback:
+    def test_submit_without_daemon_executes_in_process(self, capsys):
+        """`repro submit` degrades to the plain runner when no daemon is
+        listening on the socket."""
+        code = main([
+            "submit", "--workloads", "xz", "--mechanism", "autorfm",
+            "--threshold", "4", "--requests", "300",
+            "--socket", "/tmp/rsvc-definitely-absent.sock",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "executing in-process" in captured.err
+        assert "xz (in-process)" in captured.out
+        assert "cycles" in captured.out
+
+    def test_submit_rejects_unknown_workload(self, capsys):
+        code = main([
+            "submit", "--workloads", "nope",
+            "--socket", "/tmp/rsvc-definitely-absent.sock",
+        ])
+        assert code == 2
+        assert "unknown workloads" in capsys.readouterr().err

@@ -96,6 +96,10 @@ POSITIVE = [
                "70040, 70050, 70060, 70070]\n"),
     ("PAY001", "def attack():\n"
                "    return (1, 2, 3, 4, 5, 6, 7, 8, 9)\n"),
+    ("SVC001", "import time\nt = time.time()\n"),
+    ("SVC001", "import time\ntime.sleep(0.5)\n"),
+    ("SVC001", "import time\nt = time.monotonic()\n"),
+    ("SVC001", "import datetime\nd = datetime.datetime.now()\n"),
 ]
 
 
@@ -109,6 +113,8 @@ def test_positive_fixture_is_flagged(rule_id, snippet):
     path = SIM_PATH
     if rule_id == "PAY001":
         path = "src/repro/workloads/fixture.py"  # the pass's home packages
+    elif rule_id == "SVC001":
+        path = "src/repro/svc/fixture.py"  # the pass's home package
     assert rule_id in rules_hit(snippet, path=path), snippet
 
 
@@ -176,6 +182,12 @@ NEGATIVE = [
                "    return [base + 10 * i for i in range(64)]\n"),
     # Non-integer element kills the sequence reading.
     ("PAY001", "XS = [1, 2, 3, 4, 5, 6, 7, 'x']\n"),
+    # Wall-clock access routed through the quarantined Clock object.
+    ("SVC001", "def stale(clock, path, limit):\n"
+               "    return clock.age_of(path) > limit\n"),
+    # Event waits (not host-clock reads) are the sanctioned sleep.
+    ("SVC001", "def loop(stop, interval):\n"
+               "    while not stop.wait(interval):\n        pass\n"),
 ]
 
 
@@ -191,6 +203,8 @@ def test_negative_fixture_is_clean(rule_id, snippet):
         path = "src/repro/sim/config.py"  # the allowlisted env home
     elif rule_id == "PAY001":
         path = "src/repro/security/fixture.py"  # the pass's home packages
+    elif rule_id == "SVC001":
+        path = "src/repro/svc/fixture.py"  # the pass's home package
     assert rule_id not in rules_hit(snippet, path=path), snippet
 
 
@@ -220,6 +234,17 @@ def test_payload_literal_scoped_to_attack_packages():
     # Tables elsewhere (configs, analytical constants) are fine.
     assert "PAY001" not in rules_hit(snippet, path=SIM_PATH)
     assert "PAY001" not in rules_hit(snippet, path=NON_SIM_PATH)
+
+
+def test_svc_clock_scoped_to_svc_outside_the_quarantine():
+    """SVC001 fires only in repro.svc, and never in the Clock quarantine."""
+    clocky = "import time\nt = time.time()\ntime.sleep(1)\n"
+    assert "SVC001" in rules_hit(clocky, path="src/repro/svc/fixture.py")
+    # The quarantine module itself is the one sanctioned clock reader.
+    assert "SVC001" not in rules_hit(clocky, path="src/repro/svc/clock.py")
+    # Outside the service package this pass has no opinion (DET001 covers
+    # the sim-critical tree with its own scoping).
+    assert "SVC001" not in rules_hit(clocky, path=NON_SIM_PATH)
 
 
 def test_obs_hotloop_scoped_to_hot_packages():

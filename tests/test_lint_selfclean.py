@@ -24,6 +24,7 @@ from repro.lint.passes import (
     ObsNamesPass,
     PayloadLiteralPass,
     RngStreamPass,
+    SvcClockPass,
 )
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -86,6 +87,12 @@ CLEAN_PINS = [
     (PayloadLiteralPass(), "workloads/adversarial.py"),
     (PayloadLiteralPass(), "security/thresholds.py"),
     (PayloadLiteralPass(), "security/kernels.py"),
+    # The service's scheduling/queue/worker layers never read the host
+    # clock directly: every wall-time need goes through repro.svc.clock.
+    (SvcClockPass(), "svc/scheduler.py"),
+    (SvcClockPass(), "svc/queue.py"),
+    (SvcClockPass(), "svc/workers.py"),
+    (SvcClockPass(), "svc/client.py"),
 ]
 
 

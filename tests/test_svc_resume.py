@@ -1,0 +1,189 @@
+"""Service-layer crash recovery: SIGKILL a worker mid-sweep, assert the
+rescheduled shard resumes from the newest valid segment snapshot and the
+final result is bit-identical to an uninterrupted in-process run.
+
+This is the daemon-side twin of the checkpoint differential suite
+(``test_ckpt_resume.py``): the segment-snapshot machinery already
+guarantees bit-identity on resume; here we prove the *service* actually
+drives it — detecting the dead worker, requeueing the record at the head
+of its priority class, and respawning with ``resume=True``.
+"""
+
+import json
+import os
+import shutil
+import signal
+import tempfile
+import threading
+
+import pytest
+
+from repro.analysis.runner import ExperimentRunner, Job, result_to_dict
+from repro.mc.setup import MitigationSetup
+from repro.svc import SweepClient, SweepService
+from repro.svc.clock import CLOCK
+
+#: Sized (with SEGMENT) so the sweep crosses at least two snapshot
+#: boundaries — same operating point as the checkpoint resume suite.
+REQUESTS = 400
+SEGMENT = 8_000
+SETUP = MitigationSetup(mechanism="autorfm", tracker="mint", threshold=4)
+
+
+def canonical(payload) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+@pytest.fixture
+def service_dir():
+    path = tempfile.mkdtemp(prefix="rsvc-", dir="/tmp")
+    yield path
+    shutil.rmtree(path, ignore_errors=True)
+
+
+def test_sigkilled_worker_resumes_from_newest_snapshot(service_dir):
+    service = SweepService(
+        service_dir + "/k.sock",
+        workers=1,
+        requests=REQUESTS,
+        cache_dir=service_dir + "/cache",
+        poll_interval=0.02,
+    )
+    thread = threading.Thread(target=service.run, daemon=True)
+    thread.start()
+    assert service.wait_ready(10)
+    try:
+        job = Job("mcf", SETUP, "rubix", REQUESTS, 1,
+                  segment_cycles=SEGMENT)
+        with SweepClient(service.socket_path) as client:
+            (job_id,) = client.submit([job])
+
+            # Wait (bounded) for the worker to clear a snapshot boundary,
+            # then SIGKILL it mid-sweep.
+            deadline = CLOCK.now() + 120.0
+            pid = None
+            while CLOCK.now() < deadline:
+                (record,) = client.status(job_id)
+                if record["state"] == "running" and record["snapshots"] >= 1:
+                    pid = record["worker_pid"]
+                    break
+                assert record["state"] not in ("done", "failed"), (
+                    f"job finished before the kill: {record}"
+                )
+                CLOCK.sleep(0.02)
+            assert pid is not None, "never observed a snapshot boundary"
+            os.kill(pid, signal.SIGKILL)
+
+            response = client.result(job_id, wait=True, timeout=240)
+            (record,) = client.status(job_id)
+
+        # The daemon saw the crash, requeued, and relaunched exactly once.
+        assert record["state"] == "done"
+        assert record["attempts"] == 2
+        assert record["history"] == [
+            "queued", "running", "queued", "running", "done",
+        ]
+        # The retry resumed from the newest on-disk boundary, not cycle 0.
+        assert record["resumed_from"] is not None
+        assert record["resumed_from"] >= SEGMENT
+        assert not response["from_cache"]
+    finally:
+        service.stop()
+        thread.join(timeout=15)
+        assert not thread.is_alive()
+
+    # Bit-identical to an uninterrupted, unsegmented in-process run.
+    runner = ExperimentRunner(jobs=1, cache_dir=service_dir + "/refcache")
+    (expected,) = runner.run_many([Job("mcf", SETUP, "rubix", REQUESTS, 1)])
+    assert canonical(result_to_dict(expected)) == canonical(
+        response["result"]
+    )
+
+
+def test_crash_without_snapshots_restarts_from_scratch(service_dir):
+    """A worker killed before any boundary retries from cycle 0 (and the
+    record says so: ``resumed_from`` stays None)."""
+    service = SweepService(
+        service_dir + "/z.sock",
+        workers=1,
+        requests=REQUESTS,
+        cache_dir=service_dir + "/cache",
+        poll_interval=0.02,
+    )
+    thread = threading.Thread(target=service.run, daemon=True)
+    thread.start()
+    assert service.wait_ready(10)
+    try:
+        # No segment_cycles: the job never snapshots, so the kill always
+        # lands pre-boundary.
+        job = Job("xz", SETUP, "rubix", REQUESTS, 3)
+        with SweepClient(service.socket_path) as client:
+            (job_id,) = client.submit([job])
+            deadline = CLOCK.now() + 120.0
+            pid = None
+            while CLOCK.now() < deadline:
+                (record,) = client.status(job_id)
+                if record["state"] == "running" and record["worker_pid"]:
+                    pid = record["worker_pid"]
+                    break
+                CLOCK.sleep(0.01)
+            assert pid is not None
+            os.kill(pid, signal.SIGKILL)
+            response = client.result(job_id, wait=True, timeout=240)
+            (record,) = client.status(job_id)
+        assert record["state"] == "done"
+        assert record["attempts"] == 2
+        assert record["resumed_from"] is None
+    finally:
+        service.stop()
+        thread.join(timeout=15)
+
+    runner = ExperimentRunner(jobs=1, cache_dir=service_dir + "/refcache")
+    (expected,) = runner.run_many([job])
+    assert canonical(result_to_dict(expected)) == canonical(
+        response["result"]
+    )
+
+
+def test_repeated_crashes_exhaust_retries_into_failed(service_dir):
+    """A job whose worker dies more than ``max_retries + 1`` times lands
+    in ``failed`` with the crash reason recorded."""
+    service = SweepService(
+        service_dir + "/f.sock",
+        workers=1,
+        requests=REQUESTS,
+        cache_dir=service_dir + "/cache",
+        poll_interval=0.02,
+        max_retries=1,
+    )
+    thread = threading.Thread(target=service.run, daemon=True)
+    thread.start()
+    assert service.wait_ready(10)
+    try:
+        job = Job("mcf", SETUP, "rubix", REQUESTS, 5)
+        with SweepClient(service.socket_path) as client:
+            (job_id,) = client.submit([job])
+            kills = 0
+            deadline = CLOCK.now() + 240.0
+            while kills < 2 and CLOCK.now() < deadline:
+                (record,) = client.status(job_id)
+                if record["state"] in ("done", "failed"):
+                    break
+                if (
+                    record["state"] == "running"
+                    and record["worker_pid"]
+                    and record["attempts"] == kills + 1
+                ):
+                    os.kill(record["worker_pid"], signal.SIGKILL)
+                    kills += 1
+                CLOCK.sleep(0.01)
+            assert kills == 2
+            with pytest.raises(Exception, match="failed"):
+                client.result(job_id, wait=True, timeout=60)
+            (record,) = client.status(job_id)
+        assert record["state"] == "failed"
+        assert record["attempts"] == 2
+        assert "exit code" in record["error"]
+    finally:
+        service.stop()
+        thread.join(timeout=15)
