@@ -1,6 +1,6 @@
 # Convenience targets for the AutoRFM reproduction.
 
-.PHONY: install test lint lint-baseline payload-verify bench bench-smoke bench-security bench-sim bench-svc examples audit clean
+.PHONY: install test lint lint-baseline payload-verify bench bench-smoke bench-security bench-sim bench-svc bench-campaign examples audit clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -40,6 +40,13 @@ bench-sim:
 # svc_hit_latency_ms into BENCH_perf.json; see docs/sweep_service.md).
 bench-svc:
 	PYTHONPATH=src python benchmarks/bench_svc_smoke.py
+
+# Adaptive threshold-campaign engine: cells/sec over the smoke grid and
+# seeds saved vs the fixed sweep (writes campaign_cells_per_second and
+# campaign_seeds_saved_pct into BENCH_perf.json; see
+# docs/threshold_campaign.md).
+bench-campaign:
+	PYTHONPATH=src python benchmarks/bench_campaign_smoke.py
 
 examples:
 	python examples/quickstart.py

@@ -1,0 +1,110 @@
+"""Campaign smoke: throughput and seed economy of the threshold engine.
+
+Runs the mini-campaign grid (the same cells the CI differential pins)
+through the adaptive SPRT/bisection engine, verifies every cell against
+the fixed-seed oracle, and records two numbers into ``BENCH_perf.json``:
+
+* ``campaign_cells_per_second`` — end-to-end adaptive-engine throughput
+  over the grid (wall-clock, min of repeats);
+* ``campaign_seeds_saved_pct`` — seed replays avoided versus the fixed
+  ``probes x max_seeds`` sweep the engine replaces, aggregated over the
+  grid. The acceptance floor is 80%.
+
+The differential assert means the bench can never quote a seed saving for
+an engine that has drifted from the oracle's verdicts.
+
+Run standalone:  PYTHONPATH=src python benchmarks/bench_campaign_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from bench_perf_smoke import OUTPUT, write_report
+from repro.security.campaign import (
+    CampaignJob,
+    oracle_campaign_cell,
+    run_campaign_cell,
+    summarize_campaign,
+)
+
+REPEATS = 3  # report the fastest repeat: least scheduler noise
+
+#: Seed-saving floor on the smoke grid (ISSUE acceptance: >= 80).
+MIN_SAVED_PCT = 80.0
+
+#: The smoke grid: spans trackers, policies, and corpus scenarios while
+#: staying cheap enough for the oracle cross-check. Kept in lockstep with
+#: ``DIFFERENTIAL_CELLS`` in tests/test_campaign.py.
+CELLS = (
+    dict(tracker="mint", policy="fractal", window=4, acts=1500,
+         max_seeds=80),
+    dict(tracker="mint", policy="blast", window=4, acts=1500,
+         max_seeds=80),
+    dict(tracker="para", policy="fractal", window=4, acts=1500,
+         max_seeds=80),
+    dict(tracker="graphene", policy="fractal", window=4, acts=1500,
+         max_seeds=80),
+    dict(scenario="row_press", acts=2000, max_seeds=120),
+    dict(scenario="abcd_k", acts=2000, max_seeds=120),
+)
+
+skip_perf = pytest.mark.skipif(
+    os.environ.get("REPRO_SKIP_PERF_TESTS", "") == "1",
+    reason="perf tests disabled via REPRO_SKIP_PERF_TESTS=1",
+)
+
+
+def run_grid():
+    """One adaptive pass over the grid; returns (records, wall_seconds)."""
+    jobs = [CampaignJob(**cell) for cell in CELLS]
+    start = time.perf_counter()
+    records = [run_campaign_cell(job) for job in jobs]
+    wall = time.perf_counter() - start
+    return records, wall
+
+
+def run_smoke() -> dict:
+    """Time the grid; differential-check it; return the metrics dict."""
+    wall = None
+    for _ in range(REPEATS):
+        records, elapsed = run_grid()
+        wall = elapsed if wall is None else min(wall, elapsed)
+
+    for cell, record in zip(CELLS, records):
+        oracle = oracle_campaign_cell(CampaignJob(**cell))
+        assert (
+            record["tolerated_threshold"] == oracle["tolerated_threshold"]
+        ), f"adaptive engine diverged from the fixed-seed oracle on {cell}"
+
+    summary = summarize_campaign(records)
+    saved_pct = round(
+        100.0 * summary["seeds_saved_vs_fixed"] / summary["fixed_cost_seeds"],
+        1,
+    )
+    return {
+        "campaign_cells": len(CELLS),
+        "campaign_probes": summary["probes"],
+        "campaign_seeds_spent": summary["seeds_spent"],
+        "campaign_cells_per_second": round(len(CELLS) / wall, 2),
+        "campaign_seeds_saved_pct": saved_pct,
+    }
+
+
+@skip_perf
+def test_campaign_smoke():
+    metrics = run_smoke()
+    write_report(metrics)
+    assert metrics["campaign_seeds_saved_pct"] >= MIN_SAVED_PCT
+    assert metrics["campaign_cells_per_second"] > 0
+
+
+if __name__ == "__main__":
+    metrics = run_smoke()
+    write_report(metrics)
+    print(json.dumps(metrics, indent=2, sort_keys=True))
+    print(f"\nwrote {OUTPUT}")

@@ -37,6 +37,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 from repro.cpu.system import MAPPINGS, SimulationResult, simulate
 from repro.mc.setup import MitigationSetup
 from repro.obs import ObsConfig, ObsResult, Observability, PhaseProfiler
+from repro.security.campaign import CampaignJob, run_campaign_cell
 from repro.sim.config import SystemConfig
 from repro.sim.stats import BankStats, CoreStats, SimStats
 from repro.workloads.catalog import WORKLOADS
@@ -289,22 +290,52 @@ def security_job_from_wire(data: dict) -> "SecurityJob":
     return SecurityJob(**fields)
 
 
-def any_job_to_wire(job: Union[Job, "SecurityJob"]) -> dict:
-    """Wire form of either job flavour (dispatch on the dataclass)."""
+def campaign_job_to_wire(job: "CampaignJob") -> dict:
+    """Versioned plain-JSON form of a threshold-campaign cell job."""
+    fields = dataclasses.asdict(job)
+    fields["rows"] = list(job.rows)
+    fields["scenario_params"] = [list(p) for p in job.scenario_params]
+    fields.update(kind="campaign", schema=JOB_WIRE_SCHEMA_VERSION)
+    return fields
+
+
+def campaign_job_from_wire(data: dict) -> "CampaignJob":
+    """Inverse of :func:`campaign_job_to_wire`."""
+    _check_wire(data, "campaign")
+    fields = {
+        k: v for k, v in data.items() if k not in ("kind", "schema")
+    }
+    unknown = set(fields) - {f.name for f in dataclasses.fields(CampaignJob)}
+    if unknown:
+        raise ValueError(f"unknown CampaignJob wire fields: {sorted(unknown)}")
+    fields["rows"] = tuple(fields.get("rows", ()))
+    fields["scenario_params"] = tuple(
+        (str(name), int(value))
+        for name, value in fields.get("scenario_params", ())
+    )
+    return CampaignJob(**fields)
+
+
+def any_job_to_wire(job: Union[Job, "SecurityJob", "CampaignJob"]) -> dict:
+    """Wire form of any job flavour (dispatch on the dataclass)."""
     if isinstance(job, Job):
         return job_to_wire(job)
     if isinstance(job, SecurityJob):
         return security_job_to_wire(job)
+    if isinstance(job, CampaignJob):
+        return campaign_job_to_wire(job)
     raise TypeError(f"not a runner job: {type(job).__name__}")
 
 
-def any_job_from_wire(data: dict) -> Union[Job, "SecurityJob"]:
-    """Decode either job flavour (dispatch on the ``kind`` field)."""
+def any_job_from_wire(data: dict) -> Union[Job, "SecurityJob", "CampaignJob"]:
+    """Decode any job flavour (dispatch on the ``kind`` field)."""
     kind = data.get("kind") if isinstance(data, dict) else None
     if kind == "sim":
         return job_from_wire(data)
     if kind == "security":
         return security_job_from_wire(data)
+    if kind == "campaign":
+        return campaign_job_from_wire(data)
     raise ValueError(f"unknown job wire kind {kind!r}")
 
 
@@ -560,6 +591,37 @@ class ResultCache:
         """Store one result under ``key`` (atomic rename, crash-safe)."""
         os.makedirs(self.directory, exist_ok=True)
         payload = {"schema": self.schema_version, "result": result_to_dict(result)}
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as f:
+                json.dump(payload, f, separators=(",", ":"))
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    def get_campaign(self, key: str) -> Optional[dict]:
+        """Look up one campaign cell record (the bisection's full result)."""
+        self._touch(key)
+        try:
+            with open(self._path(key)) as f:
+                data = json.load(f)
+            if data.get("schema") != self.schema_version:
+                raise ValueError("schema mismatch")
+            raw = data["campaign"]
+            if not isinstance(raw, dict):
+                raise ValueError("malformed campaign entry")
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return raw
+
+    def put_campaign(self, key: str, result: dict) -> None:
+        """Store one campaign cell record under ``key`` (atomic)."""
+        os.makedirs(self.directory, exist_ok=True)
+        payload = {"schema": self.schema_version, "campaign": result}
         fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as f:
@@ -960,6 +1022,48 @@ def _execute_security(job: SecurityJob) -> List[dict]:
     return _security_results_to_dicts(results)
 
 
+# ----------------------------------------------------------------------
+# Threshold-campaign cells (SPRT bisection; see repro.security.campaign)
+# ----------------------------------------------------------------------
+def campaign_job_key(
+    job: CampaignJob, schema_version: int = CACHE_SCHEMA_VERSION
+) -> str:
+    """Stable content hash of a campaign cell.
+
+    ``backend`` is excluded (both kernel backends produce the identical
+    pool, hence the identical search). Everything else — including the
+    SPRT error bounds and the chunk schedule — is key material: a cell
+    probed under looser bounds is a different statistical artifact, and
+    the chunk bounds govern which pool prefix each probe could have seen.
+    The scenario digest pins the compiled corpus payload, so a corpus
+    edit re-executes instead of answering from stale entries.
+    """
+    fields = dataclasses.asdict(job)
+    fields.pop("backend")
+    if fields.get("scenario") is None:
+        fields.pop("scenario", None)
+        fields.pop("scenario_version", None)
+        fields.pop("scenario_digest", None)
+        fields.pop("scenario_params", None)
+    payload = {"schema": schema_version, "kind": "campaign", "job": fields}
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _execute_campaign(
+    payload: Tuple[CampaignJob, Optional[str], Optional[str]]
+) -> dict:
+    """Worker entry point for one campaign cell (picklable, module-level).
+
+    The payload carries ``(job, cache_dir, key)``: with a cache directory
+    the cell persists its seed-pool frontier there after every extension
+    and resumes from a surviving frontier, so a killed campaign re-invoked
+    with the same jobs picks up mid-bisection instead of from seed 0.
+    """
+    job, cache_dir, key = payload
+    return run_campaign_cell(job, cache_dir=cache_dir, key=key)
+
+
 #: A setup row for :meth:`ExperimentRunner.slowdown_matrix`:
 #: ``(label, setup, mapping)`` or ``(label, setup, mapping, baseline_mapping)``.
 SetupSpec = Union[
@@ -1230,6 +1334,88 @@ class ExperimentRunner:
             _security_results_from_dicts(raw)  # type: ignore[arg-type]
             for raw in results
         ]
+
+    # ------------------------------------------------------------------
+    # Threshold-campaign cells (SPRT bisection over the batched kernels)
+    # ------------------------------------------------------------------
+    def campaign_key_for(self, job: CampaignJob) -> str:
+        """This runner's cache key for a campaign cell (backend-blind)."""
+        return campaign_job_key(job, self.schema_version)
+
+    def run_campaign(self, job: CampaignJob) -> dict:
+        """Run (or fetch) one campaign cell's threshold search."""
+        return self.run_campaign_many([job])[0]
+
+    def run_campaign_many(self, jobs: Sequence[CampaignJob]) -> List[dict]:
+        """Run campaign cells; returns per-cell result records in order.
+
+        Same shape as :meth:`run_security_many`: duplicates collapse to
+        one search, cached cells never reach the pool, and misses fan out
+        one *cell* per worker (each cell's probes are sequential by
+        construction — later probes reuse the pool earlier probes grew —
+        so the cell is the parallel grain). Cells given a cache also
+        persist their seed-pool frontier there mid-search, making a
+        killed campaign resumable from the last pool extension.
+        """
+        jobs = list(jobs)
+        results: List[Optional[dict]] = [None] * len(jobs)
+
+        with self.profile.phase("plan"):
+            order: List[str] = []
+            indices: Dict[str, List[int]] = {}
+            by_key: Dict[str, CampaignJob] = {}
+            for i, job in enumerate(jobs):
+                key = self.campaign_key_for(job)
+                if key not in indices:
+                    order.append(key)
+                    indices[key] = []
+                    by_key[key] = job
+                indices[key].append(i)
+
+            pending: List[str] = []
+            for key in order:
+                cached = (
+                    self.cache.get_campaign(key)
+                    if self.cache is not None else None
+                )
+                if cached is not None:
+                    for i in indices[key]:
+                        results[i] = cached
+                else:
+                    pending.append(key)
+
+        with self.profile.phase("execute"):
+            cache_dir = (
+                self.cache.directory if self.cache is not None else None
+            )
+            payloads = [
+                (by_key[key], cache_dir,
+                 key if cache_dir is not None else None)
+                for key in pending
+            ]
+            if not payloads:
+                executed: List[dict] = []
+            else:
+                workers = min(self.jobs, len(payloads))
+                if workers <= 1:
+                    executed = [_execute_campaign(p) for p in payloads]
+                else:
+                    with ProcessPoolExecutor(max_workers=workers) as pool:
+                        executed = list(pool.map(_execute_campaign, payloads))
+        for key, record in zip(pending, executed):
+            if self.cache is not None:
+                self.cache.put_campaign(key, record)
+            for i in indices[key]:
+                results[i] = record
+
+        self.profile.count("campaign_cells", len(jobs))
+        self.profile.count("campaign_executed", len(pending))
+        self.profile.set_count("cache_hits", self.cache_hits)
+        self.profile.set_count("cache_misses", self.cache_misses)
+        if self.cache is not None:
+            self.cache.prune_to_limit()
+
+        return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
     def slowdown_matrix(

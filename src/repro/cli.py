@@ -8,6 +8,9 @@ Commands:
 * ``sweep``     — slowdown table across workloads x mechanisms.
 * ``security``  — analytical tolerated thresholds (Appendix A/B) and an
   optional Monte-Carlo attack replay.
+* ``campaign``  — adaptive empirical threshold search (SPRT + bisection)
+  across {tracker x policy x scenario} cells, cross-checked against the
+  analytical model.
 * ``workloads`` — the Table V catalog.
 * ``storage``   — Section VI-C storage overheads.
 * ``serve``     — run the sweep-service daemon on a Unix socket.
@@ -36,6 +39,21 @@ from repro.security.mint_model import mint_tolerated_trhd
 from repro.sim.config import SystemConfig
 from repro.workloads.catalog import WORKLOADS
 from repro.workloads.rate import make_rate_traces
+
+
+def _corpus_scenario_listing() -> str:
+    """The corpus scenario names, for ``--help`` text.
+
+    Falls back to a pointer at ``repro payload list`` if the corpus
+    manifest is unreadable — a broken manifest must not take the whole
+    CLI down with it.
+    """
+    try:
+        from repro.payload import scenario_names
+
+        return ", ".join(scenario_names())
+    except Exception:
+        return "see 'repro payload list'"
 
 
 def _setup_from_args(args: argparse.Namespace) -> MitigationSetup:
@@ -253,6 +271,149 @@ def cmd_security(args: argparse.Namespace) -> int:
             f"max unmitigated pressure {result.max_pressure:.0f}, "
             f"{result.mitigations} mitigations"
         )
+    return 0
+
+
+def _campaign_jobs_from_args(args: argparse.Namespace) -> list:
+    """The cell grid: every {tracker x policy x window x scenario}."""
+    from repro.analysis.runner import CampaignJob
+    from repro.payload import parse_params
+
+    scenario_params = parse_params(getattr(args, "param", None) or [])
+    jobs = []
+    for tracker in args.trackers:
+        for policy in args.policies:
+            for window in args.windows:
+                for scenario in (args.scenarios or [None]):
+                    jobs.append(CampaignJob(
+                        tracker=tracker,
+                        policy=policy,
+                        window=window,
+                        acts=args.acts,
+                        scenario=scenario,
+                        scenario_params=(
+                            tuple(sorted(scenario_params.items()))
+                            if scenario and scenario_params else ()
+                        ),
+                        max_seeds=args.max_seeds,
+                        alpha=args.alpha,
+                        beta=args.beta,
+                        p0=args.p0,
+                        p1=args.p1,
+                        backend=args.backend,
+                    ))
+    return jobs
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """Run/report an adaptive threshold campaign, or show daemon status."""
+    import json
+    import time
+
+    from repro.payload import PayloadError
+    from repro.security.campaign import summarize_campaign
+
+    if args.campaign_cmd == "status":
+        from repro.svc import SweepClient
+
+        try:
+            with SweepClient(args.socket) as client:
+                records = [
+                    r for r in client.status() if r["kind"] == "campaign"
+                ]
+        except OSError:
+            print("no daemon is listening; start one with `repro serve`",
+                  file=sys.stderr)
+            return 2
+        rows = [
+            [r["id"], r["state"], r["priority"], r["attempts"],
+             "yes" if r["from_cache"] else "no", r["error"] or "-"]
+            for r in records
+        ]
+        print(render_table(
+            ["id", "state", "prio", "attempts", "cached", "error"],
+            rows, title="campaign cells on the sweep service",
+        ))
+        return 0
+
+    # run / report share one path: the content-addressed cache answers a
+    # finished campaign instantly, so `report` is just a re-run that is
+    # expected to hit (and resumes any cell a kill left mid-bisection).
+    try:
+        jobs = _campaign_jobs_from_args(args)
+    except (PayloadError, ValueError) as exc:
+        print(f"campaign error: {exc}", file=sys.stderr)
+        return 2
+
+    start = time.perf_counter()
+    from repro.svc import SweepClient, daemon_available
+
+    if daemon_available(args.socket):
+        with SweepClient(args.socket) as client:
+            job_ids = client.submit(jobs, priority=args.priority)
+            results = [
+                client.result(job_id, wait=True)["result"]
+                for job_id in job_ids
+            ]
+        mode = "daemon"
+    else:
+        runner = _runner_from_args(args)
+        results = runner.run_campaign_many(jobs)
+        mode = "in-process"
+    elapsed = time.perf_counter() - start
+
+    rows = []
+    for job, record in zip(jobs, results):
+        if job.tracker in ("mint", "mint-transitive"):
+            analytic = mint_tolerated_trhd(
+                job.window, recursive=(job.policy != "fractal")
+            )
+        else:
+            analytic = "-"
+        decided = sum(
+            1 for p in record["probes"] if p["decided_by"] == "sprt"
+        )
+        rows.append([
+            job.tracker,
+            job.policy,
+            job.window,
+            job.scenario or "(ABCD)^K",
+            record["tolerated_threshold"],
+            analytic,
+            len(record["probes"]),
+            f"{decided}/{len(record['probes'])}",
+            record["seeds_spent"],
+            f"{record['seeds_saved_pct']:.1f}%",
+        ])
+    print(render_table(
+        ["tracker", "policy", "W", "pattern", "empirical T",
+         "analytic T", "probes", "sprt", "seeds", "saved"],
+        rows,
+        title=(
+            f"threshold campaign [{mode}]: alpha={args.alpha} "
+            f"beta={args.beta} p0={args.p0} p1={args.p1} "
+            f"budget={args.max_seeds} seeds/probe"
+        ),
+    ))
+
+    from repro.obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    summary = summarize_campaign(results, metrics=registry)
+    print()
+    for name, value in sorted(registry.snapshot()["counters"].items()):
+        print(f"  {name}: {value}")
+    print(f"  campaign.cells_per_second: "
+          f"{summary['cells'] / elapsed:.2f} (wall, this invocation)")
+
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(
+                {"cells": results, "summary": summary},
+                handle, indent=2, sort_keys=True,
+            )
+            handle.write("\n")
+        print(f"\nwrote {args.json}")
     return 0
 
 
@@ -882,14 +1043,98 @@ def build_parser() -> argparse.ArgumentParser:
     )
     security.add_argument(
         "--scenario", default=None, metavar="NAME",
-        help="replay a corpus payload instead of the (ABCD)^K generator "
-             "(see 'repro payload list')",
+        help="replay a corpus payload instead of the (ABCD)^K generator"
+             f" (one of: {_corpus_scenario_listing()})",
     )
     security.add_argument(
         "--param", action="append", metavar="NAME=VALUE",
         help="scenario placeholder override (repeatable)",
     )
     security.set_defaults(func=cmd_security)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="adaptive empirical threshold search (SPRT + bisection)",
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_cmd", required=True)
+    c_run = campaign_sub.add_parser(
+        "run",
+        help="search every {tracker x policy x window x scenario} cell",
+    )
+    c_report = campaign_sub.add_parser(
+        "report",
+        help="re-print a finished campaign's cross-check table (answers "
+             "from the result cache; resumes any cell a kill interrupted)",
+    )
+    for c_parser in (c_run, c_report):
+        c_parser.add_argument(
+            "--trackers", nargs="*",
+            default=["mint"],
+            choices=["mint", "mint-transitive", "graphene", "para"],
+        )
+        c_parser.add_argument(
+            "--policies", nargs="*", default=["fractal"],
+            choices=["fractal", "blast"],
+        )
+        c_parser.add_argument("--windows", type=int, nargs="*", default=[4])
+        c_parser.add_argument(
+            "--scenarios", nargs="*", default=None, metavar="NAME",
+            help="corpus payloads to probe (default: the window-optimal "
+                 f"(ABCD)^K generator; available: {_corpus_scenario_listing()})",
+        )
+        c_parser.add_argument(
+            "--param", action="append", metavar="NAME=VALUE",
+            help="scenario placeholder override (repeatable, applies to "
+                 "every scenario cell)",
+        )
+        c_parser.add_argument("--acts", type=int, default=6_000)
+        c_parser.add_argument(
+            "--max-seeds", type=int, default=400,
+            help="per-probe seed budget (the fixed-sweep cost one probe "
+                 "would pay; the SPRT usually stops far earlier)",
+        )
+        c_parser.add_argument(
+            "--alpha", type=float, default=1e-3,
+            help="bound on calling a safe threshold unsafe",
+        )
+        c_parser.add_argument(
+            "--beta", type=float, default=1e-3,
+            help="bound on calling an unsafe threshold safe",
+        )
+        c_parser.add_argument(
+            "--p0", type=float, default=0.01,
+            help="exceedance probability read as safe",
+        )
+        c_parser.add_argument(
+            "--p1", type=float, default=0.10,
+            help="exceedance probability read as unsafe",
+        )
+        c_parser.add_argument(
+            "--backend", default="numpy", choices=["numpy", "scalar"],
+        )
+        c_parser.add_argument(
+            "--priority", type=int, default=0,
+            help="daemon queue priority (higher dispatches first)",
+        )
+        c_parser.add_argument(
+            "--socket", default=None,
+            help="daemon socket (default: REPRO_SVC_SOCKET); without a "
+                 "live daemon the cells execute in-process",
+        )
+        c_parser.add_argument(
+            "--jobs", type=int, default=None,
+            help="worker processes for the in-process path",
+        )
+        c_parser.add_argument(
+            "--json", metavar="PATH", default=None,
+            help="also write the full per-cell records as JSON to PATH",
+        )
+    c_status = campaign_sub.add_parser(
+        "status", help="list campaign cells on the sweep service"
+    )
+    c_status.add_argument("--socket", default=None)
+    for c_parser in (c_run, c_report, c_status):
+        c_parser.set_defaults(func=cmd_campaign)
 
     audit = sub.add_parser(
         "audit", help="hammer the simulator and audit row pressure"

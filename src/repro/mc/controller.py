@@ -20,9 +20,8 @@ event-driven at request granularity:
 from __future__ import annotations
 
 import dataclasses
-from collections import OrderedDict
 from functools import partial
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.ckpt.contract import checkpointable
 from repro.core.autorfm import AutoRfmEngine
@@ -272,9 +271,12 @@ class MemoryController:
         # Memoized line->location decode. The mapping is a pure static
         # function of the line address for the whole run (even Rubix: the
         # cipher key is fixed at construction), so entries never need
-        # invalidating; the bound only caps memory. Derived, not state: a
-        # restored controller restarts cold with identical results.
-        self._locate_cache: "OrderedDict[int, object]" = OrderedDict()
+        # invalidating; the bound only caps memory. Eviction is FIFO in
+        # insertion order — hits pay one dict probe and nothing else (LRU
+        # move-to-end bookkeeping on this path costs more than the decode
+        # it saves). Derived, not state: a restored controller restarts
+        # cold with identical results.
+        self._locate_cache: Dict[int, object] = {}
         self._locate_cache_cap = locate_cache_capacity()
 
         self.rfm: Optional[RfmController] = None
@@ -393,11 +395,9 @@ class MemoryController:
         if location is None:
             location = self.mapping.locate(line)
             if self._locate_cache_cap:
+                if len(cache) >= self._locate_cache_cap:
+                    cache.pop(next(iter(cache)))
                 cache[line] = location
-                if len(cache) > self._locate_cache_cap:
-                    cache.popitem(last=False)
-        else:
-            cache.move_to_end(line)
         request.location = location
         request.flat_bank = location.flat_bank(self._banks_per_sc)
         request._order = self._order

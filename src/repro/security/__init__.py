@@ -10,6 +10,9 @@
   tracker + mitigation pairs (transitive/Half-Double patterns included).
 * :mod:`repro.security.kernels` — the vectorized batch engine: S seeds x P
   patterns per call, exactly equal to the scalar reference.
+* :mod:`repro.security.campaign` — adaptive empirical threshold search:
+  integer bisection over candidate thresholds with SPRT early-stopping
+  per probe, sharing one seed-pressure pool per cell.
 * :mod:`repro.security.blast` — disturbance-vs-distance model (Blaster).
 * :mod:`repro.security.ecc` — SECDED tolerance model (Section VII-E).
 """
@@ -36,6 +39,16 @@ from repro.security.kernels import (
     build_pattern,
     run_attack_batch,
 )
+from repro.security.campaign import (
+    CampaignJob,
+    ChunkSchedule,
+    SprtConfig,
+    oracle_campaign_cell,
+    run_campaign_cell,
+    search_smallest_safe,
+    sprt_probe,
+    summarize_campaign,
+)
 from repro.security.montecarlo import AttackResult, run_attack
 from repro.security.thresholds import (
     TRH_HISTORY,
@@ -46,15 +59,23 @@ from repro.security.thresholds import (
 
 __all__ = [
     "BlastPolicySpec",
+    "CampaignJob",
+    "ChunkSchedule",
     "CipherRowRemapper",
     "FractalPolicySpec",
     "GrapheneSpec",
     "MintSpec",
     "ParaSpec",
+    "SprtConfig",
     "SweepPoint",
     "build_pattern",
     "montecarlo_tolerated_threshold",
+    "oracle_campaign_cell",
     "run_attack_batch",
+    "run_campaign_cell",
+    "search_smallest_safe",
+    "sprt_probe",
+    "summarize_campaign",
     "threshold_sweep",
     "FM_SAFE_TRHD",
     "fm_damage",

@@ -60,6 +60,55 @@ def halving_time_years() -> float:
 # ----------------------------------------------------------------------
 # Empirical Monte-Carlo threshold sweep (batched kernel engine)
 # ----------------------------------------------------------------------
+#: Compiled-pattern memo. A sweep replays the same row stream across many
+#: windows (the scenario path does not depend on the window at all) and a
+#: campaign probes the same cell hundreds of times; rebuilding the pattern
+#: — a full payload parse/resolve/unroll for scenarios — per call was pure
+#: waste. Keyed by everything the stream depends on; values are tuples, so
+#: a cached pattern cannot be mutated by any caller. FIFO-evicted at a cap
+#: that comfortably covers a full sweep's worth of distinct patterns.
+_PATTERN_MEMO: dict = {}
+_PATTERN_MEMO_CAP = 32
+
+
+def _sweep_pattern(
+    window: int,
+    acts: int,
+    base_row: int,
+    scenario: Optional[str],
+    scenario_params: Optional[dict],
+) -> Tuple[int, ...]:
+    if scenario is not None:
+        key = (
+            "scenario", scenario,
+            tuple(sorted((scenario_params or {}).items())), acts,
+        )
+    else:
+        key = ("round_robin", window, base_row, acts)
+    pattern = _PATTERN_MEMO.get(key)
+    if pattern is None:
+        if scenario is not None:
+            from repro.payload import compile_scenario
+
+            pattern = tuple(
+                compile_scenario(
+                    scenario, params=scenario_params, acts=acts
+                ).rows
+            )
+        else:
+            from repro.security.kernels import build_pattern
+
+            pattern = tuple(build_pattern(
+                "round_robin",
+                [base_row + 10 * i for i in range(window)],
+                acts,
+            ))
+        if len(_PATTERN_MEMO) >= _PATTERN_MEMO_CAP:
+            _PATTERN_MEMO.pop(next(iter(_PATTERN_MEMO)))
+        _PATTERN_MEMO[key] = pattern
+    return pattern
+
+
 @dataclass(frozen=True)
 class SweepPoint:
     """Empirical tolerated threshold of one window configuration."""
@@ -96,24 +145,14 @@ def montecarlo_tolerated_threshold(
     overriding the manifest's declared placeholder defaults.
     """
     from repro.security.kernels import (
-        build_pattern,
         policy_spec_from_string,
         run_attack_batch,
         tracker_spec_from_strings,
     )
 
-    if scenario is not None:
-        from repro.payload import compile_scenario
-
-        pattern = list(
-            compile_scenario(scenario, params=scenario_params, acts=acts).rows
-        )
-    elif scenario_params:
+    if scenario is None and scenario_params:
         raise ValueError("scenario_params requires a scenario")
-    else:
-        pattern = build_pattern(
-            "round_robin", [base_row + 10 * i for i in range(window)], acts
-        )
+    pattern = _sweep_pattern(window, acts, base_row, scenario, scenario_params)
     results = run_attack_batch(
         [pattern],
         tracker_spec_from_strings(tracker, window),

@@ -16,7 +16,12 @@ import os
 import socket
 from typing import IO, List, Optional, Union
 
-from repro.analysis.runner import Job, SecurityJob, any_job_to_wire
+from repro.analysis.runner import (
+    CampaignJob,
+    Job,
+    SecurityJob,
+    any_job_to_wire,
+)
 from repro.svc import protocol
 from repro.svc.scheduler import default_socket_path
 
@@ -95,7 +100,7 @@ class SweepClient:
 
     def submit(
         self,
-        jobs: List[Union[Job, SecurityJob]],
+        jobs: List[Union[Job, SecurityJob, CampaignJob]],
         priority: int = 0,
     ) -> List[str]:
         """Enqueue jobs; returns their daemon-assigned ids, in order."""

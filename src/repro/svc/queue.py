@@ -42,8 +42,8 @@ class JobRecord:
     """One submitted job's full service-side lifecycle."""
 
     job_id: str
-    kind: str                 # "sim" | "security"
-    job: object               # runner Job / SecurityJob
+    kind: str                 # "sim" | "security" | "campaign"
+    job: object               # runner Job / SecurityJob / CampaignJob
     key: str                  # content-addressed cache key
     priority: int
     seq: int

@@ -38,11 +38,13 @@ from typing import Dict, Optional, Union
 
 from repro.analysis.runner import (
     CACHE_SCHEMA_VERSION,
+    CampaignJob,
     Job,
     ResultCache,
     SecurityJob,
     any_job_from_wire,
     build_sim_payload,
+    campaign_job_key,
     default_cache_dir,
     default_requests,
     job_key,
@@ -284,7 +286,10 @@ class SweepService:
                 resume=resume,
             )
         else:
-            payload = record.job  # SecurityJob: picklable as-is
+            # SecurityJob / CampaignJob: picklable as-is; the worker builds
+            # its own execution context (and, for campaigns, resumes from
+            # any frontier file a killed attempt left in the cache dir).
+            payload = record.job
         spec = {
             "kind": record.kind,
             "payload": payload,
@@ -379,13 +384,15 @@ class SweepService:
     # ------------------------------------------------------------------
     # Job identity and result access
     # ------------------------------------------------------------------
-    def key_for(self, job: Union[Job, SecurityJob]) -> str:
+    def key_for(self, job: Union[Job, SecurityJob, CampaignJob]) -> str:
         """The daemon's cache key for ``job`` (same as an in-process run)."""
         if isinstance(job, Job):
             requests = (
                 job.requests if job.requests is not None else self.requests
             )
             return job_key(job, self.config, requests, self.schema_version)
+        if isinstance(job, CampaignJob):
+            return campaign_job_key(job, self.schema_version)
         return security_job_key(job, self.schema_version)
 
     def _cached_payload(self, record: JobRecord) -> Optional[object]:
@@ -393,6 +400,8 @@ class SweepService:
         if record.kind == "sim":
             result = self.cache.get(record.key)
             return result_to_dict(result) if result is not None else None
+        if record.kind == "campaign":
+            return self.cache.get_campaign(record.key)
         return self.cache.get_security(record.key)
 
     # ------------------------------------------------------------------
@@ -456,7 +465,12 @@ class SweepService:
         decoded = []
         for wire in jobs:
             job = any_job_from_wire(wire)  # raises ValueError on bad wire
-            kind = "sim" if isinstance(job, Job) else "security"
+            if isinstance(job, Job):
+                kind = "sim"
+            elif isinstance(job, CampaignJob):
+                kind = "campaign"
+            else:
+                kind = "security"
             decoded.append((kind, job, self.key_for(job)))
         job_ids = []
         keys = []

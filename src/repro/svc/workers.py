@@ -49,16 +49,22 @@ def worker_main(spec: dict) -> None:
 
     ``spec`` fields:
 
-    * ``kind`` — ``"sim"`` or ``"security"``
+    * ``kind`` — ``"sim"``, ``"security"``, or ``"campaign"``
     * ``payload`` — the :func:`repro.analysis.runner._execute` tuple
-      (sim) or the :class:`~repro.analysis.runner.SecurityJob` (security)
+      (sim) or the job dataclass itself (security / campaign)
     * ``cache_dir`` / ``schema`` / ``key`` — where to publish the result
     * ``heartbeat`` — heartbeat file path (optional)
     * ``interval`` — seconds between heartbeat touches
+
+    Campaign workers additionally persist their seed-pool frontier into
+    the cache directory mid-search (``<key>.part.json``), so a killed
+    worker's retry resumes the bisection from the last pool extension —
+    the campaign twin of resuming a sim from its segment snapshots.
     """
     from repro.analysis.runner import (
         ResultCache,
         _execute,
+        _execute_campaign,
         _execute_security,
     )
 
@@ -80,6 +86,11 @@ def worker_main(spec: dict) -> None:
         elif spec["kind"] == "security":
             raw = _execute_security(spec["payload"])
             cache.put_security(spec["key"], raw)
+        elif spec["kind"] == "campaign":
+            record = _execute_campaign(
+                (spec["payload"], spec["cache_dir"], spec["key"])
+            )
+            cache.put_campaign(spec["key"], record)
         else:
             raise ValueError(f"unknown worker kind {spec['kind']!r}")
     finally:

@@ -398,3 +398,80 @@ class TestThresholdSweep:
         for p in points:
             assert p.max_pressure >= p.mean_pressure > 0.0
             assert p.mitigations > 0
+
+
+class TestPreparedReplay:
+    """prepare()/run_prepared() — the campaign engine's hot path — must
+    be invisible: bit-identical to the one-shot run_pattern path."""
+
+    def engine(self, cipher=None, collect=True):
+        from repro.security.kernels import _BatchEngine
+
+        return _BatchEngine(
+            tracker_spec_from_strings("mint", 4),
+            policy_spec_from_string("fractal"),
+            4, ROWS, 2, None, cipher, collect,
+        )
+
+    def test_run_prepared_equals_run_pattern(self):
+        pattern = build_pattern("round_robin", [70_000 + 10 * i
+                                                for i in range(4)], 800)
+        seeds = list(range(12))
+        one_shot = self.engine().run_pattern(pattern, seeds, None)
+        engine = self.engine()
+        prep = engine.prepare(pattern)
+        replayed = engine.run_prepared(prep, seeds)
+        assert replayed == one_shot
+        # Replays share the prepared state: disjoint seed batches glue
+        # together into exactly the one-shot result.
+        glued = engine.run_prepared(prep, seeds[:5]) + engine.run_prepared(
+            prep, seeds[5:]
+        )
+        assert glued == one_shot
+
+    def test_run_prepared_with_cipher(self):
+        cipher = KCipher(ROWS, 11)
+        pattern = build_pattern("double_sided", [70_000, 70_002], 600)
+        engine = self.engine(cipher=cipher)
+        prep = engine.prepare(pattern)
+        assert engine.run_prepared(prep, [0, 1, 2]) == self.engine(
+            cipher=cipher
+        ).run_pattern(pattern, [0, 1, 2], None)
+
+    def test_prepare_validates_rows(self):
+        engine = self.engine()
+        with pytest.raises(ValueError):
+            engine.prepare([-1, 5])
+
+    def test_chunked_replay_is_invisible(self):
+        pattern = build_pattern("round_robin", [70_000, 70_010], 500)
+        engine = self.engine()
+        prep = engine.prepare(pattern)
+        seeds = list(range(9))
+        assert engine.run_prepared(prep, seeds, seed_chunk=2) == \
+            engine.run_prepared(prep, seeds)
+
+
+class TestCipherTableMemo:
+    def test_hit_returns_same_object(self):
+        from repro.security.kernels import cipher_table
+
+        a = cipher_table(KCipher(1024, 5))
+        b = cipher_table(KCipher(1024, 5))
+        assert a is b
+
+    def test_distinct_ciphers_distinct_tables(self):
+        from repro.security.kernels import cipher_table
+
+        a = cipher_table(KCipher(1024, 5))
+        b = cipher_table(KCipher(1024, 6))
+        assert a is not b
+        assert not np.array_equal(a, b)
+
+    def test_table_matches_uncached_remapper(self):
+        from repro.security.kernels import CipherRowRemapper, cipher_table
+
+        cipher = KCipher(2048, 9)
+        np.testing.assert_array_equal(
+            cipher_table(cipher), CipherRowRemapper(cipher).table()
+        )

@@ -148,3 +148,44 @@ class TestThresholdHistory:
 
     def test_halving_time_is_about_a_year(self):
         assert 0.5 < halving_time_years() < 3.0
+
+
+class TestSweepPatternMemo:
+    """The Monte-Carlo sweep's pattern builder is memoized — repeat
+    probes of the same (window, acts) cell must not rebuild it, and the
+    memo must be invisible in the results."""
+
+    def test_memoized_calls_are_identical(self):
+        from repro.security import thresholds
+        from repro.security.thresholds import (
+            _sweep_pattern,
+            montecarlo_tolerated_threshold,
+        )
+
+        thresholds._PATTERN_MEMO.clear()
+        first = montecarlo_tolerated_threshold(
+            window=2, seeds=3, acts=300
+        )
+        assert thresholds._PATTERN_MEMO  # populated by the sweep
+        pattern = _sweep_pattern(2, 300, 70_000, None, None)
+        assert _sweep_pattern(2, 300, 70_000, None, None) is pattern
+        second = montecarlo_tolerated_threshold(
+            window=2, seeds=3, acts=300
+        )
+        assert first == second
+
+    def test_memo_values_are_immutable_tuples(self):
+        from repro.security.thresholds import _sweep_pattern
+
+        assert isinstance(_sweep_pattern(2, 200, 70_000, None, None), tuple)
+
+    def test_scenario_params_require_scenario(self):
+        import pytest
+
+        from repro.security.thresholds import montecarlo_tolerated_threshold
+
+        with pytest.raises(ValueError):
+            montecarlo_tolerated_threshold(
+                window=2, seeds=2, acts=100,
+                scenario_params={"acts": 100},
+            )

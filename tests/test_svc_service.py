@@ -149,6 +149,30 @@ class TestServiceBatch:
         expected = _security_results_to_dicts(runner.run_security(job))
         assert canonical(expected) == canonical(response["result"])
 
+    def test_campaign_job_round_trips_through_the_daemon(
+        self, daemon, service_dir
+    ):
+        """A campaign cell served by the daemon equals the in-process
+        engine byte-for-byte, and a resubmission is a pure cache hit."""
+        from repro.analysis.runner import CampaignJob
+
+        job = CampaignJob(window=4, acts=1200, max_seeds=80)
+        with SweepClient(daemon.socket_path) as client:
+            (job_id,) = client.submit([job])
+            response = client.result(job_id, wait=True, timeout=180)
+            (status,) = client.status(job_id)
+            (again,) = client.submit([job])
+            cached = client.result(again, wait=True, timeout=60)
+        assert response["kind"] == "campaign"
+        assert status["kind"] == "campaign"
+        runner = ExperimentRunner(
+            jobs=1, cache_dir=service_dir + "/refcache"
+        )
+        expected = runner.run_campaign(job)
+        assert canonical(expected) == canonical(response["result"])
+        assert cached["from_cache"] is True
+        assert canonical(cached["result"]) == canonical(response["result"])
+
     def test_priority_orders_the_backlog(self, service_dir):
         """With the single worker busy, a late high-priority job overtakes
         the earlier low-priority one in the backlog."""
