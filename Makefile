@@ -1,6 +1,6 @@
 # Convenience targets for the AutoRFM reproduction.
 
-.PHONY: install test lint lint-baseline payload-verify bench bench-smoke bench-security bench-sim bench-svc bench-campaign examples audit clean
+.PHONY: install test lint lint-fast lint-baseline payload-verify bench bench-smoke bench-security bench-sim bench-svc bench-campaign examples audit clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -12,6 +12,12 @@ lint:
 	PYTHONPATH=src python -m repro lint src/repro
 	@command -v ruff >/dev/null 2>&1 && ruff check src/repro || echo "ruff not installed; skipping"
 	@command -v mypy >/dev/null 2>&1 && mypy src/repro/lint || echo "mypy not installed; skipping"
+
+# Pre-commit speed path: only git-modified files, per-module passes only
+# (the whole-program call-graph passes need the full tree and run in CI
+# and `make lint`).
+lint-fast:
+	PYTHONPATH=src python -m repro lint --changed src/repro
 
 lint-baseline:
 	PYTHONPATH=src python -m repro lint --update-baseline src/repro

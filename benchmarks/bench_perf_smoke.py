@@ -174,6 +174,27 @@ def time_backends(repeats: int = REPEATS):
     return scalar_wall, batch_wall, events
 
 
+def time_lint_full_tree(repeats: int = REPEATS) -> float:
+    """min-of-``repeats`` wall time of a full-tree interprocedural lint.
+
+    Runs every pass — per-module and whole-program — over ``src/repro``
+    exactly as the CI blocking step does, so the recorded number is the
+    cost a PR actually pays. The acceptance budget is 10 s; the call graph
+    is built once per run, so regressions here mean either the tree grew a
+    lot or an analysis went superlinear.
+    """
+    from repro.lint import run_lint
+
+    src = os.path.join(REPO_ROOT, "src", "repro")
+    wall = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run_lint([src], relative_to=REPO_ROOT)
+        elapsed = time.perf_counter() - start
+        wall = elapsed if wall is None else min(wall, elapsed)
+    return wall
+
+
 def run_smoke() -> dict:
     """Time the fixed simulation once; return the metrics dict.
 
@@ -208,7 +229,9 @@ def run_smoke() -> dict:
         obs_wall = ow if obs_wall is None else min(obs_wall, ow)
         wall = min(wall, w)
     scalar_wall, batch_wall, fleet_events = time_backends()
+    lint_wall = time_lint_full_tree()
     return {
+        "lint_seconds_full_tree": round(lint_wall, 3),
         "sim_fleet_events": fleet_events,
         "sim_events_per_second_scalar": round(fleet_events / scalar_wall, 1),
         "sim_events_per_second_batch": round(fleet_events / batch_wall, 1),
@@ -258,6 +281,9 @@ def test_perf_smoke():
     # fixed function of the configuration; throughput just has to be alive.
     assert metrics["events"] > 10_000
     assert metrics["events_per_second"] > 1_000
+    # The interprocedural lint budget from the static-analysis issue: the
+    # whole tree, call graph included, must stay under 10 s.
+    assert metrics["lint_seconds_full_tree"] < 10.0
 
 
 #: The batch kernel must beat the scalar oracle by at least this factor on

@@ -130,7 +130,7 @@ class Job:
     #: Excluded from the cache key on purpose — segmentation is an
     #: execution strategy, not part of the simulation's identity, and the
     #: results are bit-identical either way.
-    segment_cycles: Optional[int] = None
+    segment_cycles: Optional[int] = None  # repro: key-blind[segment_cycles]
     #: Timing backend: "scalar" (the event-loop oracle) or "batch" (the
     #: fused kernel in :mod:`repro.sim.batch`, which transparently falls
     #: back to scalar for runs it does not model). Like ``segment_cycles``
@@ -140,7 +140,7 @@ class Job:
     #: (proven by the differential suite), and a result computed by either
     #: answers for both. Segmented jobs always run scalar (the kernel does
     #: not checkpoint).
-    backend: str = "scalar"
+    backend: str = "scalar"  # repro: key-blind[backend]
 
     def __post_init__(self):
         if self.workload not in WORKLOADS:
@@ -884,7 +884,7 @@ class SecurityJob:
     #: (hashable and deterministic key material). A plain dict is accepted
     #: and normalized.
     scenario_params: Tuple[Tuple[str, int], ...] = ()
-    backend: str = "numpy"
+    backend: str = "numpy"  # repro: key-blind[backend]
 
     def __post_init__(self):
         if self.scenario is not None:

@@ -649,6 +649,41 @@ def cmd_payload(args: argparse.Namespace) -> int:
         return 2
 
 
+def _git_changed_files(scope):
+    """Modified/untracked ``.py`` files under ``scope`` paths, per git.
+
+    Returns None when git is unavailable or this is not a checkout (the
+    caller falls back to a full run). Both unstaged+staged changes against
+    HEAD and untracked files count: --changed is a pre-commit convenience,
+    and anything not yet committed is exactly what it should look at.
+    """
+    import subprocess
+
+    files = []
+    for cmd in (
+        ["git", "diff", "--name-only", "HEAD", "--"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            proc = subprocess.run(
+                cmd, capture_output=True, text=True, check=True
+            )
+        except (OSError, subprocess.CalledProcessError):
+            return None
+        files.extend(line.strip() for line in proc.stdout.splitlines())
+    roots = [os.path.normpath(p) for p in scope]
+    out = []
+    for name in files:
+        if not name.endswith(".py") or not os.path.exists(name):
+            continue
+        norm = os.path.normpath(name)
+        if any(
+            norm == root or norm.startswith(root + os.sep) for root in roots
+        ):
+            out.append(name)
+    return sorted(dict.fromkeys(out))
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Run the determinism/contract static-analysis suite."""
     from repro.lint import (
@@ -665,7 +700,19 @@ def cmd_lint(args: argparse.Namespace) -> int:
             for rule in lint_pass.rules:
                 print(f"{rule.rule_id}  {rule.name:<22} {rule.summary}")
         return 0
-    paths = args.paths or ["src/repro"]
+    if args.changed:
+        scope = args.paths or ["src/repro"]
+        paths = _git_changed_files(scope)
+        if paths is None:
+            print("lint --changed: not a git checkout (or git missing); "
+                  "falling back to a full run", file=sys.stderr)
+            paths = scope
+        elif not paths:
+            print("lint --changed: no modified .py files in scope; "
+                  "nothing to do")
+            return 0
+    else:
+        paths = args.paths or ["src/repro"]
     missing = [p for p in paths if not os.path.exists(p)]
     if missing:
         print(f"no such path(s): {missing}", file=sys.stderr)
@@ -679,7 +726,17 @@ def cmd_lint(args: argparse.Namespace) -> int:
         paths,
         baseline=baseline,
         rule_filter=args.rule or None,
+        # The whole-program passes need the full tree to build a faithful
+        # call graph; over a git-diff slice they would see a fragment and
+        # either miss or invent findings, so --changed skips them (the
+        # fast pre-commit mode; CI runs the full interprocedural set).
+        project=not args.changed,
     )
+    if args.changed:
+        # A scoped run cannot re-derive findings for unscanned files, so
+        # baseline entries outside the slice would all look stale; stale
+        # detection is meaningful only for full-tree runs.
+        result.stale_baseline = []
     if args.update_baseline:
         keep = [f for f in result.findings if f.status != "suppressed"]
         Baseline.from_findings(keep, previous=baseline).save(args.baseline)
@@ -1265,6 +1322,12 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--verbose", action="store_true",
         help="also show pragma-suppressed findings and justifications",
+    )
+    lint.add_argument(
+        "--changed", action="store_true",
+        help="lint only git-modified/untracked .py files in scope and "
+             "skip the whole-program passes (fast pre-commit mode; CI "
+             "always runs the full tree)",
     )
     lint.set_defaults(func=cmd_lint)
 

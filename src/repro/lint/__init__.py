@@ -17,25 +17,44 @@ violation ships:
 * **obs-naming** (``OBS001``/``OBS002``) — metric/span names are literal
   and convention-shaped.
 
+On top of the per-module passes sits a whole-program layer
+(:mod:`repro.lint.graph` + :mod:`repro.lint.dataflow`) whose passes see
+the full ``src/repro`` tree through one call graph per run:
+
+* **cache-key** (``KEY001``/``KEY002``) — every job field read on the
+  execution path reaches its cache key, or is declared
+  ``# repro: key-blind[field]``;
+* **wire-schema** (``WIRE001``/``WIRE002``) — job dataclasses round-trip
+  through their ``*_to_wire``/``*_from_wire`` twins, and daemon/client
+  agree on the protocol op set;
+* **checkpoint-flow** (``CKPT002``) — self-attributes written by helpers
+  the object escapes to are covered by the ``@checkpointable`` contract;
+* **async-blocking** (``ASYNC001``) — nothing reachable from the
+  ``repro.svc`` event loop blocks it.
+
 Run it as ``python -m repro lint [paths]`` (or ``make lint``); suppress a
 justified finding inline with ``# repro: lint-ignore[rule-id]`` or in the
-checked-in ``lint-baseline.json``. See ``docs/static-analysis.md`` for the
+checked-in ``lint-baseline.json``. ``repro lint --changed`` (or ``make
+lint-fast``) lints only git-modified files and skips the whole-program
+layer for quick pre-commit runs. See ``docs/static-analysis.md`` for the
 rule catalog.
 
 This package (like :mod:`repro.ckpt.contract`, which imports it) stays
 dependency-free within ``repro`` so any layer can use it without cycles.
 """
 
-from repro.lint.base import LintPass, ModuleSource
+from repro.lint.base import LintPass, ModuleSource, ProjectLintPass
 from repro.lint.baseline import Baseline, BaselineEntry, BaselineError
 from repro.lint.driver import (
     discover_files,
     lint_module,
+    lint_project,
     lint_source,
     load_baseline,
     run_lint,
 )
 from repro.lint.findings import Finding, LintResult, Rule
+from repro.lint.graph import ProjectIndex, build_project
 from repro.lint.passes import ALL_PASSES, ALL_RULES
 from repro.lint.report import FORMATS, render
 
@@ -50,9 +69,13 @@ __all__ = [
     "LintPass",
     "LintResult",
     "ModuleSource",
+    "ProjectIndex",
+    "ProjectLintPass",
     "Rule",
+    "build_project",
     "discover_files",
     "lint_module",
+    "lint_project",
     "lint_source",
     "load_baseline",
     "render",

@@ -13,9 +13,14 @@ import ast
 import re
 from dataclasses import dataclass, field
 from pathlib import PurePath
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING, Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple,
+)
 
 from repro.lint.findings import ERROR, Finding, Rule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (graph imports base)
+    from repro.lint.graph import ProjectIndex
 
 #: Packages whose modules feed simulated behaviour: a nondeterminism here
 #: silently invalidates every seed-keyed result. ``security.kernels`` is the
@@ -30,6 +35,15 @@ SIM_CRITICAL_MODULES: Tuple[Tuple[str, ...], ...] = (
 #: ``# repro: lint-ignore[DET003]`` / ``# repro: lint-ignore[env-read, RNG001]``
 PRAGMA_RE = re.compile(
     r"#\s*repro:\s*lint-ignore\[([A-Za-z0-9_\-\*,\s]+)\]"
+)
+
+#: ``# repro: key-blind[backend]`` / ``# repro: key-blind[backend, segment_cycles]``
+#: — declares that the dataclass field(s) on this line are *deliberately*
+#: excluded from the cache key, exempting them from KEY001. Unlike
+#: ``lint-ignore`` this names fields, not rules, so the exemption is
+#: auditable: KEY002 flags pragmas naming fields that are keyed after all.
+KEY_BLIND_RE = re.compile(
+    r"#\s*repro:\s*key-blind\[([A-Za-z0-9_,\s]+)\]"
 )
 
 
@@ -66,6 +80,24 @@ def parse_pragmas(lines: Iterable[str]) -> Dict[int, FrozenSet[str]]:
     return pragmas
 
 
+def parse_key_blind(lines: Iterable[str]) -> Dict[int, FrozenSet[str]]:
+    """Map 1-based line numbers to field names declared key-blind there.
+
+    Field names keep their case (they must match dataclass field names
+    exactly), unlike ``lint-ignore`` tokens which are case-folded.
+    """
+    blind: Dict[int, FrozenSet[str]] = {}
+    for lineno, line in enumerate(lines, start=1):
+        match = KEY_BLIND_RE.search(line)
+        if match:
+            names = frozenset(
+                t.strip() for t in match.group(1).split(",") if t.strip()
+            )
+            if names:
+                blind[lineno] = names
+    return blind
+
+
 @dataclass
 class ModuleSource:
     """One parsed source file, ready for the passes."""
@@ -76,6 +108,8 @@ class ModuleSource:
     lines: List[str] = field(default_factory=list)
     parts: Tuple[str, ...] = ()
     pragmas: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+    #: 1-based line -> dataclass fields declared ``key-blind`` on that line.
+    key_blind: Dict[int, FrozenSet[str]] = field(default_factory=dict)
 
     @classmethod
     def from_text(cls, text: str, path: str) -> "ModuleSource":
@@ -87,6 +121,7 @@ class ModuleSource:
             lines=lines,
             parts=module_parts(path),
             pragmas=parse_pragmas(lines),
+            key_blind=parse_key_blind(lines),
         )
 
     @property
@@ -112,6 +147,16 @@ class ModuleSource:
         for lineno in range(line, stop + 1):
             tokens |= self.pragmas.get(lineno, frozenset())
         return frozenset(tokens)
+
+    def key_blind_fields(
+        self, line: int, end_line: Optional[int] = None
+    ) -> FrozenSet[str]:
+        """Union of key-blind field names anywhere in ``[line, end_line]``."""
+        stop = end_line if end_line and end_line >= line else line
+        names: set = set()
+        for lineno in range(line, stop + 1):
+            names |= self.key_blind.get(lineno, frozenset())
+        return frozenset(names)
 
 
 class LintPass:
@@ -164,3 +209,27 @@ class LintPass:
             message=message,
             severity=ERROR,
         )
+
+
+class ProjectLintPass(LintPass):
+    """Base class for whole-program passes.
+
+    A project pass sees every parsed module at once through a
+    :class:`~repro.lint.graph.ProjectIndex` instead of one module at a
+    time, so it can follow calls and dataflow across files. The driver
+    builds the index once per run and calls :meth:`check_project`; the
+    per-module :meth:`check` never runs (``applies_to`` is False).
+
+    Findings carry the path of whatever module they anchor in; the driver
+    maps them back to that module for pragma suppression and context.
+    """
+
+    def applies_to(self, module: ModuleSource) -> bool:
+        return False
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project: "ProjectIndex") -> Iterator[Finding]:
+        """Yield findings for the whole project."""
+        raise NotImplementedError

@@ -18,11 +18,12 @@ baselined findings warn, suppressed findings are invisible by default.
 from __future__ import annotations
 
 import os
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.lint.base import LintPass, ModuleSource
+from repro.lint.base import LintPass, ModuleSource, ProjectLintPass
 from repro.lint.baseline import Baseline
 from repro.lint.findings import Finding, LintResult, SUPPRESSED
+from repro.lint.graph import build_project
 from repro.lint.passes import ALL_PASSES, ALL_RULES
 
 
@@ -119,16 +120,101 @@ def lint_source(
     return lint_module(ModuleSource.from_text(text, path), passes=passes)
 
 
+def _project_findings(
+    modules: Sequence[ModuleSource],
+    passes: Optional[Iterable[LintPass]] = None,
+    rule_filter: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Run the whole-program passes once over ``modules``.
+
+    The :class:`~repro.lint.graph.ProjectIndex` is built once and shared by
+    every project pass — graph construction dominates the interprocedural
+    cost, so this is the lever that keeps the full-tree run under the CI
+    wall-time budget. Findings are mapped back to their module for pragma
+    suppression and context, exactly like per-module findings.
+    """
+    selected = [
+        p for p in _select_passes(passes, rule_filter)
+        if isinstance(p, ProjectLintPass)
+    ]
+    if not selected:
+        return []
+    project = build_project(modules)
+    by_path = {module.path: module for module in modules}
+    findings: List[Finding] = []
+    seen: set = set()
+    for lint_pass in selected:
+        for finding in lint_pass.check_project(project):
+            key = (finding.rule_id, finding.path, finding.line, finding.col,
+                   finding.message)
+            if key in seen:
+                continue
+            seen.add(key)
+            if rule_filter and not any(
+                ALL_RULES[finding.rule_id].matches_token(token)
+                for token in rule_filter
+                if finding.rule_id in ALL_RULES
+            ):
+                continue
+            module = by_path.get(finding.path)
+            if module is not None:
+                finding.context = module.line_text(finding.line)
+                tokens = module.ignored_rules(finding.line, finding.end_line)
+                if tokens:
+                    rule = ALL_RULES.get(finding.rule_id)
+                    if rule is not None and any(
+                        rule.matches_token(token) for token in tokens
+                    ):
+                        finding.status = SUPPRESSED
+            findings.append(finding)
+    findings.sort(key=lambda f: f.sort_key())
+    return findings
+
+
+def lint_project(
+    files: Dict[str, str],
+    passes: Optional[Iterable[LintPass]] = None,
+    rule_filter: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Lint an in-memory file set with the whole-program passes (test helper).
+
+    ``files`` maps display paths to source text. Only project passes run by
+    default, so fixture trees exercise KEY/WIRE/CKPT002/ASYNC rules without
+    noise from the per-module passes; pass ``passes`` explicitly to mix in
+    per-module ones (they run per file first, then the project passes).
+    """
+    modules = [
+        ModuleSource.from_text(text, path)
+        for path, text in sorted(files.items())
+    ]
+    findings: List[Finding] = []
+    if passes is not None:
+        for module in modules:
+            findings.extend(
+                lint_module(module, passes=passes, rule_filter=rule_filter)
+            )
+    findings.extend(_project_findings(modules, passes, rule_filter))
+    findings.sort(key=lambda f: f.sort_key())
+    return findings
+
+
 def run_lint(
     paths: Sequence[str],
     baseline: Optional[Baseline] = None,
     passes: Optional[Iterable[LintPass]] = None,
     rule_filter: Optional[Sequence[str]] = None,
     relative_to: Optional[str] = None,
+    project: bool = True,
 ) -> LintResult:
-    """Lint every file under ``paths`` and classify against ``baseline``."""
+    """Lint every file under ``paths`` and classify against ``baseline``.
+
+    ``project=False`` skips the whole-program passes (no call graph is
+    built) — the fast pre-commit mode behind ``repro lint --changed`` and
+    ``make lint-fast``; CI always runs the full interprocedural set.
+    """
     result = LintResult()
     all_findings: List[Finding] = []
+    modules: List[ModuleSource] = []
     for filename in discover_files(paths):
         with open(filename, "r", encoding="utf-8") as handle:
             text = handle.read()
@@ -145,10 +231,13 @@ def run_lint(
             all_findings.append(finding)
             result.files_scanned += 1
             continue
+        modules.append(module)
         all_findings.extend(
             lint_module(module, passes=passes, rule_filter=rule_filter)
         )
         result.files_scanned += 1
+    if project:
+        all_findings.extend(_project_findings(modules, passes, rule_filter))
     if baseline is not None:
         active = [f for f in all_findings if f.status != SUPPRESSED]
         result.stale_baseline = baseline.apply(active)

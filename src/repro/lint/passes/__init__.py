@@ -11,7 +11,10 @@ from typing import Dict, Tuple
 
 from repro.lint.base import LintPass
 from repro.lint.findings import Rule
+from repro.lint.passes.async_blocking import AsyncBlockingPass
+from repro.lint.passes.cache_key import CacheKeyPass
 from repro.lint.passes.callbacks import CallbackPass
+from repro.lint.passes.ckpt_flow import CkptFlowPass
 from repro.lint.passes.contract import ContractPass
 from repro.lint.passes.determinism import DeterminismPass
 from repro.lint.passes.obs_hotloop import ObsHotLoopPass
@@ -19,7 +22,10 @@ from repro.lint.passes.obs_names import ObsNamesPass
 from repro.lint.passes.payload_literals import PayloadLiteralPass
 from repro.lint.passes.rng_stream import RngStreamPass
 from repro.lint.passes.svc_clock import SvcClockPass
+from repro.lint.passes.wire_schema import WireSchemaPass
 
+#: Per-module passes first, then the whole-program (project) passes; the
+#: driver runs the former per file and the latter once over the full set.
 ALL_PASSES: Tuple[LintPass, ...] = (
     DeterminismPass(),
     RngStreamPass(),
@@ -29,6 +35,10 @@ ALL_PASSES: Tuple[LintPass, ...] = (
     ObsHotLoopPass(),
     PayloadLiteralPass(),
     SvcClockPass(),
+    CacheKeyPass(),
+    WireSchemaPass(),
+    CkptFlowPass(),
+    AsyncBlockingPass(),
 )
 
 ALL_RULES: Dict[str, Rule] = {
@@ -40,7 +50,10 @@ ALL_RULES: Dict[str, Rule] = {
 __all__ = [
     "ALL_PASSES",
     "ALL_RULES",
+    "AsyncBlockingPass",
+    "CacheKeyPass",
     "CallbackPass",
+    "CkptFlowPass",
     "ContractPass",
     "DeterminismPass",
     "ObsHotLoopPass",
@@ -48,4 +61,5 @@ __all__ = [
     "PayloadLiteralPass",
     "RngStreamPass",
     "SvcClockPass",
+    "WireSchemaPass",
 ]

@@ -1,0 +1,146 @@
+"""Blocking-call detection on the svc event loop (``ASYNC001``).
+
+:mod:`repro.svc` runs the whole job farm on a single asyncio event loop
+(PR 8): one blocking call anywhere the loop can reach — a stray
+``time.sleep`` backoff, a ``Process.join`` without a thread hop, a
+synchronous ``open()`` in a handler — stalls every client and every
+worker heartbeat at once. The per-module ``SVC001`` pass quarantines
+clock *reads*; this pass guards the loop's *liveness*, and it does so
+interprocedurally: the dangerous call is rarely in the ``async def``
+itself but in a sync helper three frames down.
+
+``ASYNC001`` roots at every ``async def`` in the svc package, closes over
+the call graph (staying inside svc — the analysis/cache layers run in
+worker processes, not on the loop), and flags in any reachable function:
+
+* any non-awaited ``*.sleep(...)`` call (``time.sleep``, ``CLOCK.sleep``,
+  a forgotten ``await`` on ``asyncio.sleep``);
+* zero-argument ``.join()`` calls (``Process``/``Thread`` joins;
+  ``str.join`` always takes an argument, so it never matches);
+* ``subprocess.run/call/check_call/check_output/Popen`` and
+  ``os.system``;
+* non-awaited ``.wait()`` and bare ``open(...)`` directly inside an
+  ``async def`` body (in sync helpers these are too common as false
+  positives — a queue's non-blocking ``wait`` flavours, config loads at
+  startup — so the deeper check stays scoped to the loop functions
+  themselves).
+
+Every finding names the ``async def`` root the blocking call is reachable
+from, so the report reads as a path, not a point.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set, Tuple
+
+from repro.lint.base import ProjectLintPass
+from repro.lint.findings import Finding, Rule
+from repro.lint.graph import FunctionInfo, ProjectIndex, own_statements
+
+_SUBPROCESS_CALLS = frozenset({
+    "run", "call", "check_call", "check_output", "Popen",
+})
+
+
+class AsyncBlockingPass(ProjectLintPass):
+    """Flags blocking calls reachable from svc ``async def``s (``ASYNC001``)."""
+
+    name = "async-blocking"
+    rules: Tuple[Rule, ...] = (
+        Rule("ASYNC001", "blocking-call-in-event-loop",
+             "blocking call reachable from an async def in repro.svc"),
+    )
+
+    def check_project(self, project: ProjectIndex) -> Iterator[Finding]:
+        roots = [
+            info.qname for info in project.functions_in_package("svc")
+            if info.is_async
+        ]
+        if not roots:
+            return
+        origin = project.reachable(roots, package="svc")
+        for qname in sorted(origin):
+            info = project.functions.get(qname)
+            if info is None:
+                continue
+            root = origin[qname]
+            for finding in self._check_function(info, root):
+                yield finding
+
+    def _check_function(
+        self, info: FunctionInfo, root: str
+    ) -> Iterator[Finding]:
+        # A call anywhere under an `await` counts as awaited: that covers
+        # both `await x.sleep()` and the combinator idiom
+        # `await asyncio.wait_for(event.wait(), timeout)`, where the inner
+        # call builds a coroutine rather than blocking.
+        awaited: Set[int] = set()
+        for node in own_statements(info.node):
+            if isinstance(node, ast.Await):
+                for inner in ast.walk(node.value):
+                    if isinstance(inner, ast.Call):
+                        awaited.add(id(inner))
+        via = "" if info.qname == root else f" (reachable from async {root})"
+        for node in own_statements(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            parts = _call_parts(node)
+            if not parts:
+                continue
+            dotted = ".".join(parts)
+            if parts[-1] == "sleep" and id(node) not in awaited:
+                yield self.finding(
+                    "ASYNC001", info.module, node,
+                    f"non-awaited `{dotted}(...)` in {info.qname}{via} "
+                    "blocks the svc event loop; use `await asyncio.sleep` "
+                    "or move the wait off the loop",
+                )
+            elif parts[-1] == "join" and not node.args and len(parts) > 1:
+                yield self.finding(
+                    "ASYNC001", info.module, node,
+                    f"`{dotted}()` in {info.qname}{via} joins a process/"
+                    "thread on the svc event loop; bound the join with a "
+                    "timeout off the loop or await an executor",
+                )
+            elif (
+                len(parts) == 2
+                and parts[0] == "subprocess"
+                and parts[1] in _SUBPROCESS_CALLS
+            ) or parts == ("os", "system"):
+                yield self.finding(
+                    "ASYNC001", info.module, node,
+                    f"`{dotted}(...)` in {info.qname}{via} runs a "
+                    "subprocess synchronously on the svc event loop; use "
+                    "asyncio.create_subprocess_* or a worker process",
+                )
+            elif (
+                info.is_async
+                and parts[-1] == "wait"
+                and id(node) not in awaited
+                and len(parts) > 1
+            ):
+                yield self.finding(
+                    "ASYNC001", info.module, node,
+                    f"non-awaited `{dotted}(...)` inside async "
+                    f"{info.qname} blocks the svc event loop",
+                )
+            elif info.is_async and parts == ("open",):
+                yield self.finding(
+                    "ASYNC001", info.module, node,
+                    f"synchronous `open(...)` inside async {info.qname} "
+                    "blocks the svc event loop on file IO; read in a "
+                    "worker or an executor",
+                )
+
+
+def _call_parts(call: ast.Call) -> Tuple[str, ...]:
+    node: ast.AST = call.func
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return ()

@@ -1,0 +1,138 @@
+"""Cache-key soundness pass: every read job field reaches its key.
+
+The result cache (PR 1/4/9) keys each job by an explicit payload built in
+``job_key``/``security_job_key``/``campaign_job_key``. The contract is
+semantic, not syntactic: *any field the execution path reads can change
+behaviour, so it must enter the key* — otherwise two behaviourally
+different jobs collide on one cache entry and the sweep silently serves
+the wrong result. A field can legitimately stay out of the key only when
+it provably cannot change simulated behaviour (``backend`` selects an
+equivalent kernel, ``segment_cycles`` a drain boundary), and that claim
+must be written down where it can be audited:
+
+* ``KEY001`` — a dataclass field of a keyed job type is read somewhere on
+  the execution path (interprocedurally, through the call graph) but
+  never reaches the key function's payload, and is not declared
+  ``# repro: key-blind[field]`` on the field's definition.
+* ``KEY002`` — a ``key-blind`` pragma that has gone stale: it names a
+  field the key function covers after all, or a field that no longer
+  exists. Stale exemptions are as dangerous as missing ones — they
+  train readers to ignore the pragma.
+
+Key coverage understands the two payload idioms the tree uses: explicit
+dict literals (``{"workload": job.workload, ...}``) and the
+``asdict(job)`` copy minus *unconditional* top-level ``.pop("field")``
+statements (a pop nested under ``if`` still reaches the payload on some
+path, so it counts as keyed).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.lint.base import ModuleSource, ProjectLintPass
+from repro.lint.dataflow import attribute_reads, field_coverage
+from repro.lint.findings import Finding, Rule
+from repro.lint.graph import ClassInfo, FunctionInfo, ProjectIndex
+
+#: The keyed job contracts: (dataclass name, key-function name). Both are
+#: looked up by bare name project-wide, so fixture trees exercise the pass
+#: without replicating the real module layout; a contract whose class or
+#: key function is absent from the scanned set is skipped silently.
+KEYED_CONTRACTS: Tuple[Tuple[str, str], ...] = (
+    ("Job", "job_key"),
+    ("SecurityJob", "security_job_key"),
+    ("CampaignJob", "campaign_job_key"),
+)
+
+
+class CacheKeyPass(ProjectLintPass):
+    """Flags key-blind field reads (``KEY001``) and stale pragmas (``KEY002``)."""
+
+    name = "cache-key"
+    rules: Tuple[Rule, ...] = (
+        Rule("KEY001", "cache-key-blind-read",
+             "job field read on the execution path but absent from the "
+             "cache key and not declared key-blind"),
+        Rule("KEY002", "stale-key-blind",
+             "key-blind pragma naming a field that is keyed or gone"),
+    )
+
+    def check_project(self, project: ProjectIndex) -> Iterator[Finding]:
+        for class_name, key_name in KEYED_CONTRACTS:
+            cls = _unique_class(project, class_name)
+            key_fn = _unique_function(project, key_name)
+            if cls is None or key_fn is None or not key_fn.params:
+                continue
+            fields = set(cls.fields)
+            keyed = field_coverage(key_fn, key_fn.params[0], fields).covered
+            reads = {
+                access.attr
+                for access in attribute_reads(project, cls)
+                if access.attr in fields
+            }
+            declared = _declared_key_blind(cls)
+            for field_name in sorted(reads - keyed - set(declared)):
+                node = cls.fields[field_name]
+                yield self.finding(
+                    "KEY001", cls.module, node,
+                    f"{class_name}.{field_name} is read on the execution "
+                    f"path but never reaches {key_name}(); key it or "
+                    f"declare `# repro: key-blind[{field_name}]` on the "
+                    "field with the reason it cannot affect behaviour",
+                )
+            for field_name, lineno in sorted(declared.items()):
+                if field_name not in fields:
+                    yield _pragma_finding(
+                        cls.module, lineno,
+                        f"key-blind pragma names `{field_name}`, which is "
+                        f"not a field of {class_name}; remove or fix the "
+                        "pragma",
+                    )
+                elif field_name in keyed:
+                    yield _pragma_finding(
+                        cls.module, lineno,
+                        f"stale key-blind pragma: {class_name}."
+                        f"{field_name} is covered by {key_name}() after "
+                        "all; remove the pragma so the exemption list "
+                        "stays trustworthy",
+                    )
+
+
+def _unique_class(
+    project: ProjectIndex, name: str
+) -> Optional[ClassInfo]:
+    candidates = project.classes_by_name.get(name, [])
+    return candidates[0] if len(candidates) == 1 else None
+
+
+def _unique_function(
+    project: ProjectIndex, name: str
+) -> Optional[FunctionInfo]:
+    candidates: List[FunctionInfo] = [
+        f for f in project.functions_by_name.get(name, [])
+        if f.class_name is None
+    ]
+    return candidates[0] if len(candidates) == 1 else None
+
+
+def _declared_key_blind(cls: ClassInfo) -> Dict[str, int]:
+    """``field -> pragma line`` for key-blind pragmas inside the class body."""
+    module: ModuleSource = cls.module
+    start = cls.node.lineno
+    stop = cls.node.end_lineno or start
+    declared: Dict[str, int] = {}
+    for lineno, names in module.key_blind.items():
+        if start <= lineno <= stop:
+            for name in names:
+                declared[name] = lineno
+    return declared
+
+
+def _pragma_finding(module: ModuleSource, lineno: int, message: str) -> Finding:
+    return Finding(
+        rule_id="KEY002",
+        path=module.path,
+        line=lineno,
+        message=message,
+    )

@@ -1,0 +1,117 @@
+"""Flow-sensitive checkpoint-contract completeness (``CKPT002``).
+
+The runtime contract walk (:func:`repro.ckpt.contract.verify_contract`)
+and the per-module ``CKPT001`` pass both see only ``self.X = ...``
+assignments inside a class's *own* methods. But state can also be written
+by a helper the object escapes to — ``attach_obs(controller)`` doing
+``controller.obs = ...`` — and such a write is invisible to both: the
+attribute silently misses the snapshot, and a restored run diverges from
+the original exactly when that attribute mattered.
+
+``CKPT002`` closes the gap interprocedurally: for every class decorated
+``@checkpointable(...)`` / ``@checkpointable_dataclass(...)`` with a
+literal contract, it tracks instances through the call graph (annotated
+parameters plus ``self`` passed onward) and flags attribute writes made
+*outside* the class's own methods that name an attribute absent from the
+declared ``state``/``derived``/``const`` sets (and, for dataclasses, the
+field list). Classes whose contract is not a literal tuple are skipped —
+the pass never guesses at a computed contract.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set, Tuple
+
+from repro.lint.base import ProjectLintPass
+from repro.lint.dataflow import escaped_attribute_writes
+from repro.lint.findings import Finding, Rule
+from repro.lint.graph import ClassInfo, ProjectIndex
+
+#: Decorator names that declare a checkpoint contract.
+_CONTRACT_DECORATORS = frozenset({"checkpointable", "checkpointable_dataclass"})
+
+#: The keyword arguments whose union forms the declared contract.
+_CONTRACT_KWARGS = ("state", "derived", "const")
+
+
+class CkptFlowPass(ProjectLintPass):
+    """Flags escaped state writes missing from the contract (``CKPT002``)."""
+
+    name = "ckpt-flow"
+    rules: Tuple[Rule, ...] = (
+        Rule("CKPT002", "escaped-state-write",
+             "helper-assigned attribute missing from the checkpoint "
+             "contract"),
+    )
+
+    def check_project(self, project: ProjectIndex) -> Iterator[Finding]:
+        for qname in sorted(project.classes):
+            cls = project.classes[qname]
+            contract = _declared_contract(cls)
+            if contract is None:
+                continue
+            for access in escaped_attribute_writes(project, cls):
+                if access.attr in contract:
+                    continue
+                info = project.functions.get(access.function)
+                if info is None:
+                    continue
+                yield self.finding(
+                    "CKPT002", info.module, access.node,
+                    f"{access.function}() assigns `{access.attr}` on a "
+                    f"{cls.name} instance, but the @checkpointable "
+                    f"contract of {cls.name} does not declare it; a "
+                    "restored run would silently lose this attribute — "
+                    "add it to state/derived/const or move the write into "
+                    "the class",
+                )
+
+
+def _declared_contract(cls: ClassInfo) -> Optional[Set[str]]:
+    """The literal contract of ``cls``, or None when absent/non-literal.
+
+    ``None`` means "do not check": the class is not checkpointable, or its
+    contract is computed and the pass cannot know what it covers.
+    """
+    if not _CONTRACT_DECORATORS & set(cls.decorators):
+        return None
+    contract: Set[str] = set()
+    saw_call = False
+    for call in cls.decorator_calls:
+        target = call.func
+        name = target.attr if isinstance(target, ast.Attribute) else (
+            target.id if isinstance(target, ast.Name) else None
+        )
+        if name not in _CONTRACT_DECORATORS:
+            continue
+        saw_call = True
+        for keyword in call.keywords:
+            if keyword.arg not in _CONTRACT_KWARGS:
+                continue
+            names = _literal_names(keyword.value)
+            if names is None:
+                return None
+            contract |= names
+    if not saw_call and "checkpointable" in cls.decorators:
+        # Bare @checkpointable without arguments declares nothing the
+        # pass can reason about; leave it to the runtime walk.
+        return None
+    if "checkpointable_dataclass" in cls.decorators:
+        contract |= set(cls.fields)
+    return contract
+
+
+def _literal_names(node: ast.expr) -> Optional[Set[str]]:
+    """The string elements of a literal tuple/list, or None if non-literal."""
+    if not isinstance(node, (ast.Tuple, ast.List)):
+        return None
+    names: Set[str] = set()
+    for element in node.elts:
+        if not (
+            isinstance(element, ast.Constant)
+            and isinstance(element.value, str)
+        ):
+            return None
+        names.add(element.value)
+    return names

@@ -1,0 +1,203 @@
+"""Wire-schema drift pass: dataclasses vs codecs, daemon vs client.
+
+The sweep service (PR 8) ships jobs between processes through versioned
+wire envelopes; the schema lives in three places that must agree — the
+job dataclass, its ``*_to_wire`` encoder, and its ``*_from_wire`` decoder
+— plus a fourth for the request protocol: the daemon's op dispatch and
+``SweepClient``'s call sites. Each pair can drift silently: add a field
+to ``Job`` and forget ``job_to_wire`` and the field is dropped on the
+wire, resurrected as its default on the far side, and every remote result
+quietly diverges from the local one.
+
+* ``WIRE001`` — a field of a wire-crossing job dataclass that its encoder
+  never writes (no attribute read, no matching dict key, no covering
+  ``asdict``) or its decoder never passes to the constructor (no keyword,
+  no ``**splat``).
+* ``WIRE002`` — protocol op-set drift: an op in the module-level ``OPS``
+  tuple that no daemon branch handles, an ``OPS`` op the client never
+  issues, or a handled/issued op missing from ``OPS``.
+
+Op detection is syntactic but anchored to the tree's idioms: the daemon
+dispatches with ``if op == "name"`` chains, the client funnels every
+request through ``self._call("name", ...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Sequence, Set, Tuple
+
+from repro.lint.base import ModuleSource, ProjectLintPass
+from repro.lint.dataflow import constructor_coverage, field_coverage
+from repro.lint.findings import Finding, Rule
+from repro.lint.graph import ProjectIndex
+from repro.lint.passes.cache_key import _unique_class, _unique_function
+
+#: The wire-crossing job types: (dataclass, encoder, decoder) — looked up
+#: by bare name project-wide so fixtures can exercise the pass; a triple
+#: with any member absent from the scanned set is skipped.
+WIRE_CONTRACTS: Tuple[Tuple[str, str, str], ...] = (
+    ("Job", "job_to_wire", "job_from_wire"),
+    ("SecurityJob", "security_job_to_wire", "security_job_from_wire"),
+    ("CampaignJob", "campaign_job_to_wire", "campaign_job_from_wire"),
+)
+
+
+class WireSchemaPass(ProjectLintPass):
+    """Flags codec field drift (``WIRE001``) and op-set drift (``WIRE002``)."""
+
+    name = "wire-schema"
+    rules: Tuple[Rule, ...] = (
+        Rule("WIRE001", "wire-field-drift",
+             "job dataclass field missing from its to_wire/from_wire codec"),
+        Rule("WIRE002", "protocol-op-drift",
+             "protocol op known to only some of OPS / daemon / client"),
+    )
+
+    def check_project(self, project: ProjectIndex) -> Iterator[Finding]:
+        for finding in self._check_codecs(project):
+            yield finding
+        for finding in self._check_ops(project):
+            yield finding
+
+    # ------------------------------------------------------------------
+    # WIRE001: dataclass fields vs codec coverage
+    # ------------------------------------------------------------------
+    def _check_codecs(self, project: ProjectIndex) -> Iterator[Finding]:
+        for class_name, to_name, from_name in WIRE_CONTRACTS:
+            cls = _unique_class(project, class_name)
+            if cls is None:
+                continue
+            fields = set(cls.fields)
+            to_fn = _unique_function(project, to_name)
+            if to_fn is not None and to_fn.params:
+                covered = field_coverage(
+                    to_fn, to_fn.params[0], fields
+                ).covered
+                for field_name in sorted(fields - covered):
+                    yield self.finding(
+                        "WIRE001", to_fn.module, to_fn.node,
+                        f"{class_name}.{field_name} never reaches the wire: "
+                        f"{to_name}() does not encode it, so the far side "
+                        "resurrects the default and results diverge",
+                    )
+            from_fn = _unique_function(project, from_name)
+            if from_fn is not None:
+                covered = constructor_coverage(
+                    from_fn, class_name, fields
+                ).covered
+                for field_name in sorted(fields - covered):
+                    yield self.finding(
+                        "WIRE001", from_fn.module, from_fn.node,
+                        f"{class_name}.{field_name} is dropped on decode: "
+                        f"{from_name}() never passes it to "
+                        f"{class_name}(...)",
+                    )
+
+    # ------------------------------------------------------------------
+    # WIRE002: OPS tuple vs daemon dispatch vs client calls
+    # ------------------------------------------------------------------
+    def _check_ops(self, project: ProjectIndex) -> Iterator[Finding]:
+        ops_node: Optional[ast.Assign] = None
+        ops_module: Optional[ModuleSource] = None
+        declared: Set[str] = set()
+        svc_modules = [
+            m for parts, m in sorted(project.modules.items())
+            if parts and parts[0] == "svc"
+        ]
+        for module in svc_modules:
+            found = _declared_ops(module)
+            if found is not None:
+                ops_node, declared = found
+                ops_module = module
+                break
+        if ops_module is None or ops_node is None:
+            return
+        handled = _handled_ops(svc_modules)
+        called = _called_ops(svc_modules)
+        for op in sorted(declared - set(handled)):
+            yield self.finding(
+                "WIRE002", ops_module, ops_node,
+                f"protocol op {op!r} is declared in OPS but no daemon "
+                "branch handles it (no `op == \"" + op + "\"` dispatch)",
+            )
+        for op in sorted(declared - set(called)):
+            yield self.finding(
+                "WIRE002", ops_module, ops_node,
+                f"protocol op {op!r} is declared in OPS but the client "
+                "never issues it (no `self._call(\"" + op + "\", ...)`)",
+            )
+        for op, (module, node) in sorted(handled.items()):
+            if op not in declared:
+                yield self.finding(
+                    "WIRE002", module, node,
+                    f"daemon handles op {op!r} which is missing from OPS; "
+                    "add it to the protocol or drop the branch",
+                )
+        for op, (module, node) in sorted(called.items()):
+            if op not in declared:
+                yield self.finding(
+                    "WIRE002", module, node,
+                    f"client issues op {op!r} which is missing from OPS; "
+                    "the daemon will reject it as unknown",
+                )
+
+
+def _declared_ops(
+    module: ModuleSource,
+) -> Optional[Tuple[ast.Assign, Set[str]]]:
+    """The module-level ``OPS = ("...", ...)`` tuple, if this module has it."""
+    for node in ast.iter_child_nodes(module.tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == "OPS" for t in node.targets
+        ):
+            continue
+        if isinstance(node.value, (ast.Tuple, ast.List)):
+            ops = {
+                e.value for e in node.value.elts
+                if isinstance(e, ast.Constant) and isinstance(e.value, str)
+            }
+            return node, ops
+    return None
+
+
+def _handled_ops(
+    modules: Sequence[ModuleSource],
+) -> Dict[str, Tuple[ModuleSource, ast.AST]]:
+    """Every ``op == "name"`` comparison in the svc tree (daemon dispatch)."""
+    handled: Dict[str, Tuple[ModuleSource, ast.AST]] = {}
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not (isinstance(node.left, ast.Name) and node.left.id == "op"):
+                continue
+            if len(node.ops) != 1 or not isinstance(node.ops[0], ast.Eq):
+                continue
+            comparator = node.comparators[0]
+            if isinstance(comparator, ast.Constant) and isinstance(
+                comparator.value, str
+            ):
+                handled.setdefault(comparator.value, (module, node))
+    return handled
+
+
+def _called_ops(
+    modules: Sequence[ModuleSource],
+) -> Dict[str, Tuple[ModuleSource, ast.AST]]:
+    """Every literal first argument of a ``*._call("name", ...)`` call."""
+    called: Dict[str, Tuple[ModuleSource, ast.AST]] = {}
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr == "_call"):
+                continue
+            if node.args and isinstance(node.args[0], ast.Constant) and (
+                isinstance(node.args[0].value, str)
+            ):
+                called.setdefault(node.args[0].value, (module, node))
+    return called

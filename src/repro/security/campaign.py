@@ -327,7 +327,7 @@ class CampaignJob:
     p1: float = DEFAULT_P1
     min_chunk: int = DEFAULT_MIN_CHUNK
     max_chunk: int = DEFAULT_MAX_CHUNK
-    backend: str = "numpy"
+    backend: str = "numpy"  # repro: key-blind[backend]
 
     def __post_init__(self):
         if self.scenario is not None:

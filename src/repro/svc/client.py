@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import os
 import socket
-from typing import IO, List, Optional, Union
+from typing import IO, Dict, List, Optional, Union
 
 from repro.analysis.runner import (
     CampaignJob,
@@ -50,7 +50,7 @@ class SweepClient:
         self,
         socket_path: Optional[str] = None,
         connect_timeout: float = 5.0,
-    ):
+    ) -> None:
         self.socket_path = socket_path or default_socket_path()
         self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         self._sock.settimeout(connect_timeout)
@@ -75,13 +75,13 @@ class SweepClient:
     def __enter__(self) -> "SweepClient":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------
-    def _call(self, op: str, **fields) -> dict:
+    def _call(self, op: str, **fields: object) -> dict:
         """One request/response round trip; raises on error responses."""
-        request = {"op": op}
+        request: Dict[str, object] = {"op": op}
         request.update(fields)
         self._sock.sendall(protocol.encode(request))
         line = self._reader.readline()

@@ -35,7 +35,7 @@ are byte-identical on the wire.
 from __future__ import annotations
 
 import json
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 #: Bump on any incompatible change to the request/response envelope.
 PROTOCOL_VERSION = 1
@@ -89,16 +89,16 @@ def parse_request(message: dict) -> Tuple[str, dict]:
     return op, message
 
 
-def ok(**payload) -> dict:
+def ok(**payload: object) -> dict:
     """A success response envelope."""
-    out = {"ok": True}
+    out: Dict[str, object] = {"ok": True}
     out.update(payload)
     return out
 
 
-def error(message: str, **payload) -> dict:
+def error(message: str, **payload: object) -> dict:
     """An error response envelope."""
-    out = {"ok": False, "error": message}
+    out: Dict[str, object] = {"ok": False, "error": message}
     out.update(payload)
     return out
 

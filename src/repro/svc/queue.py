@@ -98,7 +98,7 @@ class SweepQueue:
     sequence number.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._heap: List[tuple] = []
         self._next_seq = 0
         self.records: Dict[str, JobRecord] = {}

@@ -108,7 +108,7 @@ class SweepService:
         poll_interval: float = 0.05,
         cache_max_mb: Optional[float] = None,
         clock: Clock = CLOCK,
-    ):
+    ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.socket_path = socket_path or default_socket_path()
@@ -451,9 +451,13 @@ class SweepService:
                 return self._op_cancel(message)
             if op == "cache":
                 return self._op_cache()
-            # shutdown
-            self._begin_shutdown()
-            return protocol.ok(stopping=True)
+            if op == "shutdown":
+                self._begin_shutdown()
+                return protocol.ok(stopping=True)
+            # parse_request validated op against OPS, so this is only
+            # reachable when an op is added there without a branch here —
+            # exactly the drift WIRE002 flags at lint time.
+            return protocol.error(f"unhandled op {op!r}")
         except (ValueError, TypeError, KeyError) as exc:
             return protocol.error(str(exc))
 

@@ -67,6 +67,25 @@ def test_committed_baseline_is_justified_and_small():
     assert len(baseline.entries) <= 4
 
 
+def test_committed_baseline_entries_still_anchor_to_real_lines():
+    """Audit the ledger: each entry's context line must still exist in the
+    file it names. A baseline entry whose anchor line was rewritten or
+    deleted is dead weight — either the finding healed (prune the entry;
+    the no-stale test will also flag it) or the code moved enough that the
+    suppression needs re-review.
+    """
+    baseline = Baseline.load(BASELINE)
+    for entry in baseline.entries:
+        target = os.path.join(REPO_ROOT, entry.path)
+        assert os.path.exists(target), (entry.rule, entry.path)
+        with open(target, "r", encoding="utf-8") as handle:
+            lines = {line.strip() for line in handle}
+        assert entry.context.strip() in lines, (
+            f"{entry.rule} baseline entry anchors to a line no longer in "
+            f"{entry.path}: {entry.context!r}"
+        )
+
+
 #: Per-pass pins: modules dense in each pass's target constructs that are
 #: (and must stay) clean for that pass with no baseline help at all.
 CLEAN_PINS = [
